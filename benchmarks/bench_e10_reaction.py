@@ -1,0 +1,86 @@
+"""E10 (figure): reaction latency vs adaptation interval.
+
+Claim: the time from a perturbation to recovered throughput is governed by
+the adaptation interval (plus evidence accumulation): short intervals react
+in seconds, long intervals proportionally later — the knob trades reaction
+time against decision frequency.  Reaction time should grow with the
+interval and stay within a small multiple of it.
+"""
+
+import math
+
+from repro.core.adaptive import AdaptivePipeline
+from repro.core.policy import AdaptationConfig
+from repro.gridsim.spec import uniform_grid
+from repro.model.mapping import Mapping
+from repro.reporting.render import experiment_header
+from repro.reporting.shapes import assert_monotonic
+from repro.util.tables import render_series
+from repro.workloads.scenarios import load_step
+from repro.workloads.synthetic import balanced_pipeline
+
+INTERVALS = [2.0, 4.0, 8.0, 16.0]
+# Deliberately off-grid: 33 s is not a multiple of any interval, so each
+# interval's next evaluation lands at a genuinely different delay (34, 36,
+# 40, 48 s) — perturbing at a common multiple would alias every interval to
+# the same reaction time.
+PERTURB_AT = 33.0
+N_ITEMS = 2500
+DT = 2.0
+
+
+def recovery_time(result) -> float:
+    """Seconds from the perturbation until windowed throughput >= 8 items/s."""
+    ts, series = result.throughput_series(DT)
+    for t, y in zip(ts, series):
+        if t <= PERTURB_AT + DT:
+            continue
+        if y >= 8.0:
+            return t - PERTURB_AT
+    return math.inf
+
+
+def run_experiment():
+    pipeline = balanced_pipeline(3, work=0.1)
+    mapping = Mapping.single([0, 1, 2])
+    reactions = []
+    for interval in INTERVALS:
+        grid = uniform_grid(4)
+        load_step(1, at=PERTURB_AT, availability=0.1).apply(grid)
+        res = AdaptivePipeline(
+            pipeline,
+            grid,
+            config=AdaptationConfig(interval=interval, cooldown=interval),
+            initial_mapping=mapping,
+            seed=10,
+        ).run(N_ITEMS)
+        assert res.completed_all
+        reactions.append(recovery_time(res))
+    return reactions
+
+
+def test_e10_reaction(benchmark, report):
+    reactions = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    assert all(math.isfinite(r) for r in reactions), reactions
+    # Reaction grows with the interval...
+    assert_monotonic(reactions, increasing=True, tolerance=0.15, label="reaction")
+    # ...and stays within a small multiple of it (detection + decision +
+    # migration + window quantisation).
+    for interval, r in zip(INTERVALS, reactions):
+        assert r <= 3.0 * interval + 10.0, (interval, r)
+
+    report(
+        "\n".join(
+            [
+                experiment_header(
+                    "E10",
+                    "reaction latency vs adaptation interval (figure)",
+                    "recovery time scales with the adaptation interval",
+                ),
+                render_series(
+                    {"reaction time (s)": reactions}, INTERVALS, x_label="interval(s)"
+                ),
+            ]
+        )
+    )

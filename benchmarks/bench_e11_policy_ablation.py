@@ -1,0 +1,103 @@
+"""E11 (table): policy ablation — what does the model buy?
+
+Claim: under the same perturbation, ranked by makespan:
+``static  >  reactive  >=  model-driven(monitor)  >=  model-driven(oracle)``
+(lower is better).  The reactive baseline recovers but picks single-stage
+moves without predicting global effect; the model-driven policy finds the
+jointly best mapping; the oracle variant (ground-truth resources instead of
+NWS forecasts) bounds what better monitoring could add — the gap between
+monitor and oracle is the price of imperfect information.
+"""
+
+from repro.core.adaptive import AdaptivePipeline, run_static
+from repro.core.policies_alt import ReactivePolicy
+from repro.core.policy import AdaptationConfig
+from repro.gridsim.spec import heterogeneous_grid
+from repro.model.mapping import Mapping
+from repro.reporting.render import experiment_header
+from repro.util.tables import render_table
+from repro.workloads.scenarios import load_step
+from repro.workloads.synthetic import imbalanced_pipeline
+
+N_ITEMS = 900
+SPEEDS = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0]
+WORKS = [0.1, 0.3, 0.1, 0.1]
+
+
+def fresh_grid():
+    grid = heterogeneous_grid(SPEEDS)
+    load_step(1, at=15.0, availability=0.1).apply(grid)  # kills stage 1's host
+    return grid
+
+
+def run_experiment():
+    pipe = imbalanced_pipeline(WORKS)
+    mapping = Mapping.single([0, 1, 2, 3])
+    cfg = AdaptationConfig(interval=3.0, cooldown=6.0)
+    results = {}
+    results["static"] = run_static(pipe, fresh_grid(), N_ITEMS, mapping=mapping, seed=11)
+    results["reactive"] = AdaptivePipeline(
+        pipe,
+        fresh_grid(),
+        policy=ReactivePolicy(pipe, cfg),
+        initial_mapping=mapping,
+        seed=11,
+    ).run(N_ITEMS)
+    results["model (monitor)"] = AdaptivePipeline(
+        pipe,
+        fresh_grid(),
+        config=cfg,
+        initial_mapping=mapping,
+        seed=11,
+    ).run(N_ITEMS)
+    results["model (oracle)"] = AdaptivePipeline(
+        pipe,
+        fresh_grid(),
+        config=cfg,
+        view_source="oracle",
+        initial_mapping=mapping,
+        seed=11,
+    ).run(N_ITEMS)
+    return results
+
+
+def test_e11_policy_ablation(benchmark, report):
+    results = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for name, res in results.items():
+        assert res.completed_all, name
+        assert res.in_order(), name
+    ms = {name: res.makespan for name, res in results.items()}
+    # The ordering claim (loose tolerances absorb settling noise):
+    assert ms["reactive"] < ms["static"] * 0.7, ms
+    assert ms["model (monitor)"] < ms["reactive"] * 1.02, ms
+    assert ms["model (oracle)"] < ms["model (monitor)"] * 1.10, ms
+    # The monitor-fed policy lands within a modest factor of the oracle —
+    # the measured gap is the price of forecast convergence after the step.
+    assert ms["model (monitor)"] < ms["model (oracle)"] * 2.0, ms
+
+    rows = [
+        [
+            name,
+            res.makespan,
+            res.throughput(),
+            len([e for e in res.adaptation_events if e.kind != "rollback"]),
+            str(res.final_mapping),
+        ]
+        for name, res in results.items()
+    ]
+    report(
+        "\n".join(
+            [
+                experiment_header(
+                    "E11",
+                    "policy ablation under one perturbation (table)",
+                    "static > reactive >= model(monitor) >= model(oracle), by makespan",
+                ),
+                render_table(
+                    ["policy", "makespan(s)", "throughput", "actions", "final mapping"],
+                    rows,
+                ),
+            ]
+        )
+    )

@@ -1,0 +1,132 @@
+"""E2 (table): model-selected best mapping across grid configurations.
+
+Claim: the analytic model reproduces the qualitative mapping rules of the
+grid-scheduling literature — balanced stages on fast links spread out; slow
+links fuse consecutive stages; a degraded processor is avoided unless it is
+so much faster that it wins anyway.  The selected mapping is verified by
+*simulating* all candidates: the model's pick must be within 5 % of the best
+simulated mapping.
+"""
+
+import pytest
+
+from repro.core.adaptive import run_static
+from repro.gridsim.spec import GridSpec, SiteSpec
+from repro.gridsim.network import Link
+from repro.model.mapping import enumerate_mappings
+from repro.model.optimizer import exhaustive_best_mapping
+from repro.model.throughput import ModelContext, StageCost, snapshot_view
+from repro.reporting.render import experiment_header
+from repro.util.tables import render_table
+from repro.workloads.synthetic import imbalanced_pipeline
+
+# (name, link latency overrides (l01, l12, l02), per-stage works, speeds)
+CONFIGS = [
+    ("fast-links balanced", (1e-4, 1e-4, 1e-4), (0.1, 0.1, 0.1), (1, 1, 1)),
+    ("fast-links doubled", (1e-4, 1e-4, 1e-4), (0.2, 0.2, 0.2), (1, 1, 1)),
+    ("slow stage 3", (1e-4, 1e-4, 1e-4), (0.1, 0.1, 1.0), (1, 1, 1)),
+    ("slow links", (0.5, 0.5, 0.5), (0.1, 0.1, 0.1), (1, 1, 1)),
+    ("proc 2 degraded", (1e-4, 1e-4, 1e-4), (0.2, 0.2, 0.2), (1, 1, 0.25)),
+    ("proc 2 is 8x", (1e-4, 1e-4, 1e-4), (0.3, 0.3, 0.3), (1, 1, 8)),
+    ("slow link to p2", (1e-4, 0.5, 0.5), (0.1, 0.1, 0.1), (1, 1, 1)),
+]
+N_ITEMS = 150
+OUT_BYTES = 1_000.0
+
+
+def build(latencies, speeds):
+    l01, l12, l02 = latencies
+    return GridSpec(
+        sites=[SiteSpec(name="s", speeds=list(speeds))],
+        link_overrides=[
+            (0, 1, Link(l01, 100e6)),
+            (1, 2, Link(l12, 100e6)),
+            (0, 2, Link(l02, 100e6)),
+        ],
+    ).build()
+
+
+def run_experiment():
+    rows = []
+    for name, lats, works, speeds in CONFIGS:
+        grid = build(lats, speeds)
+        ctx = ModelContext(
+            stage_costs=tuple(StageCost(work=w, out_bytes=OUT_BYTES) for w in works),
+            view=snapshot_view(grid.snapshot(0.0)),
+            source_pid=0,
+            sink_pid=0,
+        )
+        best = exhaustive_best_mapping(ctx)
+        # Verify against simulation: simulate every candidate mapping and
+        # compare the model's pick to the simulated optimum.
+        pipe = imbalanced_pipeline(list(works), out_bytes=OUT_BYTES)
+        sim_best_tp, sim_best_map = -1.0, None
+        model_pick_tp = None
+        for m in enumerate_mappings(3, grid.pids):
+            res = run_static(pipe, build(lats, speeds), N_ITEMS, mapping=m)
+            tp = res.steady_throughput()
+            if tp > sim_best_tp:
+                sim_best_tp, sim_best_map = tp, m
+            if m == best.mapping:
+                model_pick_tp = tp
+        rows.append(
+            {
+                "config": name,
+                "model pick": str(best.mapping),
+                "predicted": best.throughput,
+                "simulated": model_pick_tp,
+                "sim best": str(sim_best_map),
+                "sim best tp": sim_best_tp,
+            }
+        )
+    return rows
+
+
+def test_e2_mapping_table(benchmark, report):
+    rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for row in rows:
+        # The model's pick must be essentially as good as the simulated best.
+        assert row["simulated"] >= 0.95 * row["sim best tp"], row
+
+    by_name = {r["config"]: r for r in rows}
+    # Qualitative rules the table must exhibit:
+    # 1. balanced + fast links -> three processors used
+    assert len(set(by_name["fast-links balanced"]["model pick"][1:-1].split(","))) == 3
+    # 2. doubling stage times halves throughput
+    assert by_name["fast-links doubled"]["simulated"] == pytest.approx(
+        by_name["fast-links balanced"]["simulated"] / 2.0, rel=0.10
+    )
+    # 3. degraded processor avoided
+    assert "2" not in by_name["proc 2 degraded"]["model pick"]
+    # 4. 8x processor hosts everything
+    assert by_name["proc 2 is 8x"]["model pick"] == "(2,2,2)"
+    # 5. slow links to p2 -> p2 avoided for balanced light stages
+    assert "2" not in by_name["slow link to p2"]["model pick"]
+
+    table = render_table(
+        ["config", "model pick", "predicted", "simulated", "sim best", "sim best tp"],
+        [
+            [
+                r["config"],
+                r["model pick"],
+                r["predicted"],
+                r["simulated"],
+                r["sim best"],
+                r["sim best tp"],
+            ]
+            for r in rows
+        ],
+    )
+    report(
+        "\n".join(
+            [
+                experiment_header(
+                    "E2",
+                    "best mapping per grid configuration (table)",
+                    "model picks match simulated optima; classic fuse/spread/avoid rules",
+                ),
+                table,
+            ]
+        )
+    )

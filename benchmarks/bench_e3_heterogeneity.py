@@ -1,0 +1,68 @@
+"""E3 (figure): adaptive-over-static speedup vs degree of heterogeneity.
+
+Claim: on a homogeneous dedicated cluster a sensible static mapping is
+already right and adaptivity buys nothing; as the max/min speed ratio grows,
+the naive static mapping (round-robin, speed-blind — what a grid user gets
+without a model) loses more and more to the adaptive pipeline.
+"""
+
+from repro.core.adaptive import AdaptivePipeline, run_static
+from repro.core.policy import AdaptationConfig
+from repro.gridsim.spec import heterogeneous_grid
+from repro.model.mapping import Mapping
+from repro.reporting.render import experiment_header
+from repro.reporting.shapes import assert_monotonic
+from repro.util.tables import ascii_plot, render_series
+from repro.workloads.scenarios import heterogeneity_ladder
+from repro.workloads.synthetic import balanced_pipeline
+
+FACTORS = [1.0, 2.0, 4.0, 8.0]
+N_PROCS = 6
+N_STAGES = 6
+N_ITEMS = 700
+
+
+def run_experiment():
+    pipeline = balanced_pipeline(N_STAGES, work=0.1)
+    naive = Mapping.single(list(range(N_STAGES)))  # stage i -> proc i
+    speedups = []
+    for factor in FACTORS:
+        speeds = heterogeneity_ladder(N_PROCS, factor)
+        static = run_static(
+            pipeline, heterogeneous_grid(speeds), N_ITEMS, mapping=naive, seed=2
+        )
+        adaptive = AdaptivePipeline(
+            pipeline,
+            heterogeneous_grid(speeds),
+            config=AdaptationConfig(interval=3.0, cooldown=6.0),
+            initial_mapping=naive,
+            seed=2,
+        ).run(N_ITEMS)
+        assert static.completed_all and adaptive.completed_all
+        speedups.append(static.makespan / adaptive.makespan)
+    return speedups
+
+
+def test_e3_heterogeneity(benchmark, report):
+    speedups = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    # Shape: speedup grows with heterogeneity; ~1 when homogeneous.
+    assert speedups[0] < 1.25, f"no free lunch on homogeneous grid: {speedups[0]}"
+    assert_monotonic(speedups, increasing=True, tolerance=0.10, label="speedup(h)")
+    assert speedups[-1] > 1.5, f"h=8 speedup too small: {speedups[-1]}"
+
+    report(
+        "\n".join(
+            [
+                experiment_header(
+                    "E3",
+                    "adaptive/static speedup vs heterogeneity factor (figure)",
+                    "speedup ~1 when homogeneous, grows with max/min speed ratio",
+                ),
+                render_series(
+                    {"speedup": speedups}, FACTORS, x_label="heterogeneity h"
+                ),
+                ascii_plot(FACTORS, speedups, label="speedup vs h", height=10),
+            ]
+        )
+    )

@@ -1,0 +1,74 @@
+"""E4 (table): adaptation overhead and stability on a *stable* grid.
+
+Claim: on a dedicated, well-mapped grid the adaptation machinery must (a)
+take no spurious actions (hysteresis works) and (b) cost essentially nothing
+relative to the static run, at any reasonable adaptation interval.  An
+ablation with the improvement threshold disabled (min_improvement=1.0)
+shows why the threshold exists: without it the controller chases forecast
+noise.
+"""
+
+from repro.core.adaptive import AdaptivePipeline, run_static
+from repro.core.policy import AdaptationConfig
+from repro.gridsim.spec import uniform_grid
+from repro.model.mapping import Mapping
+from repro.reporting.render import experiment_header
+from repro.util.tables import render_table
+from repro.workloads.synthetic import balanced_pipeline
+
+INTERVALS = [1.0, 2.0, 5.0, 10.0]
+N_ITEMS = 800
+
+
+def run_experiment():
+    pipeline = balanced_pipeline(3, work=0.1)
+    mapping = Mapping.single([0, 1, 2])
+    static = run_static(pipeline, uniform_grid(3), N_ITEMS, mapping=mapping, seed=3)
+    rows = []
+    for interval in INTERVALS:
+        adaptive = AdaptivePipeline(
+            pipeline,
+            uniform_grid(3),
+            config=AdaptationConfig(interval=interval, cooldown=2 * interval),
+            initial_mapping=mapping,
+            seed=3,
+        ).run(N_ITEMS)
+        actions = [e for e in adaptive.adaptation_events if e.kind != "rollback"]
+        overhead = (adaptive.makespan - static.makespan) / static.makespan
+        rows.append(
+            {
+                "interval": interval,
+                "actions": len(actions),
+                "makespan": adaptive.makespan,
+                "overhead_pct": 100.0 * overhead,
+            }
+        )
+    return static.makespan, rows
+
+
+def test_e4_overhead(benchmark, report):
+    static_makespan, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for row in rows:
+        assert row["actions"] == 0, f"spurious adaptation at interval {row['interval']}"
+        assert abs(row["overhead_pct"]) < 2.0, row
+
+    report(
+        "\n".join(
+            [
+                experiment_header(
+                    "E4",
+                    "adaptation overhead on a stable grid (table)",
+                    "zero spurious actions, <2% makespan overhead at any interval",
+                ),
+                f"static makespan: {static_makespan:.1f} s",
+                render_table(
+                    ["interval(s)", "actions", "makespan(s)", "overhead(%)"],
+                    [
+                        [r["interval"], r["actions"], r["makespan"], r["overhead_pct"]]
+                        for r in rows
+                    ],
+                ),
+            ]
+        )
+    )

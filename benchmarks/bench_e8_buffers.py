@@ -1,0 +1,81 @@
+"""E8 (figure): inter-stage buffer capacity vs throughput under burstiness.
+
+Claim: with deterministic service times buffers barely matter; as service
+variability (CV) grows, tiny buffers couple the stages (every burst stalls
+the neighbours) and throughput drops — larger buffers decouple stages and
+recover much of the loss.  Diminishing returns set in after a handful of
+slots, which is why the pattern exposes capacity as a tunable rather than
+maximising it.
+"""
+
+from repro.core.adaptive import run_static
+from repro.gridsim.spec import uniform_grid
+from repro.model.mapping import Mapping
+from repro.reporting.render import experiment_header
+from repro.reporting.shapes import assert_monotonic
+from repro.util.tables import render_series
+from repro.workloads.synthetic import balanced_pipeline, stochastic_pipeline
+
+CAPACITIES = [1, 2, 4, 8, 16]
+CVS = [0.5, 1.5]
+N_ITEMS = 900
+
+
+def run_experiment():
+    series = {}
+    det = balanced_pipeline(4, work=0.1)
+    series["cv=0 (deterministic)"] = []
+    for cap in CAPACITIES:
+        res = run_static(
+            det,
+            uniform_grid(4),
+            N_ITEMS,
+            mapping=Mapping.single([0, 1, 2, 3]),
+            buffer_capacity=cap,
+            seed=8,
+        )
+        series["cv=0 (deterministic)"].append(res.steady_throughput())
+    for cv in CVS:
+        pipe = stochastic_pipeline([0.1] * 4, cv=cv)
+        tps = []
+        for cap in CAPACITIES:
+            res = run_static(
+                pipe,
+                uniform_grid(4),
+                N_ITEMS,
+                mapping=Mapping.single([0, 1, 2, 3]),
+                buffer_capacity=cap,
+                seed=8,
+            )
+            tps.append(res.steady_throughput())
+        series[f"cv={cv}"] = tps
+    return series
+
+
+def test_e8_buffers(benchmark, report):
+    series = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
+
+    for label, tps in series.items():
+        assert_monotonic(tps, increasing=True, tolerance=0.06, label=label)
+    det = series["cv=0 (deterministic)"]
+    bursty = series["cv=1.5"]
+    # Deterministic: capacity means almost nothing (< 5% spread).
+    assert (max(det) - min(det)) / max(det) < 0.05, det
+    # Bursty: growing capacity 1 -> 16 must recover real throughput (>20%).
+    assert bursty[-1] / bursty[0] > 1.20, bursty
+    # Variability costs throughput at equal capacity.
+    assert bursty[0] < det[0] * 0.8
+
+    report(
+        "\n".join(
+            [
+                experiment_header(
+                    "E8",
+                    "buffer capacity vs throughput under burstiness (figure)",
+                    "capacity irrelevant when deterministic; recovers "
+                    "throughput under high CV, with diminishing returns",
+                ),
+                render_series(series, CAPACITIES, x_label="capacity"),
+            ]
+        )
+    )

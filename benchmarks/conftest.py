@@ -1,0 +1,40 @@
+"""Benchmark-suite plumbing.
+
+Every experiment harness renders its table/figure through the ``report``
+fixture; collected blocks are printed in the terminal summary (so they land
+in ``bench_output.txt`` even with output capture on) and mirrored to
+``benchmarks/results/latest.txt``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+_BLOCKS: list[str] = []
+_RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Callable collecting a text block for the end-of-run report."""
+
+    def _report(text: str) -> None:
+        _BLOCKS.append(text)
+
+    return _report
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _BLOCKS:
+        return
+    terminalreporter.write_line("")
+    for block in _BLOCKS:
+        for line in block.splitlines():
+            terminalreporter.write_line(line)
+    _RESULTS_DIR.mkdir(exist_ok=True)
+    (_RESULTS_DIR / "latest.txt").write_text("\n".join(_BLOCKS) + "\n")
+    terminalreporter.write_line(
+        f"\n[experiment report mirrored to {_RESULTS_DIR / 'latest.txt'}]"
+    )

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""A pipeline on a genuinely non-dedicated, two-site grid.
+
+Nodes suffer Markov on/off external load (a shared departmental cluster plus
+a remote site behind a WAN link).  The adaptive pattern continuously re-maps
+as interference comes and goes; the static mapping takes whatever the grid
+gives it.
+
+Run:  python examples/nondedicated_grid.py
+"""
+
+from repro import AdaptationConfig, AdaptivePipeline, Mapping, run_static
+from repro.gridsim.spec import GridSpec, SiteSpec
+from repro.workloads.scenarios import markov_load_factory
+from repro.workloads.synthetic import imbalanced_pipeline
+from repro.util.tables import render_table
+
+
+def fresh_grid(seed: int):
+    spec = GridSpec(
+        sites=[
+            SiteSpec(
+                name="local",
+                speeds=[1.0, 1.0, 1.0, 1.0],
+                load_factory=markov_load_factory(
+                    mean_idle=40.0, mean_busy=20.0, busy_availability=0.25
+                ),
+            ),
+            SiteSpec(name="remote", speeds=[2.0, 2.0]),  # fast but far
+        ],
+        inter_latency=20e-3,
+        inter_bandwidth=10e6,
+        seed=seed,
+    )
+    return spec.build()
+
+
+def main() -> None:
+    n_items = 1500
+    pipeline = imbalanced_pipeline(
+        [0.08, 0.25, 0.08, 0.05], out_bytes=20_000.0, input_bytes=20_000.0
+    )
+    mapping = Mapping.single([0, 1, 2, 3])
+    print(f"pipeline: {pipeline} (stage 1 dominates)")
+    print("grid: 4 local nodes with Markov interference + 2 fast remote nodes\n")
+
+    rows = []
+    for seed in (1, 2, 3):
+        static = run_static(pipeline, fresh_grid(seed), n_items, mapping=mapping, seed=seed)
+        adaptive = AdaptivePipeline(
+            pipeline,
+            fresh_grid(seed),
+            config=AdaptationConfig(interval=4.0, cooldown=8.0),
+            initial_mapping=mapping,
+            seed=seed,
+        ).run(n_items)
+        rows.append(
+            [
+                seed,
+                f"{static.makespan:.1f}",
+                f"{adaptive.makespan:.1f}",
+                f"x{static.makespan / adaptive.makespan:.2f}",
+                len([e for e in adaptive.adaptation_events if e.kind != 'rollback']),
+                str(adaptive.final_mapping),
+            ]
+        )
+    print(
+        render_table(
+            ["seed", "static(s)", "adaptive(s)", "speedup", "actions", "final mapping"],
+            rows,
+            title=f"{n_items} items, three independent interference histories",
+        )
+    )
+    print("\nadaptation timeline of the last run:")
+    for ev in rows and adaptive.adaptation_events:
+        print(f"  {ev}")
+
+
+if __name__ == "__main__":
+    main()

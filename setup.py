@@ -1,0 +1,9 @@
+"""Setup shim for environments without PEP 517 build isolation.
+
+All metadata lives in pyproject.toml; this file only enables legacy
+``pip install -e .`` where the ``wheel`` package is unavailable.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro — An Adaptive Parallel Pipeline Pattern for Grids (IPDPS 2008).
+
+A from-scratch reproduction of the adaptive pipeline skeleton of
+Gonzalez-Velez & Cole, including every substrate it needs: a discrete-event
+grid simulator, an NWS-style monitoring/forecasting layer, an analytic
+mapping model with optimisers, and the observe-decide-act adaptation engine.
+See README.md for a tour and DESIGN.md for the full inventory (and the
+paper-text mismatch notice).
+
+Quickstart::
+
+    from repro import (AdaptationConfig, AdaptivePipeline, Mapping,
+                       balanced_pipeline, uniform_grid)
+
+    grid = uniform_grid(4)
+    grid.perturb(1, [(20.0, 0.1)])          # node 1 degrades at t=20 s
+    pipe = balanced_pipeline(3, work=0.1)
+    runner = AdaptivePipeline(pipe, grid, config=AdaptationConfig(),
+                              initial_mapping=Mapping.single([0, 1, 2]))
+    result = runner.run(1000)
+    print(result.throughput(), result.adaptation_events)
+"""
+
+from repro.core import (
+    AdaptationConfig,
+    AdaptationEvent,
+    AdaptationPolicy,
+    AdaptivePipeline,
+    FixedWork,
+    PipelineSpec,
+    RunResult,
+    StageSpec,
+    run_static,
+)
+from repro.gridsim import (
+    GridSpec,
+    GridSystem,
+    SiteSpec,
+    heterogeneous_grid,
+    two_site_grid,
+    uniform_grid,
+)
+from repro.model import Mapping, ModelContext, StageCost, predict
+from repro.runtime import AdaptiveThreadPipeline, ThreadPipeline
+from repro.skel import farm, pipeline_1for1, simulate_farm, simulate_pipeline
+from repro.workloads import (
+    balanced_pipeline,
+    heterogeneity_ladder,
+    imbalanced_pipeline,
+    load_step,
+    stochastic_pipeline,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptationConfig",
+    "AdaptationEvent",
+    "AdaptationPolicy",
+    "AdaptivePipeline",
+    "AdaptiveThreadPipeline",
+    "FixedWork",
+    "GridSpec",
+    "GridSystem",
+    "Mapping",
+    "ModelContext",
+    "PipelineSpec",
+    "RunResult",
+    "SiteSpec",
+    "StageCost",
+    "StageSpec",
+    "ThreadPipeline",
+    "__version__",
+    "balanced_pipeline",
+    "farm",
+    "heterogeneity_ladder",
+    "heterogeneous_grid",
+    "imbalanced_pipeline",
+    "load_step",
+    "pipeline_1for1",
+    "predict",
+    "run_static",
+    "simulate_farm",
+    "simulate_pipeline",
+    "stochastic_pipeline",
+    "two_site_grid",
+    "uniform_grid",
+]

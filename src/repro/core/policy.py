@@ -1,0 +1,178 @@
+"""The *decide* step: when and how to adapt.
+
+:class:`AdaptationPolicy` is a pure function of its inputs — instrumentation
+snapshots, monitor forecasts, the current mapping — returning a
+:class:`~repro.core.events.Decision`.  All the guards that keep adaptation
+from thrashing live here:
+
+* **cooldown** — no decision within ``cooldown`` seconds of the last action;
+* **evidence** — every stage must have ``min_samples`` recent service
+  observations before its measured work is trusted (the spec's prior is used
+  until then, and no action is taken on priors alone unless allowed);
+* **improvement threshold** — predicted throughput must improve by at least
+  ``min_improvement`` (a ratio, e.g. 1.15 = +15 %), the hysteresis that
+  absorbs forecast noise;
+* **amortisation** — the migration cost must be recovered by the per-item
+  saving over the items still to process.
+
+The candidate generator composes :func:`~repro.model.optimizer.local_search`
+(re-homing) with :func:`~repro.model.optimizer.propose_replication`
+(farm-conversion of the bottleneck stage), both driven by *measured* work
+estimates and *forecast* resource availability — never ground truth.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.events import Decision
+from repro.core.pipeline import PipelineSpec
+from repro.model.cost import MigrationCostModel
+from repro.model.mapping import Mapping
+from repro.model.optimizer import local_search, propose_replication
+from repro.model.throughput import ModelContext, ResourceView, predict
+from repro.monitor.instrument import StageSnapshot
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["AdaptationConfig", "AdaptationPolicy"]
+
+
+@dataclass(frozen=True)
+class AdaptationConfig:
+    """Tunables of the adaptation loop (defaults match the benchmarks)."""
+
+    interval: float = 5.0  # seconds between policy evaluations
+    min_improvement: float = 1.15  # predicted gain required to act
+    cooldown: float = 10.0  # seconds after an action before the next
+    min_samples: int = 3  # per-stage observations before acting
+    max_replicas: int = 4  # replica cap per stage
+    enable_remap: bool = True
+    enable_replication: bool = True
+    rollback_tolerance: float = 0.85  # post-action throughput floor (x before)
+    settle_time: float = 5.0  # seconds before judging an action
+    migration: MigrationCostModel = field(default_factory=MigrationCostModel)
+
+    def __post_init__(self) -> None:
+        check_positive(self.interval, "interval")
+        check_positive(self.settle_time, "settle_time")
+        check_non_negative(self.cooldown, "cooldown")
+        if self.min_improvement < 1.0:
+            raise ValueError(
+                f"min_improvement is a ratio >= 1.0, got {self.min_improvement}"
+            )
+        if not 0.0 < self.rollback_tolerance <= 1.0:
+            raise ValueError(
+                f"rollback_tolerance must be in (0, 1], got {self.rollback_tolerance}"
+            )
+        if self.min_samples < 1:
+            raise ValueError(f"min_samples must be >= 1, got {self.min_samples}")
+        if self.max_replicas < 1:
+            raise ValueError(f"max_replicas must be >= 1, got {self.max_replicas}")
+
+
+class AdaptationPolicy:
+    """Stateless decision logic (state like cooldown lives in the caller)."""
+
+    def __init__(self, pipeline: PipelineSpec, config: AdaptationConfig) -> None:
+        self.pipeline = pipeline
+        self.config = config
+
+    # -- helpers --------------------------------------------------------------
+    def measured_works(self, snapshots: list[StageSnapshot]) -> dict[int, float]:
+        """Per-stage work estimates from instrumentation (where trusted)."""
+        works = {}
+        for snap in snapshots:
+            if (
+                snap.items_processed >= self.config.min_samples
+                and not math.isnan(snap.work_estimate)
+                and snap.work_estimate > 0
+            ):
+                works[snap.stage_index] = snap.work_estimate
+        return works
+
+    def build_context(
+        self,
+        snapshots: list[StageSnapshot],
+        view: ResourceView,
+        source_pid: int,
+        sink_pid: int,
+    ) -> ModelContext:
+        """Model context from measured work + forecast resources."""
+        return ModelContext(
+            stage_costs=self.pipeline.stage_costs(self.measured_works(snapshots)),
+            view=view,
+            source_pid=source_pid,
+            sink_pid=sink_pid,
+            input_bytes=self.pipeline.input_bytes,
+        )
+
+    # -- the decision ---------------------------------------------------------
+    def decide(
+        self,
+        *,
+        now: float,
+        current: Mapping,
+        snapshots: list[StageSnapshot],
+        view: ResourceView,
+        source_pid: int,
+        sink_pid: int,
+        remaining_items: int,
+        last_action_time: float = -math.inf,
+    ) -> Decision:
+        """Evaluate the situation and return a :class:`Decision`."""
+        cfg = self.config
+        if now - last_action_time < cfg.cooldown:
+            return Decision(None, reason="cooldown")
+        if remaining_items <= 0:
+            return Decision(None, reason="no-remaining-work")
+        observed = sum(
+            1 for s in snapshots if s.items_processed >= cfg.min_samples
+        )
+        if observed < len(snapshots):
+            return Decision(None, reason="insufficient-samples")
+
+        ctx = self.build_context(snapshots, view, source_pid, sink_pid)
+        current_pred = predict(current, ctx)
+
+        candidate = current_pred
+        if cfg.enable_remap:
+            candidate = local_search(candidate.mapping, ctx)
+        if cfg.enable_replication:
+            candidate = propose_replication(
+                candidate.mapping,
+                ctx,
+                max_replicas=cfg.max_replicas,
+                min_gain=1.02,
+            )
+        if candidate.mapping == current:
+            return Decision(None, reason="already-optimal")
+
+        gain = (
+            candidate.throughput / current_pred.throughput
+            if current_pred.throughput > 0
+            else math.inf
+        )
+        if gain < cfg.min_improvement:
+            return Decision(
+                None,
+                reason=f"below-threshold (x{gain:.3f} < x{cfg.min_improvement:.3f})",
+                predicted_gain=gain,
+            )
+        migration_s = cfg.migration.estimate(current, candidate.mapping, ctx)
+        if not cfg.migration.worthwhile(
+            current_pred.period, candidate.period, migration_s, remaining_items
+        ):
+            return Decision(
+                None,
+                reason=f"migration-not-amortised ({migration_s:.2f}s)",
+                predicted_gain=gain,
+                migration_cost=migration_s,
+            )
+        moved = current.moved_stages(candidate.mapping)
+        return Decision(
+            candidate.mapping,
+            reason=f"move stages {moved}: {current} -> {candidate.mapping}",
+            predicted_gain=gain,
+            migration_cost=migration_s,
+        )

@@ -1,0 +1,75 @@
+"""Migration cost: what acting on a decision costs.
+
+Re-mapping a stage is not free: the pipeline segment drains, stage state
+moves over a real link, and the stage restarts elsewhere.  The policy adapts
+only when the predicted steady-state gain amortises this cost over the
+remaining work (see :meth:`MigrationCostModel.worthwhile`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.mapping import Mapping
+from repro.model.throughput import ModelContext, _transfer_time
+from repro.util.validation import check_non_negative
+
+__all__ = ["MigrationCostModel"]
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """Per-stage restart overhead plus state-transfer time.
+
+    ``restart_overhead`` — fixed seconds per moved/replicated stage
+    (process launch, channel re-wiring).
+    ``drain_slack`` — extra seconds allowed for in-flight items to clear the
+    affected segment (a small constant works because channel capacities are
+    small; the simulator pays actual drain time on top).
+    """
+
+    restart_overhead: float = 0.25
+    drain_slack: float = 0.1
+
+    def __post_init__(self) -> None:
+        check_non_negative(self.restart_overhead, "restart_overhead")
+        check_non_negative(self.drain_slack, "drain_slack")
+
+    def estimate(self, old: Mapping, new: Mapping, ctx: ModelContext) -> float:
+        """Seconds to transform ``old`` into ``new``.
+
+        For every stage whose replica set changes, charge a restart plus the
+        transfer of its state from the old primary to each *newly added*
+        processor over the actual link.
+        """
+        total = 0.0
+        for stage in old.moved_stages(new):
+            cost = ctx.stage_costs[stage]
+            old_reps = set(old.replicas(stage))
+            new_reps = set(new.replicas(stage))
+            added = new_reps - old_reps
+            src = old.primary(stage)
+            total += self.restart_overhead
+            for dst in added:
+                total += _transfer_time(ctx.view, src, dst, cost.state_bytes)
+        if total > 0.0:
+            total += self.drain_slack
+        return total
+
+    def worthwhile(
+        self,
+        old_period: float,
+        new_period: float,
+        migration_seconds: float,
+        remaining_items: int,
+    ) -> bool:
+        """Does the saving over the remaining items exceed the cost?
+
+        Saving per item is ``old_period - new_period``; with ``n`` items
+        still to process the migration pays off iff
+        ``n · (old_period − new_period) > migration_seconds``.
+        """
+        if remaining_items <= 0:
+            return False
+        saving = (old_period - new_period) * remaining_items
+        return saving > migration_seconds

@@ -1,0 +1,120 @@
+"""Stage-to-processor mappings.
+
+A :class:`Mapping` assigns every pipeline stage a non-empty set of processor
+ids.  One pid per stage is the classic pipeline mapping (the tuple notation
+``(1, 1, 2)`` of the grid-scheduling literature: stages 1–2 on processor 1,
+stage 3 on processor 2); multiple pids mean the stage is *replicated* —
+executed as an embedded task farm across those processors.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["Mapping", "enumerate_mappings", "random_mapping"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Immutable assignment of stages to processor replica-sets."""
+
+    stages: tuple[tuple[int, ...], ...]
+
+    def __post_init__(self) -> None:
+        if not self.stages:
+            raise ValueError("mapping must cover at least one stage")
+        for i, reps in enumerate(self.stages):
+            if not reps:
+                raise ValueError(f"stage {i} has no processors assigned")
+            if len(set(reps)) != len(reps):
+                raise ValueError(f"stage {i} lists a processor twice: {reps}")
+
+    # -- constructors -------------------------------------------------------
+    @staticmethod
+    def single(pids: Sequence[int]) -> "Mapping":
+        """One processor per stage: ``Mapping.single([0, 1, 1])``."""
+        return Mapping(tuple((int(p),) for p in pids))
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def n_stages(self) -> int:
+        return len(self.stages)
+
+    def replicas(self, stage: int) -> tuple[int, ...]:
+        """Processor ids executing ``stage``."""
+        return self.stages[stage]
+
+    def primary(self, stage: int) -> int:
+        """First (canonical) processor of a stage."""
+        return self.stages[stage][0]
+
+    def processors_used(self) -> set[int]:
+        return {p for reps in self.stages for p in reps}
+
+    def share_counts(self) -> dict[int, int]:
+        """How many stage-replicas each processor hosts (CPU share divisor)."""
+        counts: dict[int, int] = {}
+        for reps in self.stages:
+            for p in reps:
+                counts[p] = counts.get(p, 0) + 1
+        return counts
+
+    def is_replicated(self) -> bool:
+        return any(len(reps) > 1 for reps in self.stages)
+
+    # -- derivation -----------------------------------------------------------
+    def with_stage(self, stage: int, replicas: Sequence[int]) -> "Mapping":
+        """Copy with one stage's replica set changed."""
+        stages = list(self.stages)
+        stages[stage] = tuple(int(p) for p in replicas)
+        return Mapping(tuple(stages))
+
+    def moved_stages(self, other: "Mapping") -> list[int]:
+        """Stage indices whose replica sets differ between self and other."""
+        if other.n_stages != self.n_stages:
+            raise ValueError(
+                f"mappings cover different stage counts: {self.n_stages} vs {other.n_stages}"
+            )
+        return [i for i in range(self.n_stages) if self.stages[i] != other.stages[i]]
+
+    def __str__(self) -> str:
+        parts = []
+        for reps in self.stages:
+            parts.append(str(reps[0]) if len(reps) == 1 else "{" + ",".join(map(str, reps)) + "}")
+        return "(" + ",".join(parts) + ")"
+
+
+def enumerate_mappings(
+    n_stages: int, pids: Sequence[int], max_mappings: int | None = None
+) -> Iterator[Mapping]:
+    """All single-assignment mappings (|pids|^n_stages of them).
+
+    ``max_mappings`` guards against accidental explosion; exceeding it raises
+    instead of silently truncating.
+    """
+    if n_stages < 1:
+        raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+    if not pids:
+        raise ValueError("no processors to map onto")
+    total = len(pids) ** n_stages
+    if max_mappings is not None and total > max_mappings:
+        raise ValueError(
+            f"{total} mappings exceed the cap of {max_mappings}; "
+            "use the greedy/DP optimisers for large instances"
+        )
+    for combo in itertools.product(pids, repeat=n_stages):
+        yield Mapping.single(combo)
+
+
+def random_mapping(
+    n_stages: int, pids: Sequence[int], rng: np.random.Generator
+) -> Mapping:
+    """Uniformly random single-assignment mapping (for fidelity studies)."""
+    if not pids:
+        raise ValueError("no processors to map onto")
+    choice = rng.choice(np.asarray(list(pids)), size=n_stages, replace=True)
+    return Mapping.single([int(p) for p in choice])

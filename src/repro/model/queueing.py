@@ -1,0 +1,130 @@
+"""Queueing refinements: what the mean-value model deliberately ignores.
+
+The throughput model in :mod:`repro.model.throughput` is mean-value — exact
+for deterministic service (E9) but blind to *variability*.  This module adds
+the standard GI/G/1 machinery the pattern uses for one decision the mean
+model cannot make: **how large inter-stage buffers should be** when service
+times are bursty (experiment E8 measures the phenomenon; these formulas
+explain and predict it).
+
+The two-moment approximations used (Allen–Cunneen / Marchal) are the
+workhorses of capacity planning; they need only utilisation and the squared
+coefficients of variation of inter-arrival and service times — quantities
+the instrumentation layer already measures.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = [
+    "QueueEstimate",
+    "gg1_waiting_time",
+    "gg1_queue_length",
+    "mm1_waiting_time",
+    "suggest_buffer_capacity",
+]
+
+
+@dataclass(frozen=True)
+class QueueEstimate:
+    """Steady-state estimates for one stage viewed as a GI/G/1 server."""
+
+    utilisation: float
+    waiting_time: float  # seconds an item waits before service
+    queue_length: float  # mean items waiting (not in service)
+
+    @property
+    def stable(self) -> bool:
+        return self.utilisation < 1.0
+
+
+def mm1_waiting_time(arrival_rate: float, service_rate: float) -> float:
+    """Mean waiting time of an M/M/1 queue (exponential/exponential).
+
+    Returns ``inf`` for an unstable queue (utilisation >= 1).
+    """
+    check_positive(arrival_rate, "arrival_rate")
+    check_positive(service_rate, "service_rate")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        return math.inf
+    return rho / (service_rate - arrival_rate)
+
+
+def gg1_waiting_time(
+    arrival_rate: float,
+    service_rate: float,
+    ca2: float,
+    cs2: float,
+) -> float:
+    """Allen–Cunneen approximation of GI/G/1 mean waiting time.
+
+    ``Wq ≈ (ρ / (1 − ρ)) · ((ca² + cs²) / 2) · (1 / μ)``
+
+    where ``ca²``/``cs²`` are the squared coefficients of variation of
+    inter-arrival and service times.  Exact for M/M/1 (ca²=cs²=1); the
+    standard engineering estimate elsewhere.  Returns ``inf`` when unstable.
+    """
+    check_positive(arrival_rate, "arrival_rate")
+    check_positive(service_rate, "service_rate")
+    check_non_negative(ca2, "ca2")
+    check_non_negative(cs2, "cs2")
+    rho = arrival_rate / service_rate
+    if rho >= 1.0:
+        return math.inf
+    return (rho / (1.0 - rho)) * ((ca2 + cs2) / 2.0) / service_rate
+
+
+def gg1_queue_length(
+    arrival_rate: float,
+    service_rate: float,
+    ca2: float,
+    cs2: float,
+) -> QueueEstimate:
+    """Full GI/G/1 estimate: utilisation, waiting time, queue length.
+
+    Queue length follows from Little's law: ``Lq = λ · Wq``.
+    """
+    wq = gg1_waiting_time(arrival_rate, service_rate, ca2, cs2)
+    rho = arrival_rate / service_rate
+    lq = arrival_rate * wq if math.isfinite(wq) else math.inf
+    return QueueEstimate(utilisation=rho, waiting_time=wq, queue_length=lq)
+
+
+def suggest_buffer_capacity(
+    utilisation: float,
+    cs2: float,
+    *,
+    ca2: float = 1.0,
+    slack: float = 2.0,
+    min_capacity: int = 1,
+    max_capacity: int = 64,
+) -> int:
+    """Recommend an inter-stage buffer capacity.
+
+    Sizes the buffer to hold the predicted mean queue plus ``slack`` standard
+    deviations' worth of burst (approximating the queue distribution's tail
+    with its mean — conservative for the moderate utilisations pipelines run
+    at).  Deterministic traffic (``cs2 ≈ 0``) yields the minimum; high-CV
+    service grows the recommendation, saturating at ``max_capacity``.
+
+    This reproduces the qualitative advice experiment E8 validates: buffers
+    matter only under variability, with diminishing returns.
+    """
+    if not 0.0 < utilisation < 1.0:
+        raise ValueError(f"utilisation must be in (0, 1), got {utilisation}")
+    check_non_negative(cs2, "cs2")
+    check_non_negative(ca2, "ca2")
+    check_positive(slack, "slack")
+    if min_capacity < 1 or max_capacity < min_capacity:
+        raise ValueError(
+            f"need 1 <= min_capacity <= max_capacity, got [{min_capacity}, {max_capacity}]"
+        )
+    # Lq for a unit-rate server at this utilisation (scale-free).
+    lq = (utilisation * utilisation / (1.0 - utilisation)) * ((ca2 + cs2) / 2.0)
+    recommended = int(math.ceil(min_capacity + slack * lq))
+    return max(min_capacity, min(max_capacity, recommended))

@@ -1,0 +1,196 @@
+"""One-step-ahead forecasters and the NWS-style adaptive ensemble.
+
+The Network Weather Service (Wolski et al., FGCS 1999) — the monitoring
+substrate grid schedulers of the paper's era relied on — forecasts each
+resource series with a *family* of simple predictors and, at every step,
+reports the prediction of whichever predictor has the lowest accumulated
+error so far.  :class:`EnsembleForecaster` reproduces exactly that behaviour;
+experiment E7 validates it against individual predictors on several trace
+families.
+
+All forecasters share a tiny interface: ``observe(value)`` folds in the next
+measurement, ``predict()`` returns the one-step-ahead estimate (NaN before
+any data).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.stats import SlidingWindow
+from repro.util.validation import check_positive
+
+__all__ = [
+    "Forecaster",
+    "LastValueForecaster",
+    "RunningMeanForecaster",
+    "SlidingMeanForecaster",
+    "SlidingMedianForecaster",
+    "ExponentialSmoothingForecaster",
+    "EnsembleForecaster",
+    "default_ensemble",
+]
+
+
+class Forecaster:
+    """Interface for one-step-ahead prediction of a scalar series."""
+
+    name: str = "forecaster"
+
+    def observe(self, value: float) -> None:
+        """Fold the next measurement into the forecaster state."""
+        raise NotImplementedError
+
+    def predict(self) -> float:
+        """One-step-ahead prediction; NaN before the first observation."""
+        raise NotImplementedError
+
+
+class LastValueForecaster(Forecaster):
+    """Predicts the most recent observation (random-walk-optimal)."""
+
+    name = "last"
+
+    def __init__(self) -> None:
+        self._last = math.nan
+
+    def observe(self, value: float) -> None:
+        self._last = float(value)
+
+    def predict(self) -> float:
+        return self._last
+
+
+class RunningMeanForecaster(Forecaster):
+    """Predicts the mean of the entire history (stationary-optimal)."""
+
+    name = "mean"
+
+    def __init__(self) -> None:
+        self._sum = 0.0
+        self._n = 0
+
+    def observe(self, value: float) -> None:
+        self._sum += float(value)
+        self._n += 1
+
+    def predict(self) -> float:
+        return self._sum / self._n if self._n else math.nan
+
+
+class SlidingMeanForecaster(Forecaster):
+    """Predicts the mean of the last ``k`` observations."""
+
+    def __init__(self, k: int = 10) -> None:
+        check_positive(k, "k")
+        self.name = f"win_mean({k})"
+        self._win = SlidingWindow(int(k))
+
+    def observe(self, value: float) -> None:
+        self._win.push(value)
+
+    def predict(self) -> float:
+        return self._win.mean
+
+
+class SlidingMedianForecaster(Forecaster):
+    """Predicts the median of the last ``k`` observations (outlier-robust)."""
+
+    def __init__(self, k: int = 10) -> None:
+        check_positive(k, "k")
+        self.name = f"win_median({k})"
+        self._win = SlidingWindow(int(k))
+
+    def observe(self, value: float) -> None:
+        self._win.push(value)
+
+    def predict(self) -> float:
+        return self._win.median
+
+
+class ExponentialSmoothingForecaster(Forecaster):
+    """Predicts an exponentially weighted moving average."""
+
+    def __init__(self, alpha: float = 0.3) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.name = f"ewma({alpha})"
+        self._alpha = alpha
+        self._value = math.nan
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(self._value):
+            self._value = value
+        else:
+            self._value += self._alpha * (value - self._value)
+
+    def predict(self) -> float:
+        return self._value
+
+
+class EnsembleForecaster(Forecaster):
+    """NWS-style dynamic predictor selection.
+
+    Every member makes a one-step-ahead prediction before each observation;
+    when the observation arrives, each member's absolute error is accumulated
+    into a running MAE.  ``predict`` returns the prediction of the member
+    with the lowest MAE so far (ties break toward the earliest member, so the
+    default ordering makes ``last`` the initial choice).
+    """
+
+    name = "ensemble"
+
+    def __init__(self, members: list[Forecaster]) -> None:
+        if not members:
+            raise ValueError("ensemble requires at least one member")
+        self._members = list(members)
+        self._abs_err = [0.0] * len(members)
+        self._n_scored = [0] * len(members)
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        for i, m in enumerate(self._members):
+            pred = m.predict()
+            if not math.isnan(pred):
+                self._abs_err[i] += abs(pred - value)
+                self._n_scored[i] += 1
+            m.observe(value)
+
+    def _mae(self, i: int) -> float:
+        n = self._n_scored[i]
+        return self._abs_err[i] / n if n else math.inf
+
+    def best_member(self) -> Forecaster:
+        """The member currently trusted (lowest running MAE)."""
+        maes = [self._mae(i) for i in range(len(self._members))]
+        if all(math.isinf(m) for m in maes):
+            return self._members[0]
+        return self._members[int(np.argmin(maes))]
+
+    def predict(self) -> float:
+        return self.best_member().predict()
+
+    def member_maes(self) -> dict[str, float]:
+        """Running MAE per member name (inf before any scored prediction)."""
+        return {m.name: self._mae(i) for i, m in enumerate(self._members)}
+
+
+def default_ensemble() -> EnsembleForecaster:
+    """The predictor family used by the resource monitor.
+
+    Mirrors the NWS default mix: last value, running mean, two window means,
+    a robust median and an EWMA.
+    """
+    return EnsembleForecaster(
+        [
+            LastValueForecaster(),
+            RunningMeanForecaster(),
+            SlidingMeanForecaster(5),
+            SlidingMeanForecaster(20),
+            SlidingMedianForecaster(11),
+            ExponentialSmoothingForecaster(0.3),
+        ]
+    )

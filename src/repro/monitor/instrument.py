@@ -1,0 +1,135 @@
+"""Stage-level instrumentation: the *observe* step of the pattern.
+
+Every stage actor reports per-item service times and transfer times here.
+The adaptation policy reads :class:`StageSnapshot` objects — windowed views
+of recent behaviour — to locate the bottleneck stage and to estimate each
+stage's *work* (service time × effective speed), which is what makes
+re-mapping predictions possible on heterogeneous processors.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.stats import OnlineStats, SlidingWindow
+
+__all__ = ["StageMetrics", "StageSnapshot", "PipelineInstrumentation"]
+
+
+@dataclass(frozen=True)
+class StageSnapshot:
+    """Windowed view of one stage's recent behaviour.
+
+    ``service_time``/``transfer_time`` are window means (seconds/item);
+    ``work_estimate`` is the inferred work per item in normalised units
+    (service time × the effective speed the item actually saw), which is
+    mapping-independent and lets the model predict service times elsewhere.
+    """
+
+    stage_index: int
+    items_processed: int
+    service_time: float
+    service_cv: float
+    transfer_time: float
+    work_estimate: float
+    queue_length: float
+
+    @property
+    def period(self) -> float:
+        """Observed per-item period contribution of this stage."""
+        return self.service_time
+
+
+class StageMetrics:
+    """Accumulates measurements for one stage (merging all replicas)."""
+
+    def __init__(self, stage_index: int, window: int = 32) -> None:
+        self.stage_index = stage_index
+        self.total = OnlineStats()
+        self._service_win = SlidingWindow(window)
+        self._transfer_win = SlidingWindow(window)
+        self._work_win = SlidingWindow(window)
+        self._queue_win = SlidingWindow(window)
+        self.items_processed = 0
+
+    def record_service(self, seconds: float, effective_speed: float) -> None:
+        """One item serviced in ``seconds`` at the given effective speed."""
+        self.items_processed += 1
+        self.total.push(seconds)
+        self._service_win.push(seconds)
+        self._work_win.push(seconds * effective_speed)
+
+    def record_transfer(self, seconds: float) -> None:
+        """One inter-stage transfer completed (into this stage)."""
+        self._transfer_win.push(seconds)
+
+    def record_queue_length(self, length: float) -> None:
+        self._queue_win.push(length)
+
+    def snapshot(self) -> StageSnapshot:
+        service = self._service_win.mean
+        std = self._service_win.std
+        cv = std / service if service and not math.isnan(std) and service > 0 else 0.0
+        transfer = self._transfer_win.mean
+        return StageSnapshot(
+            stage_index=self.stage_index,
+            items_processed=self.items_processed,
+            service_time=service,
+            service_cv=cv if not math.isnan(cv) else 0.0,
+            transfer_time=0.0 if math.isnan(transfer) else transfer,
+            work_estimate=self._work_win.mean,
+            queue_length=0.0 if math.isnan(self._queue_win.mean) else self._queue_win.mean,
+        )
+
+
+class PipelineInstrumentation:
+    """Instrumentation for a whole pipeline plus completion accounting."""
+
+    def __init__(self, n_stages: int, window: int = 32) -> None:
+        if n_stages < 1:
+            raise ValueError(f"n_stages must be >= 1, got {n_stages}")
+        self.stages = [StageMetrics(i, window=window) for i in range(n_stages)]
+        self.completion_times: list[float] = []
+        self._window = window
+
+    def record_completion(self, t: float) -> None:
+        """An item left the last stage at simulated time ``t``."""
+        self.completion_times.append(t)
+
+    @property
+    def items_completed(self) -> int:
+        return len(self.completion_times)
+
+    def snapshots(self) -> list[StageSnapshot]:
+        return [s.snapshot() for s in self.stages]
+
+    def bottleneck(self) -> StageSnapshot | None:
+        """Stage with the largest recent service time (None before data)."""
+        snaps = [s for s in self.snapshots() if not math.isnan(s.service_time)]
+        if not snaps:
+            return None
+        return max(snaps, key=lambda s: s.service_time)
+
+    def recent_throughput(self, now: float, horizon: float) -> float:
+        """Completions per second over ``[now - horizon, now]``.
+
+        NaN when the window saw no completions (distinguishes "no data" from
+        genuinely zero throughput at the start of a run).
+        """
+        if horizon <= 0:
+            raise ValueError(f"horizon must be > 0, got {horizon}")
+        since = now - horizon
+        recent = [t for t in self.completion_times if t >= since]
+        if not recent:
+            return math.nan
+        return len(recent) / horizon
+
+    def overall_throughput(self, end_time: float | None = None) -> float:
+        """Completions per second from t=0 to ``end_time`` (or last item)."""
+        if not self.completion_times:
+            return 0.0
+        end = end_time if end_time is not None else self.completion_times[-1]
+        if end <= 0:
+            return 0.0
+        return len(self.completion_times) / end

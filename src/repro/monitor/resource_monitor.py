@@ -1,0 +1,154 @@
+"""Periodic, noisy sampling of grid resources inside a simulation.
+
+The :class:`ResourceMonitor` plays the role of the NWS sensors: a simulated
+process wakes every ``period`` seconds, "measures" each processor's
+availability and each link's bandwidth (ground truth perturbed by
+multiplicative Gaussian noise — real sensors are noisy), feeds each series to
+its own :func:`~repro.monitor.forecasters.default_ensemble`, and exposes the
+forecasts through :meth:`estimates`.
+
+The *decide* step of the adaptive pipeline consumes only these estimates —
+never ground truth — so every adaptation decision in the experiments is made
+with realistic, imperfect information.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.gridsim.engine import Simulator
+from repro.gridsim.grid import GridSystem
+from repro.monitor.forecasters import EnsembleForecaster, default_ensemble
+from repro.monitor.samples import MeasurementStream
+from repro.util.validation import check_non_negative, check_positive
+
+__all__ = ["ResourceMonitor", "ResourceEstimates"]
+
+
+@dataclass(frozen=True)
+class ResourceEstimates:
+    """Forecasts of grid state, as believed by the monitor at ``time``.
+
+    ``availability`` maps pid → forecast availability (0, 1]; ``bandwidth``
+    maps (src, dst) → forecast bytes/s; ``latency`` maps (src, dst) →
+    latency in seconds (latencies are treated as static, matching the
+    topology model).
+    """
+
+    time: float
+    availability: dict[int, float]
+    bandwidth: dict[tuple[int, int], float] = field(default_factory=dict)
+    latency: dict[tuple[int, int], float] = field(default_factory=dict)
+
+    def effective_speed(self, pid: int, nominal_speed: float) -> float:
+        """Forecast work-units/s for a processor of ``nominal_speed``."""
+        return nominal_speed * self.availability[pid]
+
+
+class ResourceMonitor:
+    """Samples a :class:`GridSystem` periodically from within a simulation.
+
+    Parameters
+    ----------
+    sim, grid:
+        The simulation to run in and the grid to observe.
+    period:
+        Sampling interval in simulated seconds.
+    noise_std:
+        Multiplicative measurement noise: a sample of true value ``v`` is
+        ``v * (1 + N(0, noise_std))`` clamped positive.  0 disables noise.
+    rng:
+        Source of measurement noise (seeded upstream).
+    pairs:
+        Link pairs to monitor; defaults to all ordered pairs.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        grid: GridSystem,
+        *,
+        period: float = 1.0,
+        noise_std: float = 0.02,
+        rng: np.random.Generator | None = None,
+        pairs: list[tuple[int, int]] | None = None,
+    ) -> None:
+        check_positive(period, "period")
+        check_non_negative(noise_std, "noise_std")
+        self._sim = sim
+        self._grid = grid
+        self.period = float(period)
+        self.noise_std = float(noise_std)
+        self._rng = rng if rng is not None else np.random.default_rng(0)
+        pids = grid.pids
+        self._pairs = pairs if pairs is not None else [(a, b) for a in pids for b in pids]
+        self._avail_fc: dict[int, EnsembleForecaster] = {p: default_ensemble() for p in pids}
+        self._bw_fc: dict[tuple[int, int], EnsembleForecaster] = {
+            pr: default_ensemble() for pr in self._pairs
+        }
+        self._avail_streams: dict[int, MeasurementStream] = {
+            p: MeasurementStream(f"avail[{p}]") for p in pids
+        }
+        self._samples_taken = 0
+        self._proc = sim.process(self._sampling_loop(), name="resource-monitor")
+
+    # -- measurement --------------------------------------------------------
+    def _noisy(self, true_value: float) -> float:
+        if self.noise_std == 0.0:
+            return true_value
+        factor = 1.0 + float(self._rng.normal(0.0, self.noise_std))
+        return max(1e-9, true_value * factor)
+
+    def _sample_once(self) -> None:
+        t = self._sim.now
+        for pid in self._grid.pids:
+            measured = self._noisy(self._grid.processor(pid).availability(t))
+            measured = min(1.0, measured)
+            self._avail_fc[pid].observe(measured)
+            self._avail_streams[pid].add(t, measured)
+        for a, b in self._pairs:
+            link = self._grid.link(a, b)
+            self._bw_fc[(a, b)].observe(self._noisy(link.effective_bandwidth(t)))
+        self._samples_taken += 1
+
+    def _sampling_loop(self):
+        # Take a sample immediately so estimates exist from t=0.
+        self._sample_once()
+        while True:
+            yield self._sim.timeout(self.period)
+            self._sample_once()
+
+    # -- queries --------------------------------------------------------------
+    @property
+    def samples_taken(self) -> int:
+        return self._samples_taken
+
+    def availability_stream(self, pid: int) -> MeasurementStream:
+        """Raw measured availability series for one processor."""
+        return self._avail_streams[pid]
+
+    def estimates(self) -> ResourceEstimates:
+        """Current forecasts for all monitored resources."""
+        avail = {}
+        for pid, fc in self._avail_fc.items():
+            pred = fc.predict()
+            if math.isnan(pred):
+                pred = 1.0  # optimistic prior before any sample
+            avail[pid] = min(1.0, max(1e-3, pred))
+        bandwidth = {}
+        latency = {}
+        for pr, fc in self._bw_fc.items():
+            pred = fc.predict()
+            link = self._grid.link(*pr)
+            bandwidth[pr] = link.bandwidth if math.isnan(pred) else max(1e-9, pred)
+            latency[pr] = link.latency
+        return ResourceEstimates(
+            time=self._sim.now, availability=avail, bandwidth=bandwidth, latency=latency
+        )
+
+    def stop(self) -> None:
+        """Stop the sampling loop (e.g. at the end of a run)."""
+        self._proc.interrupt("monitor-stop")

@@ -1,0 +1,33 @@
+"""Experiment harness support: sweeps, shape assertions, rendering.
+
+* :mod:`repro.reporting.experiment` — run parameter sweeps with repetitions
+  and seed control, collect tidy row dictionaries, aggregate;
+* :mod:`repro.reporting.shapes` — qualitative-shape assertions (monotonic,
+  ratio bounds, crossover position) used by the benchmark harnesses to check
+  that reproduced results have the *shape* the paper claims;
+* :mod:`repro.reporting.render` — experiment headers and result tables for
+  ``bench_output.txt`` / ``EXPERIMENTS.md``.
+"""
+
+from repro.reporting.experiment import aggregate, sweep
+from repro.reporting.io import read_rows_csv, write_rows_csv
+from repro.reporting.render import experiment_header, rows_table
+from repro.reporting.shapes import (
+    assert_monotonic,
+    assert_ratio_at_least,
+    assert_within,
+    find_crossover,
+)
+
+__all__ = [
+    "aggregate",
+    "assert_monotonic",
+    "assert_ratio_at_least",
+    "assert_within",
+    "experiment_header",
+    "find_crossover",
+    "read_rows_csv",
+    "rows_table",
+    "sweep",
+    "write_rows_csv",
+]

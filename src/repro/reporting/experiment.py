@@ -1,0 +1,83 @@
+"""Parameter sweeps with repetitions and seed control.
+
+``sweep`` runs ``fn(seed=..., **params)`` for every combination in a
+parameter grid × repetition, collecting tidy row dicts (params + returned
+metrics).  ``aggregate`` reduces repetitions to mean/std per metric.  The
+benchmark harnesses are thin wrappers over these two calls.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Mapping, Sequence
+
+import numpy as np
+
+from repro.util.rng import derive_seed
+
+__all__ = ["sweep", "aggregate"]
+
+
+def sweep(
+    fn: Callable[..., Mapping[str, float]],
+    grid: Mapping[str, Sequence[Any]],
+    *,
+    repetitions: int = 1,
+    base_seed: int = 0,
+) -> list[dict[str, Any]]:
+    """Run ``fn`` over the Cartesian product of ``grid`` × repetitions.
+
+    ``fn`` receives each grid parameter as a keyword argument plus ``seed``
+    (derived deterministically from ``base_seed``, the parameter values and
+    the repetition index) and must return a mapping of metric name → value.
+    Each result row contains the parameters, ``rep``, ``seed`` and the
+    metrics.
+    """
+    if repetitions < 1:
+        raise ValueError(f"repetitions must be >= 1, got {repetitions}")
+    names = list(grid.keys())
+    rows: list[dict[str, Any]] = []
+    for combo in itertools.product(*(grid[n] for n in names)):
+        params = dict(zip(names, combo))
+        for rep in range(repetitions):
+            seed = derive_seed(
+                base_seed, *(f"{k}={v}" for k, v in params.items()), f"rep{rep}"
+            )
+            metrics = fn(seed=seed, **params)
+            row: dict[str, Any] = dict(params)
+            row["rep"] = rep
+            row["seed"] = seed
+            row.update(metrics)
+            rows.append(row)
+    return rows
+
+
+def aggregate(
+    rows: Sequence[Mapping[str, Any]],
+    group_by: Sequence[str],
+    metrics: Sequence[str],
+) -> list[dict[str, Any]]:
+    """Mean/std of ``metrics`` per distinct ``group_by`` combination.
+
+    Output rows carry the group keys plus ``<metric>_mean`` and
+    ``<metric>_std`` columns, in first-appearance order of the groups.
+    """
+    groups: dict[tuple, list[Mapping[str, Any]]] = {}
+    order: list[tuple] = []
+    for row in rows:
+        key = tuple(row[g] for g in group_by)
+        if key not in groups:
+            groups[key] = []
+            order.append(key)
+        groups[key].append(row)
+    out = []
+    for key in order:
+        bucket = groups[key]
+        rec: dict[str, Any] = dict(zip(group_by, key))
+        rec["n"] = len(bucket)
+        for m in metrics:
+            vals = np.asarray([float(r[m]) for r in bucket])
+            rec[f"{m}_mean"] = float(vals.mean())
+            rec[f"{m}_std"] = float(vals.std(ddof=1)) if vals.size > 1 else 0.0
+        out.append(rec)
+    return out

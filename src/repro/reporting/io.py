@@ -1,0 +1,63 @@
+"""Persistence for experiment results: tidy rows ↔ CSV.
+
+Benchmark sweeps produce lists of flat dictionaries (see
+:func:`repro.reporting.experiment.sweep`); these helpers round-trip them to
+CSV so results can be archived, diffed between runs, and analysed outside
+Python.  Values are restored with best-effort typing (int → float → str).
+"""
+
+from __future__ import annotations
+
+import csv
+import pathlib
+from typing import Any, Mapping, Sequence
+
+__all__ = ["write_rows_csv", "read_rows_csv"]
+
+
+def write_rows_csv(
+    path: str | pathlib.Path,
+    rows: Sequence[Mapping[str, Any]],
+    *,
+    columns: Sequence[str] | None = None,
+) -> None:
+    """Write result rows to ``path`` as CSV.
+
+    ``columns`` fixes the column order; by default the union of keys in
+    first-appearance order is used.  Missing values are written empty.
+    """
+    path = pathlib.Path(path)
+    if columns is None:
+        seen: dict[str, None] = {}
+        for row in rows:
+            for key in row:
+                seen.setdefault(key)
+        columns = list(seen)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.DictWriter(fh, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow({c: row.get(c, "") for c in columns})
+
+
+def _coerce(text: str) -> Any:
+    if text == "":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        pass
+    return text
+
+
+def read_rows_csv(path: str | pathlib.Path) -> list[dict[str, Any]]:
+    """Read rows written by :func:`write_rows_csv`, re-typing values."""
+    path = pathlib.Path(path)
+    with path.open(newline="") as fh:
+        reader = csv.DictReader(fh)
+        return [{k: _coerce(v) for k, v in row.items()} for row in reader]

@@ -1,0 +1,32 @@
+"""Rendering helpers for benchmark output files."""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from repro.util.tables import render_table
+
+__all__ = ["experiment_header", "rows_table"]
+
+
+def experiment_header(exp_id: str, title: str, claim: str) -> str:
+    """Uniform banner for each experiment in ``bench_output.txt``."""
+    bar = "=" * 78
+    return (
+        f"\n{bar}\n"
+        f"{exp_id}: {title}\n"
+        f"claim: {claim}\n"
+        f"{bar}"
+    )
+
+
+def rows_table(
+    rows: Sequence[Mapping[str, Any]],
+    columns: Sequence[str],
+    *,
+    digits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render selected columns of tidy result rows as an aligned table."""
+    body = [[row.get(c, "") for c in columns] for row in rows]
+    return render_table(list(columns), body, digits=digits, title=title)

@@ -1,0 +1,96 @@
+"""Qualitative-shape assertions for reproduced results.
+
+The reproduction contract is about *shape*, not absolute numbers: who wins,
+by roughly what factor, where trends bend.  These helpers let benchmark
+harnesses assert exactly that, with tolerances, and produce readable
+failures when a shape breaks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = [
+    "assert_monotonic",
+    "assert_ratio_at_least",
+    "assert_within",
+    "find_crossover",
+]
+
+
+def assert_monotonic(
+    values: Sequence[float],
+    *,
+    increasing: bool = True,
+    tolerance: float = 0.05,
+    label: str = "series",
+) -> None:
+    """Assert a series trends monotonically, allowing ``tolerance`` dips.
+
+    Each step may violate monotonicity by at most ``tolerance`` (relative to
+    the previous value) — simulation noise should not fail a shape check.
+    """
+    for i, (a, b) in enumerate(zip(values, values[1:])):
+        if increasing:
+            ok = b >= a * (1.0 - tolerance)
+        else:
+            ok = b <= a * (1.0 + tolerance)
+        if not ok:
+            direction = "increasing" if increasing else "decreasing"
+            raise AssertionError(
+                f"{label} not {direction} at index {i}: {a:.6g} -> {b:.6g} "
+                f"(tolerance {tolerance:.0%}); full series: "
+                f"{[round(v, 4) for v in values]}"
+            )
+
+
+def assert_ratio_at_least(
+    numerator: float, denominator: float, ratio: float, *, label: str = "ratio"
+) -> None:
+    """Assert ``numerator / denominator >= ratio`` with a readable failure."""
+    if denominator <= 0:
+        raise AssertionError(f"{label}: denominator must be > 0, got {denominator}")
+    actual = numerator / denominator
+    if actual < ratio:
+        raise AssertionError(
+            f"{label}: expected at least x{ratio:.2f}, measured x{actual:.2f} "
+            f"({numerator:.6g} / {denominator:.6g})"
+        )
+
+
+def assert_within(
+    value: float, expected: float, rel: float, *, label: str = "value"
+) -> None:
+    """Assert ``value`` is within ``rel`` relative error of ``expected``."""
+    if math.isnan(value) or math.isnan(expected):
+        raise AssertionError(f"{label}: NaN encountered ({value} vs {expected})")
+    if expected == 0:
+        ok = abs(value) <= rel
+    else:
+        ok = abs(value - expected) / abs(expected) <= rel
+    if not ok:
+        raise AssertionError(
+            f"{label}: {value:.6g} not within {rel:.0%} of {expected:.6g}"
+        )
+
+
+def find_crossover(xs: Sequence[float], a: Sequence[float], b: Sequence[float]) -> float:
+    """First x where series ``a`` overtakes series ``b`` (NaN if never).
+
+    Uses linear interpolation between samples for a smoother estimate.
+    """
+    if not (len(xs) == len(a) == len(b)):
+        raise ValueError("xs, a, b must have equal lengths")
+    for i in range(len(xs)):
+        if a[i] >= b[i]:
+            if i == 0:
+                return float(xs[0])
+            # Interpolate between i-1 and i on the difference d = a - b.
+            d0 = a[i - 1] - b[i - 1]
+            d1 = a[i] - b[i]
+            if d1 == d0:
+                return float(xs[i])
+            frac = -d0 / (d1 - d0)
+            return float(xs[i - 1] + frac * (xs[i] - xs[i - 1]))
+    return math.nan

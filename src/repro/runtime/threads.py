@@ -1,0 +1,347 @@
+"""Thread-based pipeline executor with optional stage replication.
+
+Architecture per stage (mirrors the simulator's wiring)::
+
+    in_q --> dispatcher --> work_q --> worker x R --> next stage's in_q
+
+* The **dispatcher** restores sequence order before dispatch, so a stage
+  always *starts* items in input order even when an upstream stage is
+  replicated (replicas may still *finish* out of order; the next dispatcher
+  re-sorts).  The final dispatcher feeds the output collector, so pipeline
+  output is in input order — the 1-for-1 contract.
+* **Workers** apply the stage callable.  Replication is only allowed for
+  stages marked ``replicable`` (stateless).
+* Shutdown cascades with sentinels: each queue knows its producer count;
+  when the last producer finishes, consumers receive one sentinel each.
+
+Exceptions raised by stage functions abort the run and re-raise from
+:meth:`ThreadPipeline.run` with the offending stage named.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from repro.core.pipeline import PipelineSpec
+from repro.util.stats import OnlineStats
+from repro.util.validation import check_positive
+
+__all__ = ["ThreadPipeline", "AdaptiveThreadPipeline", "ThreadRunStats"]
+
+_SENTINEL = object()
+
+
+class StageError(RuntimeError):
+    """A stage function raised; carries the stage name and original error."""
+
+    def __init__(self, stage_name: str, original: BaseException) -> None:
+        super().__init__(f"stage {stage_name!r} failed: {original!r}")
+        self.stage_name = stage_name
+        self.original = original
+
+
+@dataclass
+class ThreadRunStats:
+    """Wall-clock statistics of one threaded run."""
+
+    elapsed: float
+    items: int
+    stage_service: list[OnlineStats] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.items / self.elapsed if self.elapsed > 0 else 0.0
+
+    def service_means(self) -> list[float]:
+        return [s.mean for s in self.stage_service]
+
+
+class _CountedQueue:
+    """Bounded queue that delivers sentinels when all producers finish."""
+
+    def __init__(self, capacity: int, producers: int, consumers: int) -> None:
+        self.q: queue.Queue = queue.Queue(maxsize=capacity)
+        self._lock = threading.Lock()
+        self._producers = producers
+        self._consumers = consumers
+
+    def put(self, item: Any) -> None:
+        self.q.put(item)
+
+    def get(self) -> Any:
+        return self.q.get()
+
+    def add_consumer(self) -> None:
+        with self._lock:
+            self._consumers += 1
+
+    def producer_done(self) -> None:
+        with self._lock:
+            self._producers -= 1
+            if self._producers == 0:
+                for _ in range(self._consumers):
+                    self.q.put(_SENTINEL)
+
+
+class _Dispatcher(threading.Thread):
+    """Reorders (seq, value) pairs and forwards them in sequence order."""
+
+    def __init__(self, in_q: _CountedQueue, out_q: _CountedQueue, name: str) -> None:
+        super().__init__(name=name, daemon=True)
+        self.in_q = in_q
+        self.out_q = out_q
+
+    def run(self) -> None:
+        pending: dict[int, Any] = {}
+        next_seq = 0
+        try:
+            while True:
+                got = self.in_q.get()
+                if got is _SENTINEL:
+                    break
+                seq, value = got
+                pending[seq] = value
+                while next_seq in pending:
+                    self.out_q.put((next_seq, pending.pop(next_seq)))
+                    next_seq += 1
+            while next_seq in pending:
+                self.out_q.put((next_seq, pending.pop(next_seq)))
+                next_seq += 1
+        finally:
+            self.out_q.producer_done()
+
+
+class _Worker(threading.Thread):
+    """Applies one stage function to dispatched items."""
+
+    def __init__(
+        self,
+        stage_index: int,
+        stage_name: str,
+        fn,
+        work_q: _CountedQueue,
+        out_q: _CountedQueue,
+        service: OnlineStats,
+        service_lock: threading.Lock,
+        errors: list[BaseException],
+        name: str,
+    ) -> None:
+        super().__init__(name=name, daemon=True)
+        self.stage_index = stage_index
+        self.stage_name = stage_name
+        self.fn = fn
+        self.work_q = work_q
+        self.out_q = out_q
+        self.service = service
+        self.service_lock = service_lock
+        self.errors = errors
+
+    def run(self) -> None:
+        try:
+            while True:
+                got = self.work_q.get()
+                if got is _SENTINEL:
+                    break
+                seq, value = got
+                t0 = time.perf_counter()
+                try:
+                    result = self.fn(value)
+                except BaseException as err:  # noqa: BLE001 - reported upward
+                    self.errors.append(StageError(self.stage_name, err))
+                    break
+                dt = time.perf_counter() - t0
+                with self.service_lock:
+                    self.service.push(dt)
+                self.out_q.put((seq, result))
+        finally:
+            self.out_q.producer_done()
+
+
+class ThreadPipeline:
+    """Executes a :class:`PipelineSpec` (with ``fn`` stages) using threads.
+
+    Parameters
+    ----------
+    pipeline:
+        Stage specs; every stage must define ``fn``.
+    replicas:
+        Worker count per stage (default 1 each).  ``replicas[i] > 1``
+        requires ``pipeline.stage(i).replicable``.
+    capacity:
+        Bounded queue capacity between stages (back-pressure).
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        replicas: Sequence[int] | None = None,
+        capacity: int = 8,
+    ) -> None:
+        check_positive(capacity, "capacity")
+        self.pipeline = pipeline
+        n = pipeline.n_stages
+        if replicas is None:
+            replicas = [1] * n
+        if len(replicas) != n:
+            raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
+        for i, r in enumerate(replicas):
+            if r < 1:
+                raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
+            if r > 1 and not pipeline.stage(i).replicable:
+                raise ValueError(
+                    f"stage {i} ({pipeline.stage(i).name!r}) is stateful and "
+                    "cannot be replicated"
+                )
+            if pipeline.stage(i).fn is None:
+                raise ValueError(
+                    f"stage {i} ({pipeline.stage(i).name!r}) has no fn; the "
+                    "thread runtime executes real callables"
+                )
+        self.replicas = list(replicas)
+        self.capacity = capacity
+        self.last_stats: ThreadRunStats | None = None
+
+    def run(self, inputs: Iterable[Any]) -> list[Any]:
+        """Process ``inputs``; returns outputs in input order."""
+        items = list(inputs)
+        n = self.pipeline.n_stages
+        errors: list[BaseException] = []
+        service = [OnlineStats() for _ in range(n)]
+        locks = [threading.Lock() for _ in range(n)]
+
+        # Wiring: in_q[i] (from previous stage workers) -> dispatcher ->
+        # work_q[i] -> workers -> in_q[i+1]; the last "in_q" is the collector
+        # feed, reordered by a final dispatcher into out_q.
+        in_q: list[_CountedQueue] = []
+        work_q: list[_CountedQueue] = []
+        producers_of_next = 1  # the feeder thread produces for in_q[0]
+        for i in range(n):
+            in_q.append(
+                _CountedQueue(self.capacity, producers=producers_of_next, consumers=1)
+            )
+            work_q.append(
+                _CountedQueue(self.capacity, producers=1, consumers=self.replicas[i])
+            )
+            producers_of_next = self.replicas[i]
+        collect_q = _CountedQueue(self.capacity, producers=producers_of_next, consumers=1)
+        final_q = _CountedQueue(self.capacity, producers=1, consumers=1)
+
+        threads: list[threading.Thread] = []
+        for i in range(n):
+            threads.append(_Dispatcher(in_q[i], work_q[i], name=f"dispatch[{i}]"))
+            nxt = in_q[i + 1] if i + 1 < n else collect_q
+            for r in range(self.replicas[i]):
+                threads.append(
+                    _Worker(
+                        i,
+                        self.pipeline.stage(i).name,
+                        self.pipeline.stage(i).fn,
+                        work_q[i],
+                        nxt,
+                        service[i],
+                        locks[i],
+                        errors,
+                        name=f"stage[{i}].{r}",
+                    )
+                )
+        threads.append(_Dispatcher(collect_q, final_q, name="dispatch[out]"))
+
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+
+        def feed():
+            try:
+                for seq, value in enumerate(items):
+                    in_q[0].put((seq, value))
+            finally:
+                in_q[0].producer_done()
+
+        feeder = threading.Thread(target=feed, name="feeder", daemon=True)
+        feeder.start()
+
+        outputs: list[Any] = []
+        while True:
+            got = final_q.get()
+            if got is _SENTINEL:
+                break
+            _seq, value = got
+            outputs.append(value)
+        feeder.join()
+        for t in threads:
+            t.join()
+        elapsed = time.perf_counter() - t0
+        self.last_stats = ThreadRunStats(
+            elapsed=elapsed, items=len(outputs), stage_service=service
+        )
+        if errors:
+            raise errors[0]
+        return outputs
+
+
+class AdaptiveThreadPipeline:
+    """Thread pipeline that grows the bottleneck stage's worker pool.
+
+    A lightweight local analogue of the grid pattern: between *batches*, the
+    controller inspects measured mean service times, identifies the stage
+    with the largest service-per-worker, and adds a worker there (up to
+    ``max_workers``) when it dominates the next contender by
+    ``imbalance_threshold``.  Rebuilding between batches keeps the threading
+    model simple while exercising the same observe-decide-act loop.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        max_workers: int = 4,
+        imbalance_threshold: float = 1.5,
+        capacity: int = 8,
+    ) -> None:
+        check_positive(max_workers, "max_workers")
+        if imbalance_threshold < 1.0:
+            raise ValueError(
+                f"imbalance_threshold must be >= 1.0, got {imbalance_threshold}"
+            )
+        self.pipeline = pipeline
+        self.max_workers = max_workers
+        self.imbalance_threshold = imbalance_threshold
+        self.capacity = capacity
+        self.replicas = [1] * pipeline.n_stages
+        self.adaptations: list[tuple[int, int]] = []  # (stage, new count)
+
+    def run_batches(self, batches: Sequence[Iterable[Any]]) -> list[list[Any]]:
+        """Run several batches, adapting worker counts between them."""
+        results = []
+        for batch in batches:
+            tp = ThreadPipeline(
+                self.pipeline, replicas=self.replicas, capacity=self.capacity
+            )
+            results.append(tp.run(batch))
+            assert tp.last_stats is not None
+            self._adapt(tp.last_stats)
+        return results
+
+    def _adapt(self, stats: ThreadRunStats) -> None:
+        per_worker = []
+        for i, s in enumerate(stats.stage_service):
+            mean = s.mean if s.n else 0.0
+            per_worker.append(mean / self.replicas[i])
+        if not per_worker or max(per_worker) <= 0:
+            return
+        order = sorted(range(len(per_worker)), key=lambda i: per_worker[i], reverse=True)
+        worst = order[0]
+        runner_up = per_worker[order[1]] if len(order) > 1 else 0.0
+        spec = self.pipeline.stage(worst)
+        if (
+            spec.replicable
+            and self.replicas[worst] < self.max_workers
+            and (runner_up == 0.0 or per_worker[worst] / max(runner_up, 1e-12) >= self.imbalance_threshold)
+        ):
+            self.replicas[worst] += 1
+            self.adaptations.append((worst, self.replicas[worst]))

@@ -1,0 +1,17 @@
+"""eSkel-flavoured skeleton API.
+
+Thin, friendly entry points over the core machinery, in the spirit of the
+Edinburgh Skeleton Library's ``Pipeline1for1``:
+
+* :func:`repro.skel.api.pipeline_1for1` — run callables through a local
+  threaded pipeline, outputs in input order;
+* :func:`repro.skel.api.farm` — task-farm a single callable locally;
+* :func:`repro.skel.api.simulate_pipeline` — run a pipeline on a simulated
+  grid, statically or adaptively;
+* :func:`repro.skel.api.simulate_farm` — a farm as a one-stage replicated
+  pipeline on the simulated grid.
+"""
+
+from repro.skel.api import farm, pipeline_1for1, simulate_farm, simulate_pipeline
+
+__all__ = ["farm", "pipeline_1for1", "simulate_farm", "simulate_pipeline"]

@@ -1,0 +1,121 @@
+"""Skeleton entry points (the public face a downstream user starts from)."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.adaptive import AdaptivePipeline
+from repro.core.events import RunResult
+from repro.core.pipeline import PipelineSpec
+from repro.core.policy import AdaptationConfig
+from repro.core.stage import StageSpec
+from repro.gridsim.grid import GridSystem
+from repro.model.mapping import Mapping
+from repro.runtime.threads import ThreadPipeline
+
+__all__ = ["pipeline_1for1", "farm", "simulate_pipeline", "simulate_farm"]
+
+
+def _as_pipeline(stages: Sequence[Callable[[Any], Any] | StageSpec]) -> PipelineSpec:
+    specs: list[StageSpec] = []
+    for i, s in enumerate(stages):
+        if isinstance(s, StageSpec):
+            specs.append(s)
+        elif callable(s):
+            name = getattr(s, "__name__", f"stage{i}")
+            if name == "<lambda>":
+                name = f"stage{i}"
+            specs.append(StageSpec(name=f"{i}:{name}", fn=s))
+        else:
+            raise TypeError(f"stage {i} is neither callable nor StageSpec: {s!r}")
+    return PipelineSpec(tuple(specs))
+
+
+def pipeline_1for1(
+    stages: Sequence[Callable[[Any], Any] | StageSpec],
+    inputs: Iterable[Any],
+    *,
+    replicas: Sequence[int] | None = None,
+    capacity: int = 8,
+) -> list[Any]:
+    """Run ``inputs`` through a local threaded pipeline of ``stages``.
+
+    Each stage consumes one item and produces one item (``Pipeline1for1``
+    semantics); the result list is in input order.  ``replicas[i] > 1``
+    farms out stage ``i`` over several worker threads (stateless stages
+    only — pass :class:`StageSpec` with ``replicable=False`` to forbid it).
+
+    >>> pipeline_1for1([lambda x: x + 1, lambda x: x * 2], [1, 2, 3])
+    [4, 6, 8]
+    """
+    pipe = _as_pipeline(stages)
+    return ThreadPipeline(pipe, replicas=replicas, capacity=capacity).run(inputs)
+
+
+def farm(
+    worker: Callable[[Any], Any],
+    inputs: Iterable[Any],
+    *,
+    workers: int = 4,
+    capacity: int = 8,
+) -> list[Any]:
+    """Task-farm ``worker`` over ``inputs`` with ``workers`` threads.
+
+    A farm is a one-stage replicated pipeline; outputs are in input order.
+    """
+    pipe = _as_pipeline([worker])
+    return ThreadPipeline(pipe, replicas=[workers], capacity=capacity).run(inputs)
+
+
+def simulate_pipeline(
+    pipeline: PipelineSpec,
+    grid: GridSystem,
+    n_items: int,
+    *,
+    adaptive: bool | AdaptationConfig = True,
+    mapping: Mapping | None = None,
+    seed: int = 0,
+    **runner_kwargs,
+) -> RunResult:
+    """Run ``pipeline`` on the simulated ``grid``.
+
+    ``adaptive=True`` uses the default :class:`AdaptationConfig`; pass a
+    config instance to tune it, or ``False`` for the static baseline.
+    """
+    if adaptive is True:
+        config: AdaptationConfig | None = AdaptationConfig()
+    elif adaptive is False:
+        config = None
+    else:
+        config = adaptive
+    runner = AdaptivePipeline(
+        pipeline, grid, config=config, initial_mapping=mapping, seed=seed, **runner_kwargs
+    )
+    return runner.run(n_items)
+
+
+def simulate_farm(
+    work: float,
+    grid: GridSystem,
+    n_items: int,
+    *,
+    workers: int | None = None,
+    out_bytes: float = 0.0,
+    seed: int = 0,
+    **runner_kwargs,
+) -> RunResult:
+    """Simulate a task farm: one replicable stage spread over ``workers``.
+
+    ``workers=None`` uses every processor in the grid.
+    """
+    pids = grid.pids if workers is None else grid.pids[:workers]
+    if not pids:
+        raise ValueError("farm needs at least one processor")
+    pipe = PipelineSpec(
+        (StageSpec(name="farm-worker", work=work, out_bytes=out_bytes),)
+    )
+    mapping = Mapping((tuple(pids),))
+    runner = AdaptivePipeline(
+        pipe, grid, config=None, initial_mapping=mapping, seed=seed, **runner_kwargs
+    )
+    return runner.run(n_items)

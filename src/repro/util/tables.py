@@ -1,0 +1,136 @@
+"""Plain-text rendering of tables, series and line plots.
+
+The benchmark harness reports every reconstructed table and figure as text so
+results are readable in CI logs and diffable between runs.  ``render_table``
+produces aligned ASCII tables; ``ascii_plot`` renders an x/y series as a crude
+line plot, which is how "figures" appear in ``bench_output.txt``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["format_float", "render_table", "render_series", "ascii_plot"]
+
+
+def format_float(x: object, digits: int = 4) -> str:
+    """Format a cell: floats with ``digits`` significant figures, rest str()."""
+    if isinstance(x, bool) or not isinstance(x, (int, float)):
+        return str(x)
+    if isinstance(x, int):
+        return str(x)
+    if math.isnan(x):
+        return "nan"
+    if math.isinf(x):
+        return "inf" if x > 0 else "-inf"
+    if x == 0:
+        return "0"
+    return f"{x:.{digits}g}"
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    digits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render an aligned ASCII table.
+
+    Numeric cells are right-aligned, text cells left-aligned.  ``rows`` may be
+    ragged only in the sense of shorter rows, which are padded with blanks.
+    """
+    ncols = len(headers)
+    cells: list[list[str]] = []
+    numeric = [True] * ncols
+    for row in rows:
+        line = []
+        for j in range(ncols):
+            val = row[j] if j < len(row) else ""
+            line.append(format_float(val, digits))
+            if j < len(row) and not isinstance(val, (int, float)):
+                numeric[j] = False
+        cells.append(line)
+    widths = [
+        max(len(str(headers[j])), *(len(r[j]) for r in cells)) if cells else len(str(headers[j]))
+        for j in range(ncols)
+    ]
+
+    def fmt_row(row: Sequence[str], header: bool = False) -> str:
+        parts = []
+        for j, cell in enumerate(row):
+            if numeric[j] and not header:
+                parts.append(cell.rjust(widths[j]))
+            else:
+                parts.append(cell.ljust(widths[j]))
+        return "  ".join(parts).rstrip()
+
+    sep = "  ".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt_row([str(h) for h in headers], header=True))
+    out.append(sep)
+    out.extend(fmt_row(r) for r in cells)
+    return "\n".join(out)
+
+
+def render_series(
+    series: Mapping[str, Sequence[float]],
+    x: Sequence[float],
+    *,
+    x_label: str = "x",
+    digits: int = 4,
+    title: str | None = None,
+) -> str:
+    """Render one or more y-series against a shared x axis as a table."""
+    headers = [x_label, *series.keys()]
+    rows = []
+    for i, xv in enumerate(x):
+        row: list[object] = [xv]
+        for ys in series.values():
+            row.append(ys[i] if i < len(ys) else math.nan)
+        rows.append(row)
+    return render_table(headers, rows, digits=digits, title=title)
+
+
+def ascii_plot(
+    x: Sequence[float],
+    y: Sequence[float],
+    *,
+    width: int = 72,
+    height: int = 16,
+    label: str = "",
+) -> str:
+    """Render a single series as an ASCII line plot.
+
+    Intended for eyeballing the *shape* of a figure (steps, crossovers,
+    saturation) directly in benchmark logs, not for precise reading.
+    """
+    if len(x) != len(y):
+        raise ValueError(f"x and y must have equal length, got {len(x)} vs {len(y)}")
+    pts = [(float(a), float(b)) for a, b in zip(x, y) if not (math.isnan(b) or math.isinf(b))]
+    if not pts:
+        return f"{label}: (no finite data)"
+    xs = [p[0] for p in pts]
+    ys = [p[1] for p in pts]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    if xmax == xmin:
+        xmax = xmin + 1.0
+    if ymax == ymin:
+        ymax = ymin + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for a, b in pts:
+        col = int((a - xmin) / (xmax - xmin) * (width - 1))
+        row = int((b - ymin) / (ymax - ymin) * (height - 1))
+        grid[height - 1 - row][col] = "*"
+    lines = []
+    if label:
+        lines.append(label)
+    lines.append(f"y in [{format_float(ymin)}, {format_float(ymax)}]")
+    lines.extend("|" + "".join(r) for r in grid)
+    lines.append("+" + "-" * width)
+    lines.append(f" x in [{format_float(xmin)}, {format_float(xmax)}]")
+    return "\n".join(lines)

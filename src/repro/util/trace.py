@@ -1,0 +1,66 @@
+"""Structured event tracing for simulations and adaptation runs.
+
+A :class:`Tracer` collects timestamped, categorised events.  It is cheap when
+disabled (a single branch per emit) and is the mechanism behind run
+post-mortems in tests and the adaptation timelines printed by examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One trace record: simulated time, category tag, message, payload."""
+
+    time: float
+    category: str
+    message: str
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.6f}] {self.category:<12} {self.message}" + (
+            f" ({extra})" if extra else ""
+        )
+
+
+class Tracer:
+    """Collects :class:`TraceEvent` records and fans out to subscribers."""
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._events: list[TraceEvent] = []
+        self._subscribers: list[Callable[[TraceEvent], None]] = []
+
+    def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
+        """Record an event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        ev = TraceEvent(time=time, category=category, message=message, fields=fields)
+        self._events.append(ev)
+        for sub in self._subscribers:
+            sub(ev)
+
+    def subscribe(self, fn: Callable[[TraceEvent], None]) -> None:
+        """Register a callback invoked for every subsequent event."""
+        self._subscribers.append(fn)
+
+    def events(self, category: str | None = None) -> list[TraceEvent]:
+        """All events so far, optionally filtered by category."""
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self._events)

@@ -1,0 +1,56 @@
+"""Workload generators: stage-cost distributions, scenarios, applications.
+
+* :mod:`repro.workloads.cost_models` — stochastic :class:`~repro.core.stage.
+  WorkModel` implementations (exponential, log-normal, Pareto, bimodal, ...);
+* :mod:`repro.workloads.synthetic` — pipeline builders (balanced, imbalanced
+  profiles) used across tests and benchmarks;
+* :mod:`repro.workloads.scenarios` — named grid scenarios: perturbation
+  scripts, heterogeneity ladders, non-dedicated load mixes;
+* :mod:`repro.workloads.apps` — realistic application pipelines (numpy image
+  processing, text analytics, k-mer counting) runnable on the thread runtime
+  and mirrored as simulated cost models.
+"""
+
+from repro.workloads.cost_models import (
+    BimodalWork,
+    EmpiricalWork,
+    ExponentialWork,
+    LogNormalWork,
+    ParetoWork,
+    UniformWork,
+)
+from repro.workloads.scenarios import (
+    PerturbationScenario,
+    diurnal_load_factory,
+    flash_crowd,
+    heterogeneity_ladder,
+    load_step,
+    markov_load_factory,
+    node_churn,
+    random_walk_load_factory,
+)
+from repro.workloads.synthetic import (
+    balanced_pipeline,
+    imbalanced_pipeline,
+    stochastic_pipeline,
+)
+
+__all__ = [
+    "BimodalWork",
+    "EmpiricalWork",
+    "ExponentialWork",
+    "LogNormalWork",
+    "ParetoWork",
+    "PerturbationScenario",
+    "UniformWork",
+    "balanced_pipeline",
+    "diurnal_load_factory",
+    "flash_crowd",
+    "heterogeneity_ladder",
+    "imbalanced_pipeline",
+    "load_step",
+    "markov_load_factory",
+    "node_churn",
+    "random_walk_load_factory",
+    "stochastic_pipeline",
+]

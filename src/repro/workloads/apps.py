@@ -1,0 +1,210 @@
+"""Realistic application pipelines.
+
+Each application exists in two forms sharing one :class:`PipelineSpec`:
+
+* ``fn`` callables for the **thread runtime** (real numpy computation —
+  numpy releases the GIL, so these genuinely pipeline on a multicore host);
+* :class:`WorkModel` costs for the **simulator**, calibrated to the relative
+  weight of each stage so simulated mappings are meaningful.
+
+The three apps cover the motivating workload families of grid-era pipeline
+papers: image processing (filter chains), text analytics (document
+processing) and bioinformatics (sequence scanning).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.util.validation import check_positive
+from repro.workloads.cost_models import LogNormalWork
+
+__all__ = [
+    "image_pipeline",
+    "make_images",
+    "text_pipeline",
+    "make_documents",
+    "kmer_pipeline",
+    "make_sequences",
+]
+
+
+# --------------------------------------------------------------------- image
+def make_images(n: int, size: int = 96, seed: int = 0) -> list[np.ndarray]:
+    """Synthesize ``n`` grayscale test images (size x size, float64)."""
+    check_positive(n, "n")
+    rng = np.random.default_rng(seed)
+    images = []
+    for _ in range(n):
+        img = rng.random((size, size))
+        # Add structure so edge detection has something to find.
+        x = np.linspace(0, 4 * np.pi, size)
+        img += np.sin(x)[None, :] + np.cos(x)[:, None]
+        images.append(img)
+    return images
+
+
+def _denoise(img: np.ndarray) -> np.ndarray:
+    """3x3 box blur via shifted sums (stays in numpy, releases the GIL)."""
+    out = img.copy()
+    for dx in (-1, 0, 1):
+        for dy in (-1, 0, 1):
+            if dx or dy:
+                out += np.roll(np.roll(img, dx, axis=0), dy, axis=1)
+    return out / 9.0
+
+
+def _edges(img: np.ndarray) -> np.ndarray:
+    """Sobel gradient magnitude."""
+    gx = np.zeros_like(img)
+    gy = np.zeros_like(img)
+    gx[1:-1, 1:-1] = (
+        img[:-2, 2:] + 2 * img[1:-1, 2:] + img[2:, 2:]
+        - img[:-2, :-2] - 2 * img[1:-1, :-2] - img[2:, :-2]
+    )
+    gy[1:-1, 1:-1] = (
+        img[2:, :-2] + 2 * img[2:, 1:-1] + img[2:, 2:]
+        - img[:-2, :-2] - 2 * img[:-2, 1:-1] - img[:-2, 2:]
+    )
+    return np.hypot(gx, gy)
+
+
+def _threshold(img: np.ndarray) -> np.ndarray:
+    return (img > np.percentile(img, 90)).astype(np.float64)
+
+
+def _summarise(img: np.ndarray) -> dict:
+    return {
+        "edge_pixels": int(img.sum()),
+        "fraction": float(img.mean()),
+    }
+
+
+def image_pipeline(*, sim_scale: float = 1.0) -> PipelineSpec:
+    """Denoise → edge-detect → threshold → summarise.
+
+    ``sim_scale`` scales the simulated work units (1.0 ≈ tens of
+    milliseconds per stage on the reference processor, matching the relative
+    stage weights measured locally: edges ≈ 2x denoise, threshold ≈ 0.5x,
+    summarise ≈ 0.1x).
+    """
+    check_positive(sim_scale, "sim_scale")
+    s = sim_scale
+    return PipelineSpec(
+        (
+            StageSpec(
+                name="denoise", work=LogNormalWork(0.04 * s, 0.2), out_bytes=73_728,
+                fn=_denoise,
+            ),
+            StageSpec(
+                name="edges", work=LogNormalWork(0.08 * s, 0.2), out_bytes=73_728,
+                fn=_edges,
+            ),
+            StageSpec(
+                name="threshold", work=LogNormalWork(0.02 * s, 0.2), out_bytes=73_728,
+                fn=_threshold,
+            ),
+            StageSpec(
+                name="summarise", work=LogNormalWork(0.004 * s, 0.2), out_bytes=64,
+                fn=_summarise,
+            ),
+        ),
+        input_bytes=73_728,
+        name="image",
+    )
+
+
+# --------------------------------------------------------------------- text
+_WORDS = (
+    "grid pipeline skeleton stage adaptive mapping processor latency "
+    "bandwidth throughput monitor forecast migrate replicate schedule"
+).split()
+
+
+def make_documents(n: int, words: int = 400, seed: int = 0) -> list[str]:
+    """Synthesize ``n`` documents of ``words`` words each."""
+    check_positive(n, "n")
+    rng = np.random.default_rng(seed)
+    docs = []
+    for _ in range(n):
+        idx = rng.integers(0, len(_WORDS), size=words)
+        docs.append(" ".join(_WORDS[i] for i in idx))
+    return docs
+
+
+def _tokenise(doc: str) -> list[str]:
+    return doc.lower().split()
+
+
+def _filter_stopwords(tokens: list[str]) -> list[str]:
+    stop = {"grid", "stage"}
+    return [t for t in tokens if t not in stop]
+
+
+def _count(tokens: list[str]) -> dict[str, int]:
+    return dict(Counter(tokens))
+
+
+def text_pipeline(*, sim_scale: float = 1.0) -> PipelineSpec:
+    """Tokenise → stop-word filter → term count."""
+    check_positive(sim_scale, "sim_scale")
+    s = sim_scale
+    return PipelineSpec(
+        (
+            StageSpec(name="tokenise", work=LogNormalWork(0.02 * s, 0.3),
+                      out_bytes=4_000, fn=_tokenise),
+            StageSpec(name="filter", work=LogNormalWork(0.01 * s, 0.3),
+                      out_bytes=3_500, fn=_filter_stopwords),
+            StageSpec(name="count", work=LogNormalWork(0.03 * s, 0.3),
+                      out_bytes=800, fn=_count),
+        ),
+        input_bytes=4_500,
+        name="text",
+    )
+
+
+# --------------------------------------------------------------------- kmer
+def make_sequences(n: int, length: int = 20_000, seed: int = 0) -> list[str]:
+    """Synthesize ``n`` random DNA sequences."""
+    check_positive(n, "n")
+    rng = np.random.default_rng(seed)
+    alphabet = np.array(list("ACGT"))
+    return ["".join(alphabet[rng.integers(0, 4, size=length)]) for _ in range(n)]
+
+
+def _gc_content(seq: str) -> tuple[str, float]:
+    gc = (seq.count("G") + seq.count("C")) / len(seq)
+    return seq, gc
+
+
+def _kmer_count(args: tuple[str, float], k: int = 6) -> tuple[float, dict[str, int]]:
+    seq, gc = args
+    counts: Counter = Counter(seq[i : i + k] for i in range(len(seq) - k + 1))
+    return gc, dict(counts.most_common(10))
+
+
+def _report(args: tuple[float, dict[str, int]]) -> dict:
+    gc, top = args
+    return {"gc": gc, "top_kmer": next(iter(top), None), "distinct_top": len(top)}
+
+
+def kmer_pipeline(*, sim_scale: float = 1.0) -> PipelineSpec:
+    """GC-content → k-mer counting → report (k-mer stage dominates)."""
+    check_positive(sim_scale, "sim_scale")
+    s = sim_scale
+    return PipelineSpec(
+        (
+            StageSpec(name="gc", work=LogNormalWork(0.01 * s, 0.2),
+                      out_bytes=20_000, fn=_gc_content),
+            StageSpec(name="kmers", work=LogNormalWork(0.12 * s, 0.3),
+                      out_bytes=600, fn=_kmer_count),
+            StageSpec(name="report", work=LogNormalWork(0.002 * s, 0.2),
+                      out_bytes=120, fn=_report),
+        ),
+        input_bytes=20_000,
+        name="kmer",
+    )

@@ -1,0 +1,83 @@
+"""Synthetic pipeline builders used across tests, examples and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.util.validation import check_positive
+from repro.workloads.cost_models import LogNormalWork
+
+__all__ = ["balanced_pipeline", "imbalanced_pipeline", "stochastic_pipeline"]
+
+
+def balanced_pipeline(
+    n_stages: int,
+    work: float = 0.1,
+    *,
+    out_bytes: float = 0.0,
+    input_bytes: float = 0.0,
+    state_bytes: float = 0.0,
+) -> PipelineSpec:
+    """``n_stages`` identical deterministic stages."""
+    check_positive(n_stages, "n_stages")
+    return PipelineSpec(
+        tuple(
+            StageSpec(
+                name=f"s{i}",
+                work=work,
+                out_bytes=out_bytes,
+                state_bytes=state_bytes,
+            )
+            for i in range(n_stages)
+        ),
+        input_bytes=input_bytes,
+        name=f"balanced{n_stages}",
+    )
+
+
+def imbalanced_pipeline(
+    works: Sequence[float],
+    *,
+    out_bytes: float = 0.0,
+    input_bytes: float = 0.0,
+    bottleneck_replicable: bool = True,
+) -> PipelineSpec:
+    """Deterministic stages with explicit per-stage works.
+
+    ``bottleneck_replicable=False`` marks the heaviest stage stateful, which
+    forbids farm conversion — the ablation in E6.
+    """
+    if not works:
+        raise ValueError("works must be non-empty")
+    heaviest = max(range(len(works)), key=lambda i: works[i])
+    stages = []
+    for i, w in enumerate(works):
+        stages.append(
+            StageSpec(
+                name=f"s{i}",
+                work=w,
+                out_bytes=out_bytes,
+                replicable=bottleneck_replicable or i != heaviest,
+            )
+        )
+    return PipelineSpec(tuple(stages), input_bytes=input_bytes, name="imbalanced")
+
+
+def stochastic_pipeline(
+    means: Sequence[float],
+    cv: float,
+    *,
+    out_bytes: float = 0.0,
+) -> PipelineSpec:
+    """Log-normal stages with a shared coefficient of variation (E8)."""
+    if not means:
+        raise ValueError("means must be non-empty")
+    return PipelineSpec(
+        tuple(
+            StageSpec(name=f"s{i}", work=LogNormalWork(m, cv), out_bytes=out_bytes)
+            for i, m in enumerate(means)
+        ),
+        name=f"stochastic(cv={cv})",
+    )

@@ -1,0 +1,101 @@
+"""Tests for shared-link contention modelling."""
+
+import pytest
+
+from repro.core.executor_sim import SimPipelineEngine
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.gridsim.engine import Simulator
+from repro.gridsim.spec import two_site_grid, uniform_grid
+from repro.model.mapping import Mapping
+
+
+class TestLinkResource:
+    def test_shared_wan_pipe_is_one_resource(self):
+        grid = two_site_grid([1.0, 1.0], [1.0, 1.0])
+        # Any cross-site pair shares the same WAN link object -> resource.
+        assert grid.link_resource(0, 2) is grid.link_resource(1, 3)
+        assert grid.link_resource(0, 2) is grid.link_resource(2, 0)
+
+    def test_intra_site_distinct_from_wan(self):
+        grid = two_site_grid([1.0, 1.0], [1.0, 1.0])
+        assert grid.link_resource(0, 1) is not grid.link_resource(0, 2)
+
+    def test_loopback_rejected(self):
+        grid = uniform_grid(2)
+        with pytest.raises(ValueError, match="loopback"):
+            grid.link_resource(1, 1)
+
+
+def farm_engine(link_contention, replicas=4, n_items=60):
+    """A farm on the remote site pulling fat items over one WAN pipe."""
+    grid = two_site_grid(
+        [1.0], [1.0] * replicas, wan_latency=0.0, wan_bandwidth=1e6
+    )
+    pipe = PipelineSpec(
+        (StageSpec(name="w", work=0.4),), input_bytes=1e5  # 0.1 s per transfer
+    )
+    mapping = Mapping((tuple(range(1, 1 + replicas)),))
+    sim = Simulator()
+    eng = SimPipelineEngine(
+        sim,
+        grid,
+        pipe,
+        mapping,
+        n_items=n_items,
+        source_pid=0,
+        sink_pid=0,
+        link_contention=link_contention,
+        seed=3,
+    )
+    sim.run()
+    span = eng.completion_times()[-1] - eng.completion_times()[10]
+    return (n_items - 11) / span
+
+
+class TestContentionEffects:
+    def test_uncontended_scales_with_replicas(self):
+        # Without contention, 4 remote workers overlap their transfers:
+        # each cycle 0.1 + 0.4 = 0.5 s -> ~8 items/s.
+        tp = farm_engine(link_contention=False)
+        assert tp == pytest.approx(4 / 0.5, rel=0.1)
+
+    def test_contended_caps_at_link_rate(self):
+        # With contention the single WAN pipe admits one 0.1 s transfer at a
+        # time.  Six workers would reach 12 items/s uncontended (cycle
+        # 0.5 s), but ingress util 6 x 0.1/0.5 = 1.2 saturates the pipe:
+        # throughput caps at the link rate of 10 transfers/s.
+        tp_contended = farm_engine(link_contention=True, replicas=6, n_items=120)
+        tp_free = farm_engine(link_contention=False, replicas=6, n_items=120)
+        assert tp_free == pytest.approx(12.0, rel=0.1)
+        assert tp_contended < tp_free * 0.92
+        # The cap cannot exceed the link rate (10 transfers/s).
+        assert tp_contended <= 10.0 * 1.08
+
+    def test_contention_irrelevant_for_single_worker(self):
+        a = farm_engine(link_contention=True, replicas=1)
+        b = farm_engine(link_contention=False, replicas=1)
+        assert a == pytest.approx(b, rel=0.02)
+
+    def test_conservation_under_contention(self):
+        grid = two_site_grid([1.0], [1.0, 1.0], wan_bandwidth=1e6)
+        pipe = PipelineSpec(
+            (
+                StageSpec(name="a", work=0.05, out_bytes=5e4),
+                StageSpec(name="b", work=0.05),
+            ),
+            input_bytes=5e4,
+        )
+        sim = Simulator()
+        eng = SimPipelineEngine(
+            sim,
+            grid,
+            pipe,
+            Mapping.single([1, 2]),
+            n_items=40,
+            link_contention=True,
+            seed=4,
+        )
+        sim.run()
+        assert eng.items_completed == 40
+        assert eng.output_seqs() == list(range(40))

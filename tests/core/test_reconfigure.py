@@ -1,0 +1,164 @@
+"""Tests for live reconfiguration: item conservation, ordering, improvement."""
+
+import pytest
+
+from repro.core.executor_sim import SimPipelineEngine
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.gridsim.engine import Simulator
+from repro.gridsim.spec import heterogeneous_grid, uniform_grid
+from repro.model.mapping import Mapping
+
+
+def balanced(n=3, work=0.1):
+    return PipelineSpec(tuple(StageSpec(name=f"s{i}", work=work) for i in range(n)))
+
+
+class TestReconfigureCorrectness:
+    def test_remap_mid_run_loses_nothing(self):
+        sim = Simulator()
+        grid = uniform_grid(4)
+        eng = SimPipelineEngine(
+            sim, grid, balanced(), Mapping.single([0, 1, 2]), n_items=200
+        )
+        sim.schedule(5.0, eng.reconfigure, Mapping.single([3, 1, 2]), 0.5)
+        sim.run()
+        assert eng.items_completed == 200
+        assert eng.output_seqs() == list(range(200))
+
+    def test_multiple_remaps(self):
+        sim = Simulator()
+        grid = uniform_grid(4)
+        eng = SimPipelineEngine(
+            sim, grid, balanced(), Mapping.single([0, 1, 2]), n_items=300
+        )
+        sim.schedule(3.0, eng.reconfigure, Mapping.single([3, 1, 2]), 0.2)
+        sim.schedule(9.0, eng.reconfigure, Mapping.single([3, 0, 2]), 0.2)
+        sim.schedule(15.0, eng.reconfigure, Mapping.single([0, 1, 2]), 0.2)
+        sim.run()
+        assert eng.items_completed == 300
+        assert eng.output_seqs() == list(range(300))
+        assert len(eng.mapping_history) == 4
+
+    def test_replication_added_mid_run(self):
+        sim = Simulator()
+        grid = uniform_grid(4)
+        pipe = balanced(3).with_stage(1, StageSpec(name="mid", work=0.5))
+        eng = SimPipelineEngine(
+            sim, grid, pipe, Mapping.single([0, 1, 2]), n_items=200
+        )
+        sim.schedule(10.0, eng.reconfigure, Mapping(((0,), (1, 3), (2,))), 0.5)
+        sim.run()
+        assert eng.items_completed == 200
+        assert eng.output_seqs() == list(range(200))
+
+    def test_replication_removed_mid_run(self):
+        sim = Simulator()
+        grid = uniform_grid(4)
+        pipe = balanced(3).with_stage(1, StageSpec(name="mid", work=0.5))
+        eng = SimPipelineEngine(
+            sim, grid, pipe, Mapping(((0,), (1, 3), (2,))), n_items=200
+        )
+        sim.schedule(10.0, eng.reconfigure, Mapping.single([0, 1, 2]), 0.5)
+        sim.run()
+        assert eng.items_completed == 200
+        assert eng.output_seqs() == list(range(200))
+
+    def test_remap_to_same_mapping_is_noop(self):
+        sim = Simulator()
+        grid = uniform_grid(3)
+        m = Mapping.single([0, 1, 2])
+        eng = SimPipelineEngine(sim, grid, balanced(), m, n_items=50)
+        sim.schedule(2.0, eng.reconfigure, m, 1.0)
+        sim.run()
+        assert eng.items_completed == 50
+        # History records the call even though nothing changed.
+        changed_counts = [len(h) for h in []]  # no stage processes disturbed
+        assert eng.output_seqs() == list(range(50))
+
+    def test_reconfigure_near_end_of_run(self):
+        sim = Simulator()
+        grid = uniform_grid(3)
+        eng = SimPipelineEngine(
+            sim, grid, balanced(), Mapping.single([0, 1, 2]), n_items=30
+        )
+        # Fire a remap when the run is almost (or fully) drained.
+        sim.schedule(2.95, eng.reconfigure, Mapping.single([0, 1, 0]), 0.1)
+        sim.run()
+        assert eng.items_completed == 30
+        assert eng.output_seqs() == list(range(30))
+
+    def test_migration_delay_respected(self):
+        # With an enormous migration cost the new replica contributes late;
+        # items flow only once it arrives (single-stage pipeline).
+        sim = Simulator()
+        grid = uniform_grid(2)
+        eng = SimPipelineEngine(
+            sim, grid, balanced(1, work=0.1), Mapping.single([0]), n_items=400
+        )
+        sim.schedule(1.0, eng.reconfigure, Mapping.single([1]), 10.0)
+        sim.run()
+        assert eng.items_completed == 400
+        # The old replica keeps draining what it already had; during most of
+        # the 10 s migration window progress is limited by the channel
+        # backlog, so the makespan must exceed the no-migration ideal (~40 s
+        # of pure service time starting at t=0 would be ~40 s; the stall adds
+        # several seconds).
+        assert eng.completion_times()[-1] > 44.0
+
+    def test_reconfigure_validation(self):
+        sim = Simulator()
+        grid = uniform_grid(2)
+        eng = SimPipelineEngine(
+            sim, grid, balanced(2), Mapping.single([0, 1]), n_items=5
+        )
+        with pytest.raises(ValueError):
+            eng.reconfigure(Mapping.single([0]))
+        with pytest.raises(KeyError):
+            eng.reconfigure(Mapping.single([0, 9]))
+
+
+class TestReconfigurePerformance:
+    def test_moving_off_degraded_processor_recovers_throughput(self):
+        sim = Simulator()
+        grid = uniform_grid(4)
+        grid.perturb(1, [(5.0, 0.05)])  # stage 1's host collapses at t=5
+        eng = SimPipelineEngine(
+            sim, grid, balanced(), Mapping.single([0, 1, 2]), n_items=400
+        )
+        sim.schedule(8.0, eng.reconfigure, Mapping.single([0, 3, 2]), 0.5)
+        sim.run()
+        t_adaptive = eng.completion_times()[-1]
+
+        sim2 = Simulator()
+        grid2 = uniform_grid(4)
+        grid2.perturb(1, [(5.0, 0.05)])
+        eng2 = SimPipelineEngine(
+            sim2, grid2, balanced(), Mapping.single([0, 1, 2]), n_items=400
+        )
+        sim2.run()
+        t_static = eng2.completion_times()[-1]
+        assert eng.items_completed == eng2.items_completed == 400
+        assert t_adaptive < t_static / 3.0  # dramatic recovery
+
+    def test_fusing_stages_avoids_slow_link(self):
+        from repro.gridsim.spec import two_site_grid
+
+        pipe = PipelineSpec(
+            (
+                StageSpec(name="a", work=0.05, out_bytes=5e5),
+                StageSpec(name="b", work=0.05),
+            )
+        )
+        grid = two_site_grid([1.0], [1.0], wan_bandwidth=1e6, wan_latency=0.01)
+        sim = Simulator()
+        eng = SimPipelineEngine(sim, grid, pipe, Mapping.single([0, 1]), n_items=100)
+        sim.schedule(5.0, eng.reconfigure, Mapping.single([0, 0]), 0.2)
+        sim.run()
+        t_fused = eng.completion_times()[-1]
+
+        sim2 = Simulator()
+        grid2 = two_site_grid([1.0], [1.0], wan_bandwidth=1e6, wan_latency=0.01)
+        eng2 = SimPipelineEngine(sim2, grid2, pipe, Mapping.single([0, 1]), n_items=100)
+        sim2.run()
+        assert t_fused < eng2.completion_times()[-1]

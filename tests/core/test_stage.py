@@ -1,0 +1,54 @@
+"""Tests for stage definitions."""
+
+import numpy as np
+import pytest
+
+from repro.core.stage import FixedWork, StageSpec
+
+
+class TestFixedWork:
+    def test_mean_and_sample_agree(self):
+        w = FixedWork(0.7)
+        rng = np.random.default_rng(0)
+        assert w.mean == 0.7
+        assert w.sample(rng) == 0.7
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedWork(-0.1)
+
+
+class TestStageSpec:
+    def test_float_work_coerced(self):
+        s = StageSpec(name="a", work=0.5)
+        assert isinstance(s.work, FixedWork)
+        assert s.work.mean == 0.5
+
+    def test_invalid_work_type(self):
+        with pytest.raises(TypeError):
+            StageSpec(name="a", work="lots")  # type: ignore[arg-type]
+
+    def test_cost_uses_spec_mean_by_default(self):
+        s = StageSpec(name="a", work=0.5, out_bytes=100.0, state_bytes=7.0)
+        c = s.cost()
+        assert c.work == 0.5
+        assert c.out_bytes == 100.0
+        assert c.state_bytes == 7.0
+        assert c.replicable
+
+    def test_cost_override_with_measured_work(self):
+        s = StageSpec(name="a", work=0.5)
+        assert s.cost(measured_work=1.25).work == 1.25
+
+    def test_stateful_flag_propagates(self):
+        s = StageSpec(name="a", work=0.1, replicable=False)
+        assert not s.cost().replicable
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            StageSpec(name="a", work=0.1, out_bytes=-1.0)
+
+    def test_fn_optional(self):
+        s = StageSpec(name="a", work=0.1, fn=lambda x: x + 1)
+        assert s.fn is not None
+        assert s.fn(1) == 2

@@ -1,0 +1,100 @@
+"""Property-based tests for the simulation kernel (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.channels import Channel, ChannelClosed
+from repro.gridsim.engine import Simulator
+
+delays = st.lists(
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=60,
+)
+
+
+@given(delays)
+def test_events_fire_in_nondecreasing_time_order(ds):
+    sim = Simulator()
+    fired = []
+    for d in ds:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(ds)
+
+
+@given(delays)
+def test_equal_times_fire_in_schedule_order(ds):
+    sim = Simulator()
+    order = []
+    # All at the same instant: insertion order must be preserved.
+    t = max(ds)
+    for i in range(len(ds)):
+        sim.schedule(t, order.append, i)
+    sim.run()
+    assert order == list(range(len(ds)))
+
+
+@settings(deadline=None)
+@given(
+    items=st.lists(st.integers(), min_size=1, max_size=50),
+    capacity=st.one_of(st.none(), st.integers(min_value=1, max_value=8)),
+    consumer_delay=st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+)
+def test_channel_conserves_items_and_order(items, capacity, consumer_delay):
+    """Conservation + FIFO: everything put is got, exactly once, in order."""
+    sim = Simulator()
+    ch = Channel(capacity=capacity)
+    got = []
+
+    def producer():
+        for it in items:
+            yield ch.put(it)
+        ch.close()
+
+    def consumer():
+        while True:
+            try:
+                item = yield ch.get()
+            except ChannelClosed:
+                return
+            if consumer_delay:
+                yield sim.timeout(consumer_delay)
+            got.append(item)
+
+    sim.process(producer())
+    sim.process(consumer())
+    sim.run()
+    assert got == items
+
+
+@settings(deadline=None)
+@given(
+    n_items=st.integers(min_value=1, max_value=40),
+    n_consumers=st.integers(min_value=1, max_value=5),
+)
+def test_multi_consumer_channel_conserves_items(n_items, n_consumers):
+    sim = Simulator()
+    ch = Channel(capacity=4)
+    got = []
+
+    def producer():
+        for i in range(n_items):
+            yield ch.put(i)
+        ch.close()
+
+    def consumer():
+        while True:
+            try:
+                item = yield ch.get()
+            except ChannelClosed:
+                return
+            got.append(item)
+            yield sim.timeout(0.5)
+
+    sim.process(producer())
+    for _ in range(n_consumers):
+        sim.process(consumer())
+    sim.run()
+    assert sorted(got) == list(range(n_items))

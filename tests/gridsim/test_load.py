@@ -1,0 +1,150 @@
+"""Tests for background-load models."""
+
+import pytest
+
+from repro.gridsim.load import (
+    MIN_AVAILABILITY,
+    CompositeLoad,
+    ConstantLoad,
+    MarkovOnOffLoad,
+    PeriodicLoad,
+    RandomWalkLoad,
+    StepLoad,
+    TraceLoad,
+)
+from repro.util.rng import derive_rng
+
+
+class TestConstantLoad:
+    def test_value(self):
+        assert ConstantLoad(0.7).availability(123.0) == 0.7
+
+    def test_zero_clamped(self):
+        assert ConstantLoad(0.0).availability(0.0) == MIN_AVAILABILITY
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantLoad(1.5)
+
+
+class TestStepLoad:
+    def test_initial_before_first_step(self):
+        m = StepLoad([(10.0, 0.5)], initial=1.0)
+        assert m.availability(9.999) == 1.0
+
+    def test_step_applies_at_breakpoint(self):
+        m = StepLoad([(10.0, 0.5)], initial=1.0)
+        assert m.availability(10.0) == 0.5
+        assert m.availability(1e9) == 0.5
+
+    def test_multiple_steps(self):
+        m = StepLoad([(10.0, 0.5), (20.0, 0.2), (30.0, 1.0)])
+        assert m.availability(15.0) == 0.5
+        assert m.availability(25.0) == 0.2
+        assert m.availability(35.0) == 1.0
+
+    def test_unsorted_input_sorted(self):
+        m = StepLoad([(20.0, 0.2), (10.0, 0.5)])
+        assert m.availability(15.0) == 0.5
+
+    def test_invalid_value(self):
+        with pytest.raises(ValueError):
+            StepLoad([(0.0, 2.0)])
+
+
+class TestTraceLoad:
+    def test_replay(self):
+        m = TraceLoad([0.0, 5.0, 10.0], [1.0, 0.4, 0.9])
+        assert m.availability(2.0) == 1.0
+        assert m.availability(7.0) == 0.4
+        assert m.availability(12.0) == 0.9
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            TraceLoad([0.0, 1.0], [1.0])
+
+
+class TestRandomWalkLoad:
+    def test_deterministic_for_same_seed(self):
+        a = RandomWalkLoad(derive_rng(3, "w"), dt=1.0, sigma=0.1)
+        b = RandomWalkLoad(derive_rng(3, "w"), dt=1.0, sigma=0.1)
+        ts = [0.0, 3.5, 10.0, 7.2, 100.0]
+        assert [a.availability(t) for t in ts] == [b.availability(t) for t in ts]
+
+    def test_pure_function_of_time(self):
+        # Querying out of order must agree with querying in order.
+        m1 = RandomWalkLoad(derive_rng(4, "w"), dt=1.0, sigma=0.2)
+        m2 = RandomWalkLoad(derive_rng(4, "w"), dt=1.0, sigma=0.2)
+        forward = [m1.availability(t) for t in (1.0, 2.0, 3.0)]
+        backward = [m2.availability(t) for t in (3.0, 2.0, 1.0)]
+        assert forward == backward[::-1]
+
+    def test_respects_bounds(self):
+        m = RandomWalkLoad(derive_rng(5, "w"), dt=0.5, sigma=0.5, lo=0.3, hi=0.9)
+        vals = [m.availability(t) for t in range(200)]
+        assert all(0.3 <= v <= 0.9 for v in vals)
+
+    def test_actually_varies(self):
+        m = RandomWalkLoad(derive_rng(6, "w"), dt=1.0, sigma=0.1)
+        vals = {round(m.availability(t), 6) for t in range(50)}
+        assert len(vals) > 5
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            RandomWalkLoad(derive_rng(0, "w"), lo=0.9, hi=0.5)
+
+
+class TestMarkovOnOffLoad:
+    def test_two_level_values(self):
+        m = MarkovOnOffLoad(
+            derive_rng(7, "m"), mean_idle=5.0, mean_busy=5.0, busy_availability=0.25
+        )
+        vals = {m.availability(float(t)) for t in range(300)}
+        assert vals <= {1.0, 0.25}
+        assert len(vals) == 2  # both states visited over 300 s
+
+    def test_deterministic(self):
+        a = MarkovOnOffLoad(derive_rng(8, "m"))
+        b = MarkovOnOffLoad(derive_rng(8, "m"))
+        ts = [0.0, 50.0, 12.5, 200.0]
+        assert [a.availability(t) for t in ts] == [b.availability(t) for t in ts]
+
+    def test_starts_idle_by_default(self):
+        m = MarkovOnOffLoad(derive_rng(9, "m"), mean_idle=1000.0)
+        assert m.availability(0.0) == 1.0
+
+    def test_start_busy(self):
+        m = MarkovOnOffLoad(
+            derive_rng(9, "m"), mean_busy=1000.0, busy_availability=0.1, start_busy=True
+        )
+        assert m.availability(0.0) == 0.1
+
+
+class TestPeriodicLoad:
+    def test_oscillates_around_base(self):
+        m = PeriodicLoad(base=0.6, amplitude=0.3, period=100.0)
+        assert m.availability(25.0) == pytest.approx(0.9)  # sin peak
+        assert m.availability(75.0) == pytest.approx(0.3)  # sin trough
+
+    def test_clamped_to_valid_range(self):
+        m = PeriodicLoad(base=0.9, amplitude=0.5, period=10.0)
+        vals = [m.availability(t / 10) for t in range(200)]
+        assert all(MIN_AVAILABILITY <= v <= 1.0 for v in vals)
+
+    def test_negative_amplitude_rejected(self):
+        with pytest.raises(ValueError):
+            PeriodicLoad(amplitude=-0.1)
+
+
+class TestCompositeLoad:
+    def test_product(self):
+        m = CompositeLoad([ConstantLoad(0.5), ConstantLoad(0.4)])
+        assert m.availability(0.0) == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            CompositeLoad([])
+
+    def test_clamped(self):
+        m = CompositeLoad([ConstantLoad(0.001), ConstantLoad(0.001)])
+        assert m.availability(0.0) == MIN_AVAILABILITY

@@ -1,0 +1,105 @@
+"""Tests for declarative grid construction."""
+
+import pytest
+
+from repro.gridsim.load import MarkovOnOffLoad
+from repro.gridsim.network import Link
+from repro.gridsim.spec import (
+    GridSpec,
+    SiteSpec,
+    heterogeneous_grid,
+    two_site_grid,
+    uniform_grid,
+)
+
+
+class TestUniformGrid:
+    def test_count_and_speed(self):
+        g = uniform_grid(4, speed=2.0)
+        assert len(g) == 4
+        assert all(p.speed == 2.0 for p in g.processors)
+
+    def test_pids_sequential(self):
+        g = uniform_grid(3)
+        assert g.pids == [0, 1, 2]
+
+    def test_single_site(self):
+        g = uniform_grid(3)
+        assert {p.site for p in g.processors} == {"site0"}
+
+    def test_invalid_count(self):
+        with pytest.raises(ValueError):
+            uniform_grid(0)
+
+
+class TestHeterogeneousGrid:
+    def test_speeds_assigned_in_order(self):
+        g = heterogeneous_grid([1.0, 2.0, 8.0])
+        assert [p.speed for p in g.processors] == [1.0, 2.0, 8.0]
+
+    def test_invalid_speed(self):
+        with pytest.raises(ValueError):
+            heterogeneous_grid([1.0, -2.0])
+
+
+class TestTwoSiteGrid:
+    def test_sites(self):
+        g = two_site_grid([1.0, 1.0], [2.0])
+        sites = [p.site for p in g.processors]
+        assert sites == ["local", "local", "remote"]
+
+    def test_wan_link_used_across_sites(self):
+        g = two_site_grid([1.0], [1.0], wan_latency=0.2, wan_bandwidth=1e6)
+        assert g.link(0, 1).latency == pytest.approx(0.2)
+
+    def test_lan_link_within_site(self):
+        g = two_site_grid([1.0, 1.0], [1.0], wan_latency=0.2)
+        assert g.link(0, 1).latency < 0.2
+
+
+class TestGridSpec:
+    def test_load_factory_receives_unique_streams(self):
+        def factory(rng, pid):
+            return MarkovOnOffLoad(rng, mean_idle=5.0, mean_busy=5.0)
+
+        spec = GridSpec(
+            sites=[SiteSpec(name="s", speeds=[1.0, 1.0], load_factory=factory)],
+            seed=11,
+        )
+        g = spec.build()
+        # Two nodes with independent streams should (almost surely) diverge
+        # somewhere over a long horizon.
+        a, b = g.processors
+        diverged = any(
+            a.availability(float(t)) != b.availability(float(t)) for t in range(500)
+        )
+        assert diverged
+
+    def test_rebuild_reproducible(self):
+        def factory(rng, pid):
+            return MarkovOnOffLoad(rng, mean_idle=3.0, mean_busy=3.0)
+
+        spec = GridSpec(
+            sites=[SiteSpec(name="s", speeds=[1.0], load_factory=factory)], seed=7
+        )
+        g1, g2 = spec.build(), spec.build()
+        ts = [float(t) for t in range(100)]
+        assert [g1.processor(0).availability(t) for t in ts] == [
+            g2.processor(0).availability(t) for t in ts
+        ]
+
+    def test_link_overrides(self):
+        spec = GridSpec(
+            sites=[SiteSpec(name="s", speeds=[1.0, 1.0])],
+            link_overrides=[(0, 1, Link(0.5, 1e3))],
+        )
+        g = spec.build()
+        assert g.link(0, 1).latency == 0.5
+
+    def test_empty_spec_rejected(self):
+        with pytest.raises(ValueError):
+            GridSpec(sites=[]).build()
+
+    def test_empty_site_rejected(self):
+        with pytest.raises(ValueError):
+            SiteSpec(name="s", speeds=[])

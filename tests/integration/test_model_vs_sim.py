@@ -1,0 +1,120 @@
+"""Integration: the analytic model agrees with the simulator.
+
+Beyond E9's statistical check, these tests pin specific mapping families
+where agreement must be tight, and — more importantly for adaptation — that
+the model *ranks* mappings the way the simulator does.
+"""
+
+import pytest
+
+from repro.core.adaptive import run_static
+from repro.gridsim.spec import heterogeneous_grid, two_site_grid, uniform_grid
+from repro.model.mapping import Mapping, enumerate_mappings
+from repro.model.throughput import ModelContext, predict, snapshot_view
+from repro.workloads.synthetic import balanced_pipeline, imbalanced_pipeline
+
+
+def ctx_for(pipe, grid, source=0, sink=0):
+    return ModelContext(
+        stage_costs=pipe.stage_costs(),
+        view=snapshot_view(grid.snapshot(0.0)),
+        source_pid=source,
+        sink_pid=sink,
+        input_bytes=pipe.input_bytes,
+    )
+
+
+class TestAbsoluteAgreement:
+    @pytest.mark.parametrize(
+        "mapping",
+        [
+            Mapping.single([0, 1, 2]),
+            Mapping.single([0, 0, 1]),
+            Mapping.single([2, 2, 2]),
+            Mapping(((0,), (1, 2), (0,))),
+        ],
+    )
+    def test_balanced_pipeline_on_uniform_grid(self, mapping):
+        pipe = balanced_pipeline(3, work=0.1)
+        grid = uniform_grid(3)
+        predicted = predict(mapping, ctx_for(pipe, grid)).throughput
+        res = run_static(pipe, uniform_grid(3), 400, mapping=mapping)
+        assert res.steady_throughput() == pytest.approx(predicted, rel=0.08)
+
+    def test_heterogeneous_speeds(self):
+        pipe = imbalanced_pipeline([0.3, 0.1])
+        grid = heterogeneous_grid([1.0, 3.0])
+        mapping = Mapping.single([1, 0])
+        predicted = predict(mapping, ctx_for(pipe, grid)).throughput
+        res = run_static(pipe, heterogeneous_grid([1.0, 3.0]), 400, mapping=mapping)
+        assert res.steady_throughput() == pytest.approx(predicted, rel=0.08)
+
+    def test_communication_bound(self):
+        pipe = imbalanced_pipeline([0.01, 0.01], out_bytes=5e5, input_bytes=0.0)
+        grid = two_site_grid([1.0], [1.0], wan_bandwidth=1e6, wan_latency=0.01)
+        mapping = Mapping.single([0, 1])
+        predicted = predict(mapping, ctx_for(pipe, grid)).throughput
+        res = run_static(
+            pipe,
+            two_site_grid([1.0], [1.0], wan_bandwidth=1e6, wan_latency=0.01),
+            200,
+            mapping=mapping,
+        )
+        assert res.steady_throughput() == pytest.approx(predicted, rel=0.08)
+
+    def test_latency_prediction(self):
+        pipe = balanced_pipeline(3, work=0.1)
+        grid = uniform_grid(3)
+        mapping = Mapping.single([0, 1, 2])
+        pred = predict(mapping, ctx_for(pipe, grid))
+        res = run_static(pipe, uniform_grid(3), 50, mapping=mapping, buffer_capacity=1)
+        # First item sees no queueing: its latency is the pipeline fill time.
+        assert res.latencies[0] == pytest.approx(pred.latency, rel=0.10)
+
+
+class TestRankingAgreement:
+    def test_model_ranking_matches_simulation_ranking(self):
+        """Spearman-style check on all 27 mappings of a 3x3 instance."""
+        pipe = imbalanced_pipeline([0.2, 0.1, 0.05], out_bytes=2e4)
+        grid_speeds = [1.0, 2.0, 0.5]
+
+        def fresh():
+            return heterogeneous_grid(grid_speeds, bandwidth=10e6, latency=1e-3)
+
+        ctx = ctx_for(pipe, fresh())
+        pairs = []
+        for m in enumerate_mappings(3, [0, 1, 2]):
+            predicted = predict(m, ctx).throughput
+            simulated = run_static(pipe, fresh(), 200, mapping=m).steady_throughput()
+            pairs.append((predicted, simulated))
+        # Rank correlation: sort by prediction, check simulated values are
+        # mostly ascending (allow local swaps among near-ties).
+        pairs.sort()
+        sims = [s for _, s in pairs]
+        inversions = sum(
+            1
+            for i in range(len(sims))
+            for j in range(i + 1, len(sims))
+            if sims[j] < sims[i] * 0.95  # only count >5% violations
+        )
+        total_pairs = len(sims) * (len(sims) - 1) / 2
+        assert inversions / total_pairs < 0.05, f"{inversions}/{total_pairs} inversions"
+
+    def test_best_predicted_is_near_best_simulated(self):
+        pipe = imbalanced_pipeline([0.15, 0.3, 0.1])
+        speeds = [1.0, 2.0, 1.5]
+
+        def fresh():
+            return heterogeneous_grid(speeds)
+
+        ctx = ctx_for(pipe, fresh())
+        best_pred, best_sim_tp = None, -1.0
+        sim_tps = {}
+        for m in enumerate_mappings(3, [0, 1, 2]):
+            p = predict(m, ctx).throughput
+            s = run_static(pipe, fresh(), 200, mapping=m).steady_throughput()
+            sim_tps[str(m)] = s
+            best_sim_tp = max(best_sim_tp, s)
+            if best_pred is None or p > best_pred[0]:
+                best_pred = (p, str(m))
+        assert sim_tps[best_pred[1]] >= 0.95 * best_sim_tp

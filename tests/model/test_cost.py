@@ -1,0 +1,77 @@
+"""Tests for the migration cost model."""
+
+import pytest
+
+from repro.gridsim.spec import heterogeneous_grid
+from repro.model.cost import MigrationCostModel
+from repro.model.mapping import Mapping
+from repro.model.throughput import ModelContext, StageCost, snapshot_view
+
+
+def make_ctx(state_bytes=1e6):
+    grid = heterogeneous_grid([1.0, 1.0], latency=0.01, bandwidth=1e6)
+    return ModelContext(
+        stage_costs=(
+            StageCost(work=0.1, state_bytes=state_bytes),
+            StageCost(work=0.1, state_bytes=state_bytes),
+        ),
+        view=snapshot_view(grid.snapshot(0.0)),
+        source_pid=0,
+        sink_pid=0,
+    )
+
+
+class TestEstimate:
+    def test_no_change_costs_nothing(self):
+        m = Mapping.single([0, 1])
+        cost = MigrationCostModel().estimate(m, m, make_ctx())
+        assert cost == 0.0
+
+    def test_moving_one_stage(self):
+        model = MigrationCostModel(restart_overhead=0.25, drain_slack=0.1)
+        old = Mapping.single([0, 0])
+        new = Mapping.single([0, 1])
+        # restart 0.25 + state 1e6/1e6 + latency 0.01 + slack 0.1
+        cost = model.estimate(old, new, make_ctx(state_bytes=1e6))
+        assert cost == pytest.approx(0.25 + 1.01 + 0.1, rel=1e-6)
+
+    def test_stateless_stage_cheap_to_move(self):
+        model = MigrationCostModel(restart_overhead=0.25, drain_slack=0.0)
+        old = Mapping.single([0, 0])
+        new = Mapping.single([0, 1])
+        cost = model.estimate(old, new, make_ctx(state_bytes=0.0))
+        assert cost == pytest.approx(0.25 + 0.01, rel=1e-6)
+
+    def test_replication_charges_per_new_processor(self):
+        model = MigrationCostModel(restart_overhead=0.25, drain_slack=0.0)
+        old = Mapping(((0,), (0,)))
+        new = Mapping(((0,), (0, 1)))
+        cost = model.estimate(old, new, make_ctx(state_bytes=0.0))
+        # one changed stage: one restart + one added replica transfer
+        assert cost == pytest.approx(0.25 + 0.01, rel=1e-6)
+
+    def test_two_moves_cost_more_than_one(self):
+        model = MigrationCostModel()
+        ctx = make_ctx()
+        one = model.estimate(Mapping.single([0, 0]), Mapping.single([0, 1]), ctx)
+        two = model.estimate(Mapping.single([0, 0]), Mapping.single([1, 1]), ctx)
+        assert two > one
+
+
+class TestWorthwhile:
+    def test_gain_amortises(self):
+        m = MigrationCostModel()
+        # Save 0.1 s/item over 100 items = 10 s > 2 s cost.
+        assert m.worthwhile(0.3, 0.2, migration_seconds=2.0, remaining_items=100)
+
+    def test_gain_too_small(self):
+        m = MigrationCostModel()
+        assert not m.worthwhile(0.3, 0.29, migration_seconds=2.0, remaining_items=100)
+
+    def test_no_remaining_items(self):
+        m = MigrationCostModel()
+        assert not m.worthwhile(0.3, 0.1, migration_seconds=0.1, remaining_items=0)
+
+    def test_regression_never_worthwhile(self):
+        m = MigrationCostModel()
+        assert not m.worthwhile(0.2, 0.3, migration_seconds=0.0, remaining_items=100)

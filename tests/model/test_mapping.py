@@ -1,0 +1,90 @@
+"""Tests for the Mapping type and enumeration."""
+
+import numpy as np
+import pytest
+
+from repro.model.mapping import Mapping, enumerate_mappings, random_mapping
+
+
+class TestMapping:
+    def test_single_constructor(self):
+        m = Mapping.single([0, 1, 1])
+        assert m.n_stages == 3
+        assert m.replicas(1) == (1,)
+        assert m.primary(2) == 1
+
+    def test_str_notation(self):
+        assert str(Mapping.single([1, 1, 2])) == "(1,1,2)"
+
+    def test_str_with_replicas(self):
+        m = Mapping(((0,), (1, 2), (0,)))
+        assert str(m) == "(0,{1,2},0)"
+
+    def test_processors_used(self):
+        m = Mapping(((0,), (1, 2), (0,)))
+        assert m.processors_used() == {0, 1, 2}
+
+    def test_share_counts_include_replicas(self):
+        m = Mapping(((0,), (0, 1), (1,)))
+        assert m.share_counts() == {0: 2, 1: 2}
+
+    def test_with_stage(self):
+        m = Mapping.single([0, 0, 0]).with_stage(1, [1, 2])
+        assert m.replicas(1) == (1, 2)
+        assert m.replicas(0) == (0,)
+
+    def test_moved_stages(self):
+        a = Mapping.single([0, 1, 2])
+        b = Mapping.single([0, 2, 2])
+        assert a.moved_stages(b) == [1]
+
+    def test_moved_stages_length_mismatch(self):
+        with pytest.raises(ValueError):
+            Mapping.single([0]).moved_stages(Mapping.single([0, 1]))
+
+    def test_is_replicated(self):
+        assert not Mapping.single([0, 1]).is_replicated()
+        assert Mapping(((0,), (1, 2))).is_replicated()
+
+    def test_empty_mapping_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping(())
+
+    def test_empty_replica_set_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping(((0,), ()))
+
+    def test_duplicate_replica_rejected(self):
+        with pytest.raises(ValueError):
+            Mapping(((0, 0),))
+
+
+class TestEnumerateMappings:
+    def test_count(self):
+        ms = list(enumerate_mappings(3, [0, 1, 2]))
+        assert len(ms) == 27
+
+    def test_all_distinct(self):
+        ms = list(enumerate_mappings(2, [0, 1]))
+        assert len({str(m) for m in ms}) == 4
+
+    def test_cap_enforced(self):
+        with pytest.raises(ValueError, match="exceed"):
+            list(enumerate_mappings(10, list(range(10)), max_mappings=1000))
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            list(enumerate_mappings(0, [0]))
+        with pytest.raises(ValueError):
+            list(enumerate_mappings(1, []))
+
+
+class TestRandomMapping:
+    def test_deterministic_for_seed(self):
+        a = random_mapping(5, [0, 1, 2], np.random.default_rng(1))
+        b = random_mapping(5, [0, 1, 2], np.random.default_rng(1))
+        assert a == b
+
+    def test_valid_pids(self):
+        m = random_mapping(8, [3, 5], np.random.default_rng(0))
+        assert m.processors_used() <= {3, 5}

@@ -1,0 +1,201 @@
+"""Tests for mapping optimisers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.gridsim.spec import heterogeneous_grid, uniform_grid
+from repro.model.mapping import Mapping
+from repro.model.optimizer import (
+    dp_contiguous_mapping,
+    exhaustive_best_mapping,
+    greedy_mapping,
+    local_search,
+    propose_replication,
+)
+from repro.model.throughput import ModelContext, StageCost, predict, snapshot_view
+
+
+def make_ctx(works, grid, out_bytes=0.0, replicable=True):
+    return ModelContext(
+        stage_costs=tuple(
+            StageCost(work=w, out_bytes=out_bytes, replicable=replicable) for w in works
+        ),
+        view=snapshot_view(grid.snapshot(0.0)),
+        source_pid=0,
+        sink_pid=0,
+    )
+
+
+class TestExhaustive:
+    def test_balanced_pipeline_spreads_out(self):
+        grid = uniform_grid(3)
+        best = exhaustive_best_mapping(make_ctx([0.1, 0.1, 0.1], grid))
+        # One stage per processor is optimal; all three processors used.
+        assert len(best.mapping.processors_used()) == 3
+
+    def test_prefers_fast_processor_for_heavy_stage(self):
+        grid = heterogeneous_grid([1.0, 1.0, 10.0])
+        best = exhaustive_best_mapping(make_ctx([0.1, 1.0, 0.1], grid))
+        assert best.mapping.primary(1) == 2
+
+    def test_avoids_slow_link(self):
+        # Two sites; the remote site is behind a slow fat-item link, so with
+        # large transfers everything should stay local.
+        from repro.gridsim.spec import two_site_grid
+
+        grid = two_site_grid([1.0, 1.0], [1.0], wan_latency=0.5, wan_bandwidth=1e5)
+        ctx = ModelContext(
+            stage_costs=(
+                StageCost(work=0.05, out_bytes=1e5),
+                StageCost(work=0.05, out_bytes=1e5),
+                StageCost(work=0.05, out_bytes=0.0),
+            ),
+            view=snapshot_view(grid.snapshot(0.0)),
+            source_pid=0,
+            sink_pid=0,
+        )
+        best = exhaustive_best_mapping(ctx)
+        assert 2 not in best.mapping.processors_used()
+
+
+class TestGreedy:
+    def test_matches_exhaustive_on_easy_instance(self):
+        grid = uniform_grid(3)
+        ctx = make_ctx([0.3, 0.2, 0.1], grid)
+        g = greedy_mapping(ctx)
+        e = exhaustive_best_mapping(ctx)
+        assert g.throughput == pytest.approx(e.throughput, rel=0.05)
+
+    def test_never_invalid(self):
+        grid = heterogeneous_grid([1.0, 2.0])
+        pred = greedy_mapping(make_ctx([0.5, 0.4, 0.3, 0.2, 0.1], grid))
+        assert pred.mapping.n_stages == 5
+        assert pred.mapping.processors_used() <= {0, 1}
+
+    def test_regression_share_myopia(self):
+        # A share-myopic greedy piles the small stages onto the fast
+        # processor and triples the heavy stage's period (hypothesis-found
+        # counterexample); the bottleneck-aware greedy must stay optimal.
+        grid = heterogeneous_grid([3.0, 1.0])
+        ctx = make_ctx([1.0, 0.125, 0.125], grid)
+        g = greedy_mapping(ctx)
+        e = exhaustive_best_mapping(ctx)
+        assert g.throughput == pytest.approx(e.throughput, rel=1e-6)
+
+    @settings(deadline=None, max_examples=30)
+    @given(
+        works=st.lists(
+            st.floats(min_value=0.01, max_value=2.0, allow_nan=False),
+            min_size=2,
+            max_size=4,
+        ),
+        speeds=st.lists(
+            st.floats(min_value=0.5, max_value=8.0, allow_nan=False),
+            min_size=2,
+            max_size=3,
+        ),
+    )
+    def test_property_greedy_within_factor_two_of_exhaustive(self, works, speeds):
+        # Classic list-scheduling guarantee territory: greedy should never be
+        # catastrophically worse than optimal on compute-bound instances.
+        grid = heterogeneous_grid(speeds)
+        ctx = make_ctx(works, grid)
+        g = greedy_mapping(ctx)
+        e = exhaustive_best_mapping(ctx)
+        assert g.throughput >= 0.5 * e.throughput
+        # Sanity: greedy can never beat the exhaustive optimum.
+        assert g.throughput <= e.throughput * (1 + 1e-9)
+
+
+class TestDpContiguous:
+    def test_respects_contiguity(self):
+        grid = uniform_grid(3)
+        pred = dp_contiguous_mapping(make_ctx([0.1, 0.1, 0.1, 0.1], grid))
+        # Contiguous blocks: once the mapping switches processor it never
+        # returns to an earlier one.
+        seen: list[int] = []
+        for i in range(pred.mapping.n_stages):
+            p = pred.mapping.primary(i)
+            if p in seen and seen[-1] != p:
+                pytest.fail(f"non-contiguous mapping {pred.mapping}")
+            if not seen or seen[-1] != p:
+                seen.append(p)
+
+    def test_optimal_among_contiguous_small(self):
+        grid = heterogeneous_grid([1.0, 2.0])
+        ctx = make_ctx([0.2, 0.4, 0.2], grid)
+        pred = dp_contiguous_mapping(ctx)
+        # Enumerate all contiguous mappings by brute force and compare.
+        best = 0.0
+        for split in range(4):  # stages [0:split) on one proc, rest on other
+            for a in (0, 1):
+                for b in (0, 1):
+                    assign = [a] * split + [b] * (3 - split)
+                    t = predict(Mapping.single(assign), ctx).throughput
+                    best = max(best, t)
+        assert pred.throughput == pytest.approx(best, rel=1e-6)
+
+    def test_single_processor_grid(self):
+        grid = uniform_grid(1)
+        pred = dp_contiguous_mapping(make_ctx([0.1, 0.2], grid))
+        assert pred.mapping.processors_used() == {0}
+
+
+class TestLocalSearch:
+    def test_improves_bad_start(self):
+        grid = uniform_grid(3)
+        ctx = make_ctx([0.1, 0.1, 0.1], grid)
+        start = Mapping.single([0, 0, 0])
+        improved = local_search(start, ctx)
+        assert improved.throughput > predict(start, ctx).throughput
+
+    def test_reaches_exhaustive_optimum_on_small_instance(self):
+        grid = heterogeneous_grid([1.0, 2.0, 4.0])
+        ctx = make_ctx([0.3, 0.2, 0.1], grid)
+        ls = local_search(Mapping.single([0, 0, 0]), ctx)
+        e = exhaustive_best_mapping(ctx)
+        assert ls.throughput == pytest.approx(e.throughput, rel=0.10)
+
+    def test_fixed_point_returns_start(self):
+        grid = uniform_grid(3)
+        ctx = make_ctx([0.1, 0.1, 0.1], grid)
+        best = exhaustive_best_mapping(ctx)
+        again = local_search(best.mapping, ctx)
+        assert again.throughput == pytest.approx(best.throughput, rel=1e-9)
+
+
+class TestReplicationProposal:
+    def test_replicates_dominant_stage(self):
+        grid = uniform_grid(4)
+        ctx = make_ctx([0.1, 0.6, 0.1], grid)
+        start = Mapping.single([0, 1, 2])
+        pred = propose_replication(start, ctx)
+        assert len(pred.mapping.replicas(1)) > 1
+        assert pred.throughput > predict(start, ctx).throughput
+
+    def test_respects_max_replicas(self):
+        grid = uniform_grid(8)
+        ctx = make_ctx([0.01, 5.0, 0.01], grid)
+        pred = propose_replication(Mapping.single([0, 1, 2]), ctx, max_replicas=2)
+        assert len(pred.mapping.replicas(1)) <= 2
+
+    def test_stateful_stage_not_replicated(self):
+        grid = uniform_grid(4)
+        ctx = make_ctx([0.1, 0.6, 0.1], grid, replicable=False)
+        start = Mapping.single([0, 1, 2])
+        pred = propose_replication(start, ctx)
+        assert pred.mapping == start
+
+    def test_no_gain_no_replication(self):
+        # Balanced stages on a fully used grid: replication only adds sharing.
+        grid = uniform_grid(3)
+        ctx = make_ctx([0.1, 0.1, 0.1], grid)
+        pred = propose_replication(Mapping.single([0, 1, 2]), ctx)
+        assert pred.mapping == Mapping.single([0, 1, 2])
+
+    def test_invalid_min_gain(self):
+        grid = uniform_grid(2)
+        ctx = make_ctx([0.1], grid)
+        with pytest.raises(ValueError):
+            propose_replication(Mapping.single([0]), ctx, min_gain=0.5)

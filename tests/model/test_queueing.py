@@ -1,0 +1,98 @@
+"""Tests for the GI/G/1 queueing refinements."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.model.queueing import (
+    gg1_queue_length,
+    gg1_waiting_time,
+    mm1_waiting_time,
+    suggest_buffer_capacity,
+)
+
+
+class TestMM1:
+    def test_textbook_value(self):
+        # lambda=8, mu=10: Wq = rho/(mu-lambda) = 0.8/2 = 0.4
+        assert mm1_waiting_time(8.0, 10.0) == pytest.approx(0.4)
+
+    def test_unstable_is_inf(self):
+        assert mm1_waiting_time(10.0, 10.0) == math.inf
+        assert mm1_waiting_time(12.0, 10.0) == math.inf
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            mm1_waiting_time(0.0, 1.0)
+
+
+class TestGG1:
+    def test_reduces_to_mm1(self):
+        # ca2 = cs2 = 1 recovers the exact M/M/1 value.
+        assert gg1_waiting_time(8.0, 10.0, 1.0, 1.0) == pytest.approx(
+            mm1_waiting_time(8.0, 10.0)
+        )
+
+    def test_deterministic_traffic_waits_nothing(self):
+        assert gg1_waiting_time(8.0, 10.0, 0.0, 0.0) == 0.0
+
+    def test_waiting_grows_with_variability(self):
+        low = gg1_waiting_time(8.0, 10.0, 1.0, 0.25)
+        high = gg1_waiting_time(8.0, 10.0, 1.0, 4.0)
+        assert high > low
+
+    def test_waiting_explodes_near_saturation(self):
+        w90 = gg1_waiting_time(9.0, 10.0, 1.0, 1.0)
+        w99 = gg1_waiting_time(9.9, 10.0, 1.0, 1.0)
+        assert w99 > 10 * w90
+
+    def test_littles_law(self):
+        est = gg1_queue_length(8.0, 10.0, 1.0, 1.0)
+        assert est.queue_length == pytest.approx(8.0 * est.waiting_time)
+        assert est.utilisation == pytest.approx(0.8)
+        assert est.stable
+
+    def test_unstable_estimate(self):
+        est = gg1_queue_length(11.0, 10.0, 1.0, 1.0)
+        assert not est.stable
+        assert est.queue_length == math.inf
+
+    @given(
+        rho=st.floats(min_value=0.05, max_value=0.95),
+        cs2=st.floats(min_value=0.0, max_value=4.0),
+    )
+    def test_property_nonnegative_and_monotone_in_cs2(self, rho, cs2):
+        mu = 10.0
+        lam = rho * mu
+        w = gg1_waiting_time(lam, mu, 1.0, cs2)
+        assert w >= 0.0
+        assert gg1_waiting_time(lam, mu, 1.0, cs2 + 0.5) >= w
+
+
+class TestBufferSuggestion:
+    def test_deterministic_gets_minimum(self):
+        assert suggest_buffer_capacity(0.5, cs2=0.0, ca2=0.0) == 1
+
+    def test_grows_with_variability(self):
+        low = suggest_buffer_capacity(0.8, cs2=0.25)
+        high = suggest_buffer_capacity(0.8, cs2=4.0)
+        assert high > low
+
+    def test_grows_with_utilisation(self):
+        low = suggest_buffer_capacity(0.5, cs2=1.0)
+        high = suggest_buffer_capacity(0.95, cs2=1.0)
+        assert high > low
+
+    def test_caps_respected(self):
+        cap = suggest_buffer_capacity(0.99, cs2=4.0, max_capacity=16)
+        assert cap == 16
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            suggest_buffer_capacity(1.0, cs2=1.0)
+        with pytest.raises(ValueError):
+            suggest_buffer_capacity(0.5, cs2=1.0, min_capacity=0)
+        with pytest.raises(ValueError):
+            suggest_buffer_capacity(0.5, cs2=1.0, min_capacity=8, max_capacity=4)

@@ -1,0 +1,93 @@
+"""Regression tests for the two-bound throughput model.
+
+These pin behaviours that an earlier share-factor formulation got wrong
+(hypothesis/E9 found them; see EXPERIMENTS.md E9 note):
+
+* co-located stages with *unequal* works cost the processor the **sum** of
+  their works per item, not ``count x max(work)``;
+* replica stream fractions are rate-proportional, so a replica on a busy
+  processor takes fewer items;
+* the plateau tie-breaker (``load_imbalance``) lets local search drain
+  multi-bottleneck plateaus.
+"""
+
+import pytest
+
+from repro.core.adaptive import run_static
+from repro.gridsim.spec import heterogeneous_grid, uniform_grid
+from repro.model.mapping import Mapping
+from repro.model.optimizer import local_search, propose_replication
+from repro.model.throughput import ModelContext, StageCost, predict, snapshot_view
+from repro.workloads.synthetic import imbalanced_pipeline
+
+
+def make_ctx(works, grid, out_bytes=0.0):
+    return ModelContext(
+        stage_costs=tuple(StageCost(work=w, out_bytes=out_bytes) for w in works),
+        view=snapshot_view(grid.snapshot(0.0)),
+        source_pid=0,
+        sink_pid=0,
+    )
+
+
+class TestColocationBound:
+    def test_unequal_colocated_works_sum_not_scale(self):
+        # works 0.5 + 0.05 on one processor: the CPU spends 0.55 s per item.
+        # A share-factor model would claim 2 x 0.5 = 1.0 s (45% pessimistic).
+        grid = uniform_grid(1)
+        pred = predict(Mapping.single([0, 0]), make_ctx([0.5, 0.05], grid))
+        assert pred.period == pytest.approx(0.55, rel=1e-6)
+
+    def test_simulator_confirms_sum_semantics(self):
+        grid = uniform_grid(1)
+        pipe = imbalanced_pipeline([0.5, 0.05])
+        res = run_static(pipe, uniform_grid(1), 200, mapping=Mapping.single([0, 0]))
+        assert res.steady_throughput() == pytest.approx(1.0 / 0.55, rel=0.02)
+
+    def test_proc_loads_reported(self):
+        grid = uniform_grid(2)
+        pred = predict(Mapping.single([0, 0, 1]), make_ctx([0.1, 0.2, 0.3], grid))
+        loads = dict(pred.proc_loads)
+        assert loads[0] == pytest.approx(0.3, rel=1e-6)
+        assert loads[1] == pytest.approx(0.3, rel=1e-6)
+
+    def test_load_imbalance_prefers_spread(self):
+        grid = uniform_grid(2)
+        fused = predict(Mapping.single([0, 0]), make_ctx([0.1, 0.1], grid))
+        spread = predict(Mapping.single([0, 1]), make_ctx([0.1, 0.1], grid))
+        assert spread.load_imbalance < fused.load_imbalance
+
+
+class TestRateProportionalReplicas:
+    def test_replica_on_busy_processor_takes_fewer_items(self):
+        # Stage 0 (0.4) replicated on {idle p1, busy p0 hosting stage 1}.
+        grid = uniform_grid(2)
+        ctx = make_ctx([0.4, 0.1], grid)
+        pred = predict(Mapping(((1, 0), (0,))), ctx)
+        res = run_static(
+            imbalanced_pipeline([0.4, 0.1]),
+            uniform_grid(2),
+            300,
+            mapping=Mapping(((1, 0), (0,))),
+        )
+        assert res.steady_throughput() == pytest.approx(pred.throughput, rel=0.10)
+
+    def test_heterogeneous_replicas_rate_sum(self):
+        grid = heterogeneous_grid([1.0, 3.0])
+        pred = predict(Mapping(((0, 1),)), make_ctx([1.0], grid))
+        assert pred.throughput == pytest.approx(4.0, rel=0.02)
+
+
+class TestPlateauDraining:
+    def test_local_search_plus_replication_escapes_plateau(self):
+        # (0,0,0,0,1,2,2,2): proc 0 and the heavy stage are tied at 0.4 s —
+        # no single move improves the period, but balance-improving moves
+        # unlock replication.  Regression for the E5 plateau bug.
+        grid = uniform_grid(16)
+        works = [0.1] * 4 + [0.4] + [0.1] * 3
+        ctx = make_ctx(works, grid)
+        start = Mapping.single([0, 0, 0, 0, 1, 2, 2, 2])
+        ls = local_search(start, ctx)
+        final = propose_replication(ls.mapping, ctx, max_replicas=8)
+        assert final.throughput > predict(start, ctx).throughput * 2.0
+        assert len(final.mapping.replicas(4)) > 1

@@ -1,0 +1,97 @@
+"""Tests for stage instrumentation."""
+
+import math
+
+import pytest
+
+from repro.monitor.instrument import PipelineInstrumentation, StageMetrics
+
+
+class TestStageMetrics:
+    def test_service_recording(self):
+        m = StageMetrics(0)
+        m.record_service(0.5, effective_speed=2.0)
+        m.record_service(0.7, effective_speed=2.0)
+        snap = m.snapshot()
+        assert snap.items_processed == 2
+        assert snap.service_time == pytest.approx(0.6)
+        # work = service x speed
+        assert snap.work_estimate == pytest.approx(1.2)
+
+    def test_window_forgets_old_behaviour(self):
+        m = StageMetrics(0, window=4)
+        for _ in range(10):
+            m.record_service(1.0, 1.0)
+        for _ in range(4):
+            m.record_service(5.0, 1.0)
+        assert m.snapshot().service_time == pytest.approx(5.0)
+
+    def test_transfer_and_queue(self):
+        m = StageMetrics(1)
+        m.record_transfer(0.1)
+        m.record_queue_length(3)
+        snap = m.snapshot()
+        assert snap.transfer_time == pytest.approx(0.1)
+        assert snap.queue_length == pytest.approx(3.0)
+
+    def test_empty_snapshot(self):
+        snap = StageMetrics(0).snapshot()
+        assert snap.items_processed == 0
+        assert math.isnan(snap.service_time)
+        assert snap.transfer_time == 0.0
+
+    def test_cv_of_constant_service_is_zero(self):
+        m = StageMetrics(0)
+        for _ in range(5):
+            m.record_service(0.3, 1.0)
+        assert m.snapshot().service_cv == pytest.approx(0.0, abs=1e-9)
+
+
+class TestPipelineInstrumentation:
+    def test_requires_stages(self):
+        with pytest.raises(ValueError):
+            PipelineInstrumentation(0)
+
+    def test_completion_accounting(self):
+        pi = PipelineInstrumentation(2)
+        for t in (1.0, 2.0, 3.0):
+            pi.record_completion(t)
+        assert pi.items_completed == 3
+
+    def test_overall_throughput(self):
+        pi = PipelineInstrumentation(1)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            pi.record_completion(t)
+        assert pi.overall_throughput() == pytest.approx(1.0)
+        assert pi.overall_throughput(end_time=8.0) == pytest.approx(0.5)
+
+    def test_recent_throughput_windows(self):
+        pi = PipelineInstrumentation(1)
+        for t in (1.0, 2.0, 9.0, 10.0):
+            pi.record_completion(t)
+        assert pi.recent_throughput(now=10.0, horizon=2.0) == pytest.approx(1.0)
+
+    def test_recent_throughput_nan_when_no_data(self):
+        pi = PipelineInstrumentation(1)
+        assert math.isnan(pi.recent_throughput(now=10.0, horizon=2.0))
+
+    def test_recent_throughput_invalid_horizon(self):
+        pi = PipelineInstrumentation(1)
+        with pytest.raises(ValueError):
+            pi.recent_throughput(now=1.0, horizon=0.0)
+
+    def test_bottleneck_detection(self):
+        pi = PipelineInstrumentation(3)
+        pi.stages[0].record_service(0.1, 1.0)
+        pi.stages[1].record_service(0.9, 1.0)
+        pi.stages[2].record_service(0.2, 1.0)
+        bn = pi.bottleneck()
+        assert bn is not None
+        assert bn.stage_index == 1
+
+    def test_bottleneck_none_before_data(self):
+        assert PipelineInstrumentation(2).bottleneck() is None
+
+    def test_empty_throughput_zero(self):
+        pi = PipelineInstrumentation(1)
+        assert pi.overall_throughput() == 0.0

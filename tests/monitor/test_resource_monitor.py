@@ -1,0 +1,88 @@
+"""Tests for the simulated resource monitor."""
+
+import pytest
+
+from repro.gridsim.engine import Simulator
+from repro.gridsim.spec import heterogeneous_grid, uniform_grid
+from repro.monitor.resource_monitor import ResourceMonitor
+from repro.util.rng import derive_rng
+
+
+class TestSampling:
+    def test_samples_at_period(self):
+        sim = Simulator()
+        grid = uniform_grid(2)
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        sim.run(until=10.5)
+        # t=0 plus one per second through t=10.
+        assert mon.samples_taken == 11
+
+    def test_estimates_track_truth_without_noise(self):
+        sim = Simulator()
+        grid = uniform_grid(2)
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        sim.run(until=5.0)
+        est = mon.estimates()
+        assert est.availability[0] == pytest.approx(1.0)
+        assert est.availability[1] == pytest.approx(1.0)
+
+    def test_detects_perturbation(self):
+        sim = Simulator()
+        grid = uniform_grid(2)
+        grid.perturb(1, [(10.0, 0.2)])
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        sim.run(until=40.0)
+        est = mon.estimates()
+        assert est.availability[0] == pytest.approx(1.0, abs=0.05)
+        assert est.availability[1] == pytest.approx(0.2, abs=0.1)
+
+    def test_noise_does_not_bias_grossly(self):
+        sim = Simulator()
+        grid = uniform_grid(1)
+        mon = ResourceMonitor(
+            sim, grid, period=0.5, noise_std=0.05, rng=derive_rng(0, "noise")
+        )
+        sim.run(until=60.0)
+        est = mon.estimates()
+        assert est.availability[0] == pytest.approx(1.0, abs=0.1)
+
+    def test_bandwidth_estimates_present(self):
+        sim = Simulator()
+        grid = heterogeneous_grid([1.0, 1.0], bandwidth=5e6)
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        sim.run(until=3.0)
+        est = mon.estimates()
+        assert est.bandwidth[(0, 1)] == pytest.approx(5e6, rel=0.01)
+        assert est.latency[(0, 1)] > 0
+
+    def test_estimates_before_any_sample_are_optimistic(self):
+        sim = Simulator()
+        grid = uniform_grid(1)
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        # No sim.run(): only the constructor sample at t=0 exists after run;
+        # but estimates() must work even then.
+        est = mon.estimates()
+        assert 0.0 < est.availability[0] <= 1.0
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        grid = uniform_grid(1)
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        sim.run(until=2.5)
+        mon.stop()
+        sim.run(until=10.0)
+        assert mon.samples_taken == 3  # t=0,1,2 then stopped
+
+    def test_invalid_period(self):
+        sim = Simulator()
+        grid = uniform_grid(1)
+        with pytest.raises(ValueError):
+            ResourceMonitor(sim, grid, period=0.0)
+
+    def test_availability_stream_accessible(self):
+        sim = Simulator()
+        grid = uniform_grid(1)
+        mon = ResourceMonitor(sim, grid, period=1.0, noise_std=0.0)
+        sim.run(until=5.0)
+        stream = mon.availability_stream(0)
+        assert len(stream) == 6

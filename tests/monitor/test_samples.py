@@ -1,0 +1,55 @@
+"""Tests for measurement streams."""
+
+import math
+
+import pytest
+
+from repro.monitor.samples import MeasurementStream
+
+
+class TestMeasurementStream:
+    def test_append_and_query(self):
+        s = MeasurementStream("svc")
+        s.add(1.0, 10.0)
+        s.add(2.0, 20.0)
+        assert len(s) == 2
+        assert s.last_time == 2.0
+        assert s.last_value == 20.0
+
+    def test_non_monotonic_time_rejected(self):
+        s = MeasurementStream()
+        s.add(5.0, 1.0)
+        with pytest.raises(ValueError, match="non-monotonic"):
+            s.add(4.0, 1.0)
+
+    def test_equal_times_allowed(self):
+        s = MeasurementStream()
+        s.add(1.0, 1.0)
+        s.add(1.0, 2.0)  # simultaneous samples are fine
+        assert len(s) == 2
+
+    def test_window(self):
+        s = MeasurementStream()
+        for t in range(10):
+            s.add(float(t), float(t * 10))
+        assert s.window(since=7.0) == [70.0, 80.0, 90.0]
+        assert s.window_mean(7.0) == pytest.approx(80.0)
+        assert s.window_count(7.0) == 3
+
+    def test_window_empty(self):
+        s = MeasurementStream()
+        s.add(0.0, 1.0)
+        assert s.window(since=5.0) == []
+        assert math.isnan(s.window_mean(5.0))
+
+    def test_retention_bound(self):
+        s = MeasurementStream(max_samples=5)
+        for t in range(100):
+            s.add(float(t), float(t))
+        assert len(s) == 5
+        assert s.values() == [95.0, 96.0, 97.0, 98.0, 99.0]
+
+    def test_empty_stream_nan(self):
+        s = MeasurementStream()
+        assert math.isnan(s.last_time)
+        assert math.isnan(s.mean())

@@ -1,0 +1,50 @@
+"""Tests for the sweep/aggregate harness."""
+
+import pytest
+
+from repro.reporting.experiment import aggregate, sweep
+
+
+class TestSweep:
+    def test_full_grid_covered(self):
+        rows = sweep(
+            lambda seed, a, b: {"m": a * 10 + b},
+            {"a": [1, 2], "b": [3, 4]},
+        )
+        assert len(rows) == 4
+        assert {(r["a"], r["b"]) for r in rows} == {(1, 3), (1, 4), (2, 3), (2, 4)}
+        assert rows[0]["m"] == 13
+
+    def test_repetitions_get_distinct_seeds(self):
+        rows = sweep(lambda seed, x: {"s": seed}, {"x": [1]}, repetitions=3)
+        assert len(rows) == 3
+        assert len({r["seed"] for r in rows}) == 3
+
+    def test_same_params_same_seed_across_calls(self):
+        r1 = sweep(lambda seed, x: {"s": seed}, {"x": [5]}, base_seed=9)
+        r2 = sweep(lambda seed, x: {"s": seed}, {"x": [5]}, base_seed=9)
+        assert r1[0]["seed"] == r2[0]["seed"]
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            sweep(lambda seed: {}, {}, repetitions=0)
+
+
+class TestAggregate:
+    def test_mean_std(self):
+        rows = [
+            {"x": 1, "m": 10.0},
+            {"x": 1, "m": 20.0},
+            {"x": 2, "m": 5.0},
+        ]
+        agg = aggregate(rows, group_by=["x"], metrics=["m"])
+        assert agg[0]["x"] == 1
+        assert agg[0]["m_mean"] == pytest.approx(15.0)
+        assert agg[0]["m_std"] == pytest.approx(7.0710678, rel=1e-5)
+        assert agg[1]["m_std"] == 0.0
+        assert agg[0]["n"] == 2
+
+    def test_group_order_preserved(self):
+        rows = [{"x": "b", "m": 1.0}, {"x": "a", "m": 2.0}]
+        agg = aggregate(rows, ["x"], ["m"])
+        assert [r["x"] for r in agg] == ["b", "a"]

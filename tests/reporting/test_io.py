@@ -1,0 +1,51 @@
+"""Tests for CSV persistence of experiment rows."""
+
+import pytest
+
+from repro.reporting.experiment import sweep
+from repro.reporting.io import read_rows_csv, write_rows_csv
+
+
+class TestRoundTrip:
+    def test_types_preserved(self, tmp_path):
+        rows = [
+            {"name": "run-a", "n": 3, "tp": 9.5},
+            {"name": "run-b", "n": 4, "tp": 1.25},
+        ]
+        f = tmp_path / "out.csv"
+        write_rows_csv(f, rows)
+        back = read_rows_csv(f)
+        assert back == rows
+
+    def test_ragged_rows_padded(self, tmp_path):
+        rows = [{"a": 1}, {"a": 2, "b": "extra"}]
+        f = tmp_path / "out.csv"
+        write_rows_csv(f, rows)
+        back = read_rows_csv(f)
+        assert back[0]["b"] is None
+        assert back[1]["b"] == "extra"
+
+    def test_explicit_column_selection(self, tmp_path):
+        rows = [{"keep": 1, "drop": 2}]
+        f = tmp_path / "out.csv"
+        write_rows_csv(f, rows, columns=["keep"])
+        back = read_rows_csv(f)
+        assert back == [{"keep": 1}]
+
+    def test_parent_dirs_created(self, tmp_path):
+        f = tmp_path / "nested" / "deeper" / "out.csv"
+        write_rows_csv(f, [{"x": 1}])
+        assert read_rows_csv(f) == [{"x": 1}]
+
+    def test_sweep_output_roundtrips(self, tmp_path):
+        rows = sweep(
+            lambda seed, work: {"throughput": 1.0 / work},
+            {"work": [0.1, 0.2]},
+            repetitions=2,
+        )
+        f = tmp_path / "sweep.csv"
+        write_rows_csv(f, rows)
+        back = read_rows_csv(f)
+        assert len(back) == 4
+        assert back[0]["throughput"] == pytest.approx(10.0)
+        assert {r["work"] for r in back} == {0.1, 0.2}

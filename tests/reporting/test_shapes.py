@@ -1,0 +1,78 @@
+"""Tests for shape assertions."""
+
+import math
+
+import pytest
+
+from repro.reporting.shapes import (
+    assert_monotonic,
+    assert_ratio_at_least,
+    assert_within,
+    find_crossover,
+)
+
+
+class TestMonotonic:
+    def test_increasing_passes(self):
+        assert_monotonic([1.0, 2.0, 3.0])
+
+    def test_small_dip_within_tolerance(self):
+        assert_monotonic([1.0, 2.0, 1.96, 3.0], tolerance=0.05)
+
+    def test_large_dip_fails(self):
+        with pytest.raises(AssertionError, match="not increasing"):
+            assert_monotonic([1.0, 2.0, 1.0], tolerance=0.05)
+
+    def test_decreasing(self):
+        assert_monotonic([3.0, 2.0, 1.0], increasing=False)
+        with pytest.raises(AssertionError):
+            assert_monotonic([1.0, 3.0], increasing=False)
+
+
+class TestRatio:
+    def test_passes(self):
+        assert_ratio_at_least(10.0, 2.0, 4.9)
+
+    def test_fails_with_message(self):
+        with pytest.raises(AssertionError, match="x2.00"):
+            assert_ratio_at_least(4.0, 2.0, 3.0)
+
+    def test_zero_denominator(self):
+        with pytest.raises(AssertionError):
+            assert_ratio_at_least(1.0, 0.0, 1.0)
+
+
+class TestWithin:
+    def test_passes(self):
+        assert_within(1.05, 1.0, rel=0.10)
+
+    def test_fails(self):
+        with pytest.raises(AssertionError):
+            assert_within(1.5, 1.0, rel=0.10)
+
+    def test_nan_fails(self):
+        with pytest.raises(AssertionError):
+            assert_within(math.nan, 1.0, rel=0.1)
+
+    def test_zero_expected(self):
+        assert_within(0.05, 0.0, rel=0.1)
+
+
+class TestCrossover:
+    def test_finds_interpolated_point(self):
+        xs = [0.0, 1.0, 2.0]
+        a = [0.0, 1.0, 4.0]  # overtakes b between x=1 and x=2
+        b = [2.0, 2.0, 2.0]
+        x = find_crossover(xs, a, b)
+        assert 1.0 < x < 2.0
+
+    def test_never_crosses(self):
+        x = find_crossover([0, 1], [0, 0], [1, 1])
+        assert math.isnan(x)
+
+    def test_crosses_at_start(self):
+        assert find_crossover([5, 6], [2, 2], [1, 1]) == 5.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            find_crossover([1], [1, 2], [1])

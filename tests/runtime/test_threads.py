@@ -1,0 +1,189 @@
+"""Tests for the thread-based runtime."""
+
+import threading
+import time
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.runtime.threads import AdaptiveThreadPipeline, ThreadPipeline
+
+
+def spec(fns, replicable=None):
+    replicable = replicable or [True] * len(fns)
+    return PipelineSpec(
+        tuple(
+            StageSpec(name=f"s{i}", work=0.01, fn=f, replicable=r)
+            for i, (f, r) in enumerate(zip(fns, replicable))
+        )
+    )
+
+
+class TestThreadPipeline:
+    def test_results_equal_sequential_composition(self):
+        pipe = spec([lambda x: x + 1, lambda x: x * 2, lambda x: x - 3])
+        out = ThreadPipeline(pipe).run(range(20))
+        assert out == [(x + 1) * 2 - 3 for x in range(20)]
+
+    def test_order_preserved_with_replicas(self):
+        import random
+
+        def jitter(x):
+            time.sleep(random.random() * 0.003)
+            return x * x
+
+        pipe = spec([jitter])
+        out = ThreadPipeline(pipe, replicas=[4]).run(range(40))
+        assert out == [x * x for x in range(40)]
+
+    def test_order_preserved_replicated_middle_stage(self):
+        import random
+
+        def slow(x):
+            time.sleep(random.random() * 0.002)
+            return x + 100
+
+        pipe = spec([lambda x: x * 2, slow, lambda x: x - 1])
+        out = ThreadPipeline(pipe, replicas=[1, 3, 1]).run(range(30))
+        assert out == [x * 2 + 100 - 1 for x in range(30)]
+
+    def test_empty_input(self):
+        pipe = spec([lambda x: x])
+        assert ThreadPipeline(pipe).run([]) == []
+
+    def test_single_item(self):
+        pipe = spec([lambda x: x + 1])
+        assert ThreadPipeline(pipe).run([41]) == [42]
+
+    def test_stats_populated(self):
+        def work(x):
+            time.sleep(0.001)
+            return x
+
+        pipe = spec([work])
+        tp = ThreadPipeline(pipe)
+        tp.run(range(10))
+        assert tp.last_stats is not None
+        assert tp.last_stats.items == 10
+        assert tp.last_stats.throughput > 0
+        assert tp.last_stats.stage_service[0].n == 10
+        assert tp.last_stats.stage_service[0].mean >= 0.001
+
+    def test_stage_exception_propagates_with_name(self):
+        def boom(x):
+            if x == 5:
+                raise ValueError("bad item")
+            return x
+
+        pipe = spec([boom])
+        with pytest.raises(RuntimeError, match="s0"):
+            ThreadPipeline(pipe).run(range(10))
+
+    def test_stateful_stage_cannot_be_replicated(self):
+        pipe = spec([lambda x: x], replicable=[False])
+        with pytest.raises(ValueError, match="stateful"):
+            ThreadPipeline(pipe, replicas=[2])
+
+    def test_missing_fn_rejected(self):
+        pipe = PipelineSpec((StageSpec(name="nofn", work=0.1),))
+        with pytest.raises(ValueError, match="no fn"):
+            ThreadPipeline(pipe)
+
+    def test_replicas_length_mismatch(self):
+        pipe = spec([lambda x: x])
+        with pytest.raises(ValueError):
+            ThreadPipeline(pipe, replicas=[1, 2])
+
+    def test_invalid_replica_count(self):
+        pipe = spec([lambda x: x])
+        with pytest.raises(ValueError):
+            ThreadPipeline(pipe, replicas=[0])
+
+    def test_backpressure_small_capacity(self):
+        # Tiny queues must not deadlock or reorder.
+        pipe = spec([lambda x: x + 1, lambda x: x * 3])
+        out = ThreadPipeline(pipe, capacity=1).run(range(50))
+        assert out == [(x + 1) * 3 for x in range(50)]
+
+    def test_stateful_stage_sees_items_in_order(self):
+        seen = []
+        lock = threading.Lock()
+
+        def record(x):
+            with lock:
+                seen.append(x)
+            return x
+
+        import random
+
+        def jitter(x):
+            time.sleep(random.random() * 0.002)
+            return x
+
+        # Upstream replicated stage may finish out of order; the dispatcher
+        # must still hand items to the (non-replicated) recorder in order.
+        pipe = spec([jitter, record])
+        ThreadPipeline(pipe, replicas=[4, 1]).run(range(30))
+        assert seen == list(range(30))
+
+    @settings(deadline=None, max_examples=15)
+    @given(
+        n_items=st.integers(min_value=0, max_value=60),
+        replicas=st.integers(min_value=1, max_value=4),
+        capacity=st.integers(min_value=1, max_value=8),
+    )
+    def test_property_conservation(self, n_items, replicas, capacity):
+        pipe = spec([lambda x: x + 1, lambda x: x * 2])
+        out = ThreadPipeline(pipe, replicas=[replicas, 1], capacity=capacity).run(
+            range(n_items)
+        )
+        assert out == [(x + 1) * 2 for x in range(n_items)]
+
+
+class TestAdaptiveThreadPipeline:
+    def test_grows_bottleneck_stage(self):
+        def light(x):
+            return x
+
+        def heavy(x):
+            time.sleep(0.004)
+            return x
+
+        pipe = spec([light, heavy, light])
+        atp = AdaptiveThreadPipeline(pipe, max_workers=3)
+        batches = [range(30)] * 3
+        results = atp.run_batches(batches)
+        assert all(list(r) == list(range(30)) for r in results)
+        # The heavy middle stage must have gained workers.
+        assert atp.replicas[1] > 1
+        assert all(stage == 1 for stage, _ in atp.adaptations)
+
+    def test_respects_max_workers(self):
+        def heavy(x):
+            time.sleep(0.002)
+            return x
+
+        pipe = spec([heavy])
+        atp = AdaptiveThreadPipeline(pipe, max_workers=2)
+        atp.run_batches([range(10)] * 5)
+        assert atp.replicas[0] <= 2
+
+    def test_never_replicates_stateful_stage(self):
+        def heavy(x):
+            time.sleep(0.002)
+            return x
+
+        pipe = spec([heavy, lambda x: x], replicable=[False, True])
+        atp = AdaptiveThreadPipeline(pipe, max_workers=4)
+        atp.run_batches([range(10)] * 3)
+        assert atp.replicas[0] == 1
+
+    def test_invalid_params(self):
+        pipe = spec([lambda x: x])
+        with pytest.raises(ValueError):
+            AdaptiveThreadPipeline(pipe, max_workers=0)
+        with pytest.raises(ValueError):
+            AdaptiveThreadPipeline(pipe, imbalance_threshold=0.5)

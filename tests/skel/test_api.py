@@ -1,0 +1,98 @@
+"""Tests for the skeleton API layer."""
+
+import pytest
+
+from repro.core.pipeline import PipelineSpec
+from repro.core.policy import AdaptationConfig
+from repro.core.stage import StageSpec
+from repro.gridsim.spec import uniform_grid
+from repro.model.mapping import Mapping
+from repro.skel.api import farm, pipeline_1for1, simulate_farm, simulate_pipeline
+from repro.workloads.synthetic import balanced_pipeline
+
+
+class TestPipeline1for1:
+    def test_callables(self):
+        out = pipeline_1for1([lambda x: x + 1, lambda x: x * 2], [1, 2, 3])
+        assert out == [4, 6, 8]
+
+    def test_mixed_specs_and_callables(self):
+        stage = StageSpec(name="inc", work=0.01, fn=lambda x: x + 1)
+        out = pipeline_1for1([stage, lambda x: x * 10], [0, 1])
+        assert out == [10, 20]
+
+    def test_replicated_stage(self):
+        out = pipeline_1for1([lambda x: x**2], range(10), replicas=[3])
+        assert out == [x**2 for x in range(10)]
+
+    def test_invalid_stage_type(self):
+        with pytest.raises(TypeError):
+            pipeline_1for1([42], [1])  # type: ignore[list-item]
+
+    def test_named_function_keeps_name(self):
+        def double(x):
+            return x * 2
+
+        # Smoke test: construction succeeds and uses function name.
+        out = pipeline_1for1([double], [1, 2])
+        assert out == [2, 4]
+
+
+class TestFarm:
+    def test_results_in_order(self):
+        out = farm(lambda x: x * 3, range(20), workers=4)
+        assert out == [x * 3 for x in range(20)]
+
+    def test_single_worker(self):
+        assert farm(lambda x: -x, [1, 2], workers=1) == [-1, -2]
+
+
+class TestSimulatePipeline:
+    def test_static(self):
+        res = simulate_pipeline(
+            balanced_pipeline(3), uniform_grid(3), 100, adaptive=False,
+            mapping=Mapping.single([0, 1, 2]),
+        )
+        assert res.completed_all
+        assert res.adaptation_events == []
+
+    def test_adaptive_default_config(self):
+        grid = uniform_grid(4)
+        grid.perturb(1, [(10.0, 0.1)])
+        res = simulate_pipeline(
+            balanced_pipeline(3),
+            grid,
+            600,
+            adaptive=True,
+            mapping=Mapping.single([0, 1, 2]),
+        )
+        assert res.completed_all
+        assert any(e.kind != "rollback" for e in res.adaptation_events)
+
+    def test_adaptive_custom_config(self):
+        cfg = AdaptationConfig(interval=2.0, cooldown=4.0)
+        res = simulate_pipeline(
+            balanced_pipeline(2), uniform_grid(2), 50, adaptive=cfg,
+            mapping=Mapping.single([0, 1]),
+        )
+        assert res.completed_all
+
+
+class TestSimulateFarm:
+    def test_uses_all_processors_by_default(self):
+        res = simulate_farm(0.4, uniform_grid(4), 200)
+        assert res.completed_all
+        assert res.final_mapping.replicas(0) == (0, 1, 2, 3)
+
+    def test_worker_cap(self):
+        res = simulate_farm(0.4, uniform_grid(4), 100, workers=2)
+        assert res.final_mapping.replicas(0) == (0, 1)
+
+    def test_farm_scales(self):
+        one = simulate_farm(0.4, uniform_grid(4), 200, workers=1)
+        four = simulate_farm(0.4, uniform_grid(4), 200, workers=4)
+        assert four.makespan < one.makespan / 2.5
+
+    def test_outputs_ordered(self):
+        res = simulate_farm(0.4, uniform_grid(4), 100)
+        assert res.in_order()

@@ -1,0 +1,93 @@
+"""Tests for ASCII table/series/plot rendering."""
+
+import math
+
+import pytest
+
+from repro.util.tables import ascii_plot, format_float, render_series, render_table
+
+
+class TestFormatFloat:
+    def test_int_passthrough(self):
+        assert format_float(42) == "42"
+
+    def test_float_sigfigs(self):
+        assert format_float(3.14159, digits=3) == "3.14"
+
+    def test_nan_inf(self):
+        assert format_float(float("nan")) == "nan"
+        assert format_float(float("inf")) == "inf"
+        assert format_float(float("-inf")) == "-inf"
+
+    def test_zero(self):
+        assert format_float(0.0) == "0"
+
+    def test_string_passthrough(self):
+        assert format_float("(1,2,3)") == "(1,2,3)"
+
+    def test_bool_not_formatted_as_number(self):
+        assert format_float(True) == "True"
+
+
+class TestRenderTable:
+    def test_basic_structure(self):
+        out = render_table(["name", "x"], [["a", 1.5], ["bb", 22.0]])
+        lines = out.splitlines()
+        assert len(lines) == 4  # header, separator, 2 rows
+        assert "name" in lines[0] and "x" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_numeric_right_alignment(self):
+        out = render_table(["v"], [[1.0], [100.0]])
+        rows = out.splitlines()[2:]
+        # right-aligned: shorter number is padded on the left
+        assert rows[0].endswith("1")
+        assert rows[1].endswith("100")
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="T1")
+        assert out.splitlines()[0] == "T1"
+
+    def test_short_rows_padded(self):
+        out = render_table(["a", "b"], [[1]])
+        assert "1" in out  # no crash, row padded
+
+    def test_empty_rows(self):
+        out = render_table(["a", "b"], [])
+        assert "a" in out
+
+
+class TestRenderSeries:
+    def test_columns(self):
+        out = render_series({"static": [1, 2], "adaptive": [3, 4]}, x=[10, 20], x_label="t")
+        lines = out.splitlines()
+        assert lines[0].split()[:3] == ["t", "static", "adaptive"]
+        assert "10" in lines[2]
+
+    def test_ragged_series_padded_with_nan(self):
+        out = render_series({"y": [1.0]}, x=[0, 1])
+        assert "nan" in out
+
+
+class TestAsciiPlot:
+    def test_contains_points(self):
+        out = ascii_plot([0, 1, 2, 3], [0, 1, 2, 3], width=20, height=5)
+        assert "*" in out
+        assert "x in [0, 3]" in out
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ascii_plot([1, 2], [1])
+
+    def test_all_nan(self):
+        out = ascii_plot([0, 1], [math.nan, math.nan], label="empty")
+        assert "no finite data" in out
+
+    def test_constant_series(self):
+        # Degenerate y-range must not divide by zero.
+        out = ascii_plot([0, 1, 2], [5, 5, 5])
+        assert "*" in out
+
+    def test_label_first_line(self):
+        out = ascii_plot([0, 1], [0, 1], label="throughput")
+        assert out.splitlines()[0] == "throughput"

@@ -1,0 +1,42 @@
+"""Tests for the tracer."""
+
+from repro.util.trace import TraceEvent, Tracer
+
+
+class TestTracer:
+    def test_emit_and_query(self):
+        t = Tracer()
+        t.emit(1.0, "adapt", "remap", stage=2)
+        t.emit(2.0, "item", "done")
+        assert len(t) == 2
+        assert [e.category for e in t] == ["adapt", "item"]
+
+    def test_category_filter(self):
+        t = Tracer()
+        t.emit(0.0, "a", "x")
+        t.emit(0.0, "b", "y")
+        assert [e.message for e in t.events("b")] == ["y"]
+
+    def test_disabled_is_noop(self):
+        t = Tracer(enabled=False)
+        t.emit(0.0, "a", "x")
+        assert len(t) == 0
+
+    def test_subscriber_called(self):
+        t = Tracer()
+        seen = []
+        t.subscribe(seen.append)
+        t.emit(3.0, "a", "hello")
+        assert len(seen) == 1
+        assert seen[0].time == 3.0
+
+    def test_clear(self):
+        t = Tracer()
+        t.emit(0.0, "a", "x")
+        t.clear()
+        assert len(t) == 0
+
+    def test_str_includes_fields(self):
+        e = TraceEvent(1.5, "adapt", "remap", {"stage": 3})
+        assert "stage=3" in str(e)
+        assert "adapt" in str(e)

@@ -1,0 +1,118 @@
+"""Tests for stochastic work models."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.cost_models import (
+    BimodalWork,
+    EmpiricalWork,
+    ExponentialWork,
+    LogNormalWork,
+    ParetoWork,
+    UniformWork,
+)
+
+MODELS = [
+    lambda m: ExponentialWork(m),
+    lambda m: LogNormalWork(m, cv=0.5),
+    lambda m: UniformWork(m * 0.5, m * 1.5),
+    lambda m: ParetoWork(m, alpha=2.5),
+    lambda m: BimodalWork(light=m / 2, heavy=m * 5.5, p_heavy=0.1),
+]
+
+
+class TestMeanConsistency:
+    @pytest.mark.parametrize("make", MODELS)
+    def test_sample_mean_matches_declared_mean(self, make):
+        model = make(0.5)
+        rng = np.random.default_rng(0)
+        samples = [model.sample(rng) for _ in range(20_000)]
+        assert np.mean(samples) == pytest.approx(model.mean, rel=0.08)
+
+    @pytest.mark.parametrize("make", MODELS)
+    def test_samples_positive(self, make):
+        model = make(1.0)
+        rng = np.random.default_rng(1)
+        assert all(model.sample(rng) > 0 for _ in range(1000))
+
+    @pytest.mark.parametrize("make", MODELS)
+    def test_deterministic_given_seed(self, make):
+        a = [make(1.0).sample(np.random.default_rng(7)) for _ in range(5)]
+        b = [make(1.0).sample(np.random.default_rng(7)) for _ in range(5)]
+        assert a == b
+
+
+class TestLogNormal:
+    def test_cv_controls_spread(self):
+        rng1, rng2 = np.random.default_rng(0), np.random.default_rng(0)
+        tight = [LogNormalWork(1.0, cv=0.1).sample(rng1) for _ in range(5000)]
+        wide = [LogNormalWork(1.0, cv=2.0).sample(rng2) for _ in range(5000)]
+        assert np.std(tight) < np.std(wide)
+
+    @settings(max_examples=20, deadline=None)
+    @given(cv=st.floats(min_value=0.05, max_value=2.0))
+    def test_property_mean_invariant_under_cv(self, cv):
+        model = LogNormalWork(0.3, cv=cv)
+        rng = np.random.default_rng(11)
+        samples = [model.sample(rng) for _ in range(30_000)]
+        assert np.mean(samples) == pytest.approx(0.3, rel=0.12)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            LogNormalWork(0.0, 0.5)
+        with pytest.raises(ValueError):
+            LogNormalWork(1.0, 0.0)
+
+
+class TestPareto:
+    def test_cap_enforced(self):
+        model = ParetoWork(1.0, alpha=1.2, cap=10.0)
+        rng = np.random.default_rng(2)
+        assert max(model.sample(rng) for _ in range(50_000)) <= 10.0
+
+    def test_alpha_must_give_finite_mean(self):
+        with pytest.raises(ValueError):
+            ParetoWork(1.0, alpha=1.0)
+
+
+class TestBimodal:
+    def test_two_values_only(self):
+        model = BimodalWork(light=1.0, heavy=9.0, p_heavy=0.3)
+        rng = np.random.default_rng(3)
+        vals = {model.sample(rng) for _ in range(1000)}
+        assert vals == {1.0, 9.0}
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            BimodalWork(1.0, 2.0, p_heavy=1.5)
+
+
+class TestUniform:
+    def test_bounds(self):
+        model = UniformWork(0.2, 0.4)
+        rng = np.random.default_rng(4)
+        vals = [model.sample(rng) for _ in range(1000)]
+        assert all(0.2 <= v <= 0.4 for v in vals)
+
+    def test_invalid_bounds(self):
+        with pytest.raises(ValueError):
+            UniformWork(1.0, 0.5)
+
+
+class TestEmpirical:
+    def test_resamples_observed_values(self):
+        model = EmpiricalWork([0.1, 0.2, 0.3])
+        rng = np.random.default_rng(5)
+        vals = {round(model.sample(rng), 10) for _ in range(200)}
+        assert vals <= {0.1, 0.2, 0.3}
+        assert model.mean == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalWork([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalWork([0.1, 0.0])

@@ -1,0 +1,100 @@
+"""Tests for grid scenarios."""
+
+import pytest
+
+from repro.gridsim.spec import GridSpec, SiteSpec, uniform_grid
+from repro.workloads.scenarios import (
+    diurnal_load_factory,
+    flash_crowd,
+    heterogeneity_ladder,
+    load_step,
+    markov_load_factory,
+    node_churn,
+    random_walk_load_factory,
+)
+
+
+class TestLoadStep:
+    def test_applies(self):
+        grid = uniform_grid(3)
+        load_step(1, at=10.0, availability=0.2).apply(grid)
+        assert grid.processor(1).availability(5.0) == pytest.approx(1.0)
+        assert grid.processor(1).availability(15.0) == pytest.approx(0.2)
+
+    def test_recovery(self):
+        grid = uniform_grid(2)
+        load_step(0, at=10.0, availability=0.2, recover_at=50.0).apply(grid)
+        assert grid.processor(0).availability(60.0) == pytest.approx(1.0)
+
+    def test_invalid_recovery(self):
+        with pytest.raises(ValueError):
+            load_step(0, at=10.0, availability=0.2, recover_at=5.0)
+
+
+class TestFlashCrowd:
+    def test_staggered_onset(self):
+        grid = uniform_grid(4)
+        flash_crowd([1, 2], at=10.0, availability=0.25, stagger=5.0).apply(grid)
+        assert grid.processor(1).availability(12.0) == pytest.approx(0.25)
+        assert grid.processor(2).availability(12.0) == pytest.approx(1.0)
+        assert grid.processor(2).availability(16.0) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            flash_crowd([], at=0.0)
+
+
+class TestNodeChurn:
+    def test_alternates(self):
+        grid = uniform_grid(1)
+        node_churn(0, period=10.0, duty=0.5, availability=0.01).apply(grid)
+        p = grid.processor(0)
+        assert p.availability(2.0) == pytest.approx(1.0)  # first up phase
+        assert p.availability(7.0) == pytest.approx(0.01)  # down
+        assert p.availability(12.0) == pytest.approx(1.0)  # up again
+
+    def test_invalid_duty(self):
+        with pytest.raises(ValueError):
+            node_churn(0, period=10.0, duty=1.5)
+
+
+class TestHeterogeneityLadder:
+    def test_endpoints(self):
+        speeds = heterogeneity_ladder(4, factor=8.0)
+        assert speeds[0] == pytest.approx(1.0)
+        assert speeds[-1] == pytest.approx(8.0)
+        assert len(speeds) == 4
+
+    def test_monotone(self):
+        speeds = heterogeneity_ladder(6, factor=4.0)
+        assert speeds == sorted(speeds)
+
+    def test_homogeneous(self):
+        assert heterogeneity_ladder(3, factor=1.0) == [1.0, 1.0, 1.0]
+
+    def test_single_node(self):
+        assert heterogeneity_ladder(1, factor=5.0) == [1.0]
+
+    def test_invalid_factor(self):
+        with pytest.raises(ValueError):
+            heterogeneity_ladder(3, factor=0.5)
+
+
+class TestLoadFactories:
+    @pytest.mark.parametrize(
+        "factory",
+        [
+            markov_load_factory(),
+            random_walk_load_factory(),
+            diurnal_load_factory(period=100.0),
+        ],
+    )
+    def test_usable_in_grid_spec(self, factory):
+        spec = GridSpec(
+            sites=[SiteSpec(name="s", speeds=[1.0, 1.0], load_factory=factory)],
+            seed=3,
+        )
+        grid = spec.build()
+        vals = [grid.processor(0).availability(float(t)) for t in range(200)]
+        assert all(0.0 < v <= 1.0 for v in vals)
+        assert len(set(round(v, 6) for v in vals)) > 1  # actually varies

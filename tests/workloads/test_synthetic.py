@@ -1,0 +1,54 @@
+"""Tests for synthetic pipeline builders."""
+
+import pytest
+
+from repro.workloads.cost_models import LogNormalWork
+from repro.workloads.synthetic import (
+    balanced_pipeline,
+    imbalanced_pipeline,
+    stochastic_pipeline,
+)
+
+
+class TestBalanced:
+    def test_shape(self):
+        p = balanced_pipeline(4, work=0.2)
+        assert p.n_stages == 4
+        assert p.total_work() == pytest.approx(0.8)
+
+    def test_bytes_propagate(self):
+        p = balanced_pipeline(2, out_bytes=100.0, input_bytes=50.0, state_bytes=10.0)
+        assert p.input_bytes == 50.0
+        assert p.stage(0).out_bytes == 100.0
+        assert p.stage(1).state_bytes == 10.0
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            balanced_pipeline(0)
+
+
+class TestImbalanced:
+    def test_works_assigned(self):
+        p = imbalanced_pipeline([0.1, 0.5, 0.2])
+        assert [s.work.mean for s in p.stages] == pytest.approx([0.1, 0.5, 0.2])
+
+    def test_bottleneck_stateful_flag(self):
+        p = imbalanced_pipeline([0.1, 0.5, 0.2], bottleneck_replicable=False)
+        assert p.stage(0).replicable
+        assert not p.stage(1).replicable
+        assert p.stage(2).replicable
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            imbalanced_pipeline([])
+
+
+class TestStochastic:
+    def test_lognormal_stages(self):
+        p = stochastic_pipeline([0.1, 0.2], cv=1.0)
+        assert all(isinstance(s.work, LogNormalWork) for s in p.stages)
+        assert p.stage(1).work.mean == pytest.approx(0.2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            stochastic_pipeline([], cv=0.5)
