@@ -21,6 +21,19 @@ Quickstart::
     print(result.throughput(), result.adaptation_events)
 """
 
+from repro.backend import (
+    Backend,
+    BackendResult,
+    ProcessPoolBackend,
+    RuntimeAdaptiveRunner,
+    RuntimeRunResult,
+    SimBackend,
+    ThreadBackend,
+    available_backends,
+    local_config,
+    make_backend,
+    register_backend,
+)
 from repro.core import (
     AdaptationConfig,
     AdaptationEvent,
@@ -59,26 +72,37 @@ __all__ = [
     "AdaptationPolicy",
     "AdaptivePipeline",
     "AdaptiveThreadPipeline",
+    "Backend",
+    "BackendResult",
     "FixedWork",
     "GridSpec",
     "GridSystem",
     "Mapping",
     "ModelContext",
     "PipelineSpec",
+    "ProcessPoolBackend",
     "RunResult",
+    "RuntimeAdaptiveRunner",
+    "RuntimeRunResult",
+    "SimBackend",
     "SiteSpec",
     "StageCost",
     "StageSpec",
+    "ThreadBackend",
     "ThreadPipeline",
     "__version__",
+    "available_backends",
     "balanced_pipeline",
     "farm",
     "heterogeneity_ladder",
     "heterogeneous_grid",
     "imbalanced_pipeline",
     "load_step",
+    "local_config",
+    "make_backend",
     "pipeline_1for1",
     "predict",
+    "register_backend",
     "run_static",
     "simulate_farm",
     "simulate_pipeline",

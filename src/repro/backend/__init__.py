@@ -1,0 +1,49 @@
+"""Pluggable execution backends for the adaptive pipeline pattern.
+
+The :class:`~repro.backend.base.Backend` port decouples *what* a pipeline
+computes (a :class:`~repro.core.pipeline.PipelineSpec`) from *where* it
+executes — the same separation task-parallel frameworks like Pipeflow draw
+between pipeline structure and scheduling substrate.  Three adapters ship:
+
+* ``"sim"`` — :class:`SimBackend`, the discrete-event grid simulator
+  (simulated time; adaptation via the in-sim controller);
+* ``"threads"`` — :class:`ThreadBackend`, the local thread runtime (for
+  I/O-bound and GIL-releasing stages);
+* ``"processes"`` — :class:`ProcessPoolBackend`, warm pre-forked process
+  pools per stage (true multi-core for CPU-bound Python stages).
+
+:class:`RuntimeAdaptiveRunner` runs the paper's observe→decide→act loop
+against any live backend using wall-clock measurements, reusing the exact
+policies (:class:`~repro.core.policy.AdaptationPolicy`,
+:class:`~repro.core.policies_alt.ReactivePolicy`) the simulator exercises.
+
+See ``docs/backends.md`` for the contract and selection guidance.
+"""
+
+from repro.backend.base import (
+    Backend,
+    BackendCapabilityError,
+    BackendResult,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.backend.process_backend import ProcessPoolBackend
+from repro.backend.runner import RuntimeAdaptiveRunner, RuntimeRunResult, local_config
+from repro.backend.sim_backend import SimBackend
+from repro.backend.thread_backend import ThreadBackend
+
+__all__ = [
+    "Backend",
+    "BackendCapabilityError",
+    "BackendResult",
+    "ProcessPoolBackend",
+    "RuntimeAdaptiveRunner",
+    "RuntimeRunResult",
+    "SimBackend",
+    "ThreadBackend",
+    "available_backends",
+    "local_config",
+    "make_backend",
+    "register_backend",
+]

@@ -1,0 +1,181 @@
+"""The execution-backend port.
+
+A :class:`Backend` runs one :class:`~repro.core.pipeline.PipelineSpec` over
+a sequence of inputs under the eSkel ``Pipeline1for1`` contract (equal
+length, input order preserved) and exposes the three hooks the adaptation
+loop needs:
+
+* **observe** — ``snapshots()`` reports per-stage service-time and
+  queue-depth samples as :class:`~repro.monitor.instrument.StageSnapshot`
+  objects (the same currency the simulator's instrumentation uses), and
+  ``recent_throughput()``/``items_completed()`` report sink-side progress;
+* **act** — ``reconfigure(stage, n_replicas)`` changes a replicable stage's
+  degree of parallelism, live when ``supports_live_reconfigure`` is true;
+* **lifecycle** — ``start``/``join`` split a run so a controller thread can
+  observe and act mid-flight; ``run`` is the blocking convenience form and
+  ``close`` releases warm resources (worker pools).
+
+Adapters register themselves in a name → factory registry so user-facing
+entry points (:func:`repro.skel.api.pipeline_1for1`) and benchmarks can
+select a backend by string, and downstream code can plug in new ones
+(``register_backend``) without touching this package.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.pipeline import PipelineSpec
+from repro.monitor.instrument import StageSnapshot
+
+__all__ = [
+    "Backend",
+    "BackendCapabilityError",
+    "BackendResult",
+    "available_backends",
+    "make_backend",
+    "register_backend",
+]
+
+
+class BackendCapabilityError(RuntimeError):
+    """The backend cannot perform the requested operation (by design)."""
+
+
+@dataclass
+class BackendResult:
+    """What one backend run produced.
+
+    ``outputs`` is ``None`` when the backend measures but does not compute
+    (a simulator run over stages without callables).  ``elapsed`` is in the
+    backend's own clock: wall seconds for real executors, simulated seconds
+    for the simulator.
+    """
+
+    backend: str
+    outputs: list[Any] | None
+    items: int
+    elapsed: float
+    service_means: list[float] = field(default_factory=list)
+    replica_counts: list[int] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.items / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class Backend(ABC):
+    """Port through which pipelines execute (see module docstring)."""
+
+    name: str = "abstract"
+    supports_live_reconfigure: bool = False
+
+    def __init__(self, pipeline: PipelineSpec) -> None:
+        self.pipeline = pipeline
+
+    # ------------------------------------------------------------- lifecycle
+    @abstractmethod
+    def start(self, inputs: Iterable[Any]) -> int:
+        """Begin a run; returns the number of items accepted."""
+
+    @abstractmethod
+    def join(self) -> BackendResult:
+        """Block until the current run completes and return its result."""
+
+    def run(self, inputs: Iterable[Any]) -> BackendResult:
+        """``start`` + ``join``."""
+        self.start(inputs)
+        return self.join()
+
+    def running(self) -> bool:
+        return False
+
+    def close(self) -> None:
+        """Release warm resources; the backend may not be reused after."""
+
+    def __enter__(self) -> "Backend":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ----------------------------------------------------------- observation
+    def snapshots(self) -> list[StageSnapshot]:
+        """Windowed per-stage service/queue measurements of the current run."""
+        return []
+
+    def items_completed(self) -> int:
+        return 0
+
+    def recent_throughput(self, horizon: float) -> float:
+        """Sink completions/s over the trailing ``horizon`` (NaN = no data)."""
+        return math.nan
+
+    # ----------------------------------------------------------------- shape
+    def replica_counts(self) -> list[int]:
+        return [1] * self.pipeline.n_stages
+
+    def replica_limit(self, stage: int) -> int:
+        """Largest replica count ``reconfigure`` can honour for ``stage``."""
+        return 1
+
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        """Set ``stage``'s degree of parallelism (live when supported)."""
+        raise BackendCapabilityError(
+            f"backend {self.name!r} does not support reconfigure()"
+        )
+
+
+# --------------------------------------------------------------------- registry
+_REGISTRY: dict[str, Callable[..., Backend]] = {}
+
+
+def register_backend(
+    name: str, factory: Callable[..., Backend], *, overwrite: bool = False
+) -> None:
+    """Register ``factory(pipeline, **kwargs) -> Backend`` under ``name``."""
+    if not overwrite and name in _REGISTRY:
+        raise ValueError(f"backend {name!r} is already registered")
+    _REGISTRY[name] = factory
+
+
+def available_backends() -> list[str]:
+    return sorted(_REGISTRY)
+
+
+def make_backend(
+    backend: str | Backend, pipeline: PipelineSpec | None = None, **kwargs
+) -> Backend:
+    """Resolve ``backend`` (a name or an instance) to a :class:`Backend`.
+
+    Passing an instance returns it unchanged (kwargs must then be omitted —
+    the instance is already configured).  When both an instance *and* a
+    ``pipeline`` are given, the instance must run the same stage callables:
+    silently executing a different pipeline than the caller reasons about
+    is the one mistake this seam must not allow.
+    """
+    if isinstance(backend, Backend):
+        if kwargs:
+            raise ValueError(
+                f"backend instance given; unexpected kwargs: {sorted(kwargs)}"
+            )
+        if pipeline is not None and [s.fn for s in backend.pipeline.stages] != [
+            s.fn for s in pipeline.stages
+        ]:
+            raise ValueError(
+                f"backend instance was built for pipeline "
+                f"{backend.pipeline!s}, which does not run the given stages"
+            )
+        return backend
+    try:
+        factory = _REGISTRY[backend]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {backend!r}; available: {available_backends()}"
+        ) from None
+    if pipeline is None:
+        raise ValueError("a PipelineSpec is required to build a backend by name")
+    return factory(pipeline, **kwargs)

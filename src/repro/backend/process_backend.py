@@ -1,0 +1,492 @@
+"""Warm process-pool backend: true multi-core execution of pipelines.
+
+Each stage owns a pool of **pre-forked worker processes** (the ModelOps
+warm-pool idea: pay process start-up once, before the first item, and keep
+workers resident between runs).  Only ``replicas[i]`` of a stage's pool are
+*active*; ``reconfigure(stage, n)`` activates or deactivates warm workers
+instantly — no fork on the adaptation path.
+
+Topology (per stage ``i``)::
+
+                      taskq (per worker, bounded)
+    router[i-1] ──┬──> worker i.0 ──┐
+       (parent)   ├──> worker i.1 ──┼──> resq[i] ──> router[i] ──> ...
+                  └──> worker i.R ──┘   (shared)      (parent)
+
+* Workers are OS processes running :func:`_worker_main`; items and results
+  cross process boundaries pickled (payloads are pre-pickled in the worker
+  so an unpicklable result surfaces as a :class:`StageError` instead of a
+  silent hang in ``multiprocessing``'s feeder thread).
+* **Routers** are parent-side threads, one per stage: they collect that
+  stage's results, record service-time/queue-depth samples, restore
+  sequence order, and dispatch in order to the *least-loaded active* worker
+  of the next stage.  Because every stage starts items in input order and
+  the final router emits in order, the ``Pipeline1for1`` contract holds
+  across processes exactly as it does in the thread runtime.
+* Bounded per-worker task queues and a bounded result queue give end-to-end
+  back-pressure.
+
+The default start method is ``fork`` where available (warm semantics, and
+closures/lambdas need no pickling); pass ``start_method="spawn"`` with
+importable module-level stage functions on platforms without fork.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import pickle
+import queue as thread_queue
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.backend.base import Backend, BackendResult, register_backend
+from repro.core.pipeline import PipelineSpec
+from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
+from repro.runtime.threads import StageError
+from repro.util.ordering import SequenceReorderer
+from repro.util.validation import check_positive
+
+__all__ = ["ProcessPoolBackend"]
+
+_STOP = None  # poison pill: worker exits (sent only by close())
+
+
+def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq) -> None:
+    """Worker process body: apply ``fn`` to (seq, value) tasks forever."""
+    while True:
+        msg = taskq.get()
+        if msg is _STOP:
+            break
+        seq, payload = msg
+        value = pickle.loads(payload)
+        t0 = time.perf_counter()
+        try:
+            result = fn(value)
+        except BaseException as err:  # noqa: BLE001 - shipped to the parent
+            try:
+                err_payload = pickle.dumps(err)
+            except Exception:
+                err_payload = None
+            resq.put(("err", seq, worker_id, err_payload, repr(err)))
+            continue  # stay warm; the parent aborts the run
+        dt = time.perf_counter() - t0
+        try:
+            out_payload = pickle.dumps(result)
+        except Exception as err:
+            resq.put(("err", seq, worker_id, None, f"unpicklable result: {err!r}"))
+            continue
+        resq.put(("ok", seq, worker_id, out_payload, dt))
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process."""
+
+    def __init__(self, proc, taskq, active: bool) -> None:
+        self.proc = proc
+        self.taskq = taskq
+        self.active = active
+        self.inflight = 0  # dispatched, result not yet seen
+
+
+class _StagePool:
+    """One stage's warm worker pool plus its shared result queue."""
+
+    def __init__(self, resq, lock: threading.Lock) -> None:
+        self.resq = resq
+        self.lock = lock
+        self.workers: list[_WorkerHandle] = []
+
+    def active_count(self) -> int:
+        with self.lock:
+            return sum(1 for w in self.workers if w.active)
+
+    def queued(self) -> int:
+        with self.lock:
+            return sum(w.inflight for w in self.workers)
+
+    def pick(self) -> _WorkerHandle:
+        """Least-loaded active worker (claims one in-flight slot)."""
+        with self.lock:
+            active = [w for w in self.workers if w.active]
+            best = min(active, key=lambda w: w.inflight)
+            best.inflight += 1
+            return best
+
+    def note_done(self, worker_id: int) -> None:
+        with self.lock:
+            self.workers[worker_id].inflight -= 1
+
+    def dead_workers(self) -> list[tuple[int, int | None]]:
+        """(worker_id, exitcode) of workers that died (none should, mid-run)."""
+        with self.lock:
+            return [
+                (wid, w.proc.exitcode)
+                for wid, w in enumerate(self.workers)
+                if not w.proc.is_alive()
+            ]
+
+
+class ProcessPoolBackend(Backend):
+    """Executes pipelines on warm, pre-forked per-stage process pools.
+
+    Parameters
+    ----------
+    pipeline:
+        Stage specs; every stage must define ``fn``.
+    replicas:
+        Initially *active* workers per stage (default 1 each).
+    max_replicas:
+        Warm-pool size per replicable stage — the ceiling ``reconfigure``
+        can activate without forking mid-run.
+    capacity:
+        Per-worker task-queue bound (back-pressure granularity).
+    start_method:
+        ``multiprocessing`` start method; default ``fork`` when available.
+    """
+
+    name = "processes"
+    supports_live_reconfigure = True
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        replicas: list[int] | None = None,
+        max_replicas: int = 4,
+        capacity: int | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        super().__init__(pipeline)
+        capacity = 8 if capacity is None else capacity
+        check_positive(capacity, "capacity")
+        check_positive(max_replicas, "max_replicas")
+        n = pipeline.n_stages
+        if replicas is None:
+            replicas = [1] * n
+        if len(replicas) != n:
+            raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
+        for i, r in enumerate(replicas):
+            if r < 1:
+                raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
+            if r > 1 and not pipeline.stage(i).replicable:
+                raise ValueError(
+                    f"stage {i} ({pipeline.stage(i).name!r}) is stateful and "
+                    "cannot be replicated"
+                )
+            if pipeline.stage(i).fn is None:
+                raise ValueError(
+                    f"stage {i} ({pipeline.stage(i).name!r}) has no fn; the "
+                    "process runtime executes real callables"
+                )
+        if start_method is None:
+            methods = mp.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._ctx = mp.get_context(start_method)
+        self.capacity = capacity
+        # A warm pool must at least cover the requested starting shape.
+        self.max_replicas = max(max_replicas, *replicas)
+        self._target = [min(r, self.replica_limit(i)) for i, r in enumerate(replicas)]
+        self._pools: list[_StagePool] | None = None
+        self._warm = False
+        self._closed = False
+        # Per-run state
+        self._running = False
+        self._threads: list[threading.Thread] = []
+        self._outputs: list[Any] = []
+        self._errors: list[BaseException] = []
+        self._abort = threading.Event()
+        self._t0 = 0.0
+        self._elapsed = 0.0
+        self._n_items = 0
+        self.instrumentation: PipelineInstrumentation | None = None
+        self._stage_locks = [threading.Lock() for _ in range(n)]
+
+    # --------------------------------------------------------------- warm-up
+    def replica_limit(self, stage: int) -> int:
+        return self.max_replicas if self.pipeline.stage(stage).replicable else 1
+
+    def warm(self) -> None:
+        """Pre-fork every stage's worker pool (idempotent)."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._warm:
+            return
+        pools = []
+        for i in range(self.pipeline.n_stages):
+            pool_size = self.replica_limit(i)
+            resq = self._ctx.Queue(maxsize=self.capacity * pool_size)
+            pool = _StagePool(resq, threading.Lock())
+            fn = self.pipeline.stage(i).fn
+            for wid in range(pool_size):
+                taskq = self._ctx.Queue(maxsize=self.capacity)
+                proc = self._ctx.Process(
+                    target=_worker_main,
+                    args=(i, wid, fn, taskq, resq),
+                    name=f"{self.pipeline.stage(i).name}.{wid}",
+                    daemon=True,
+                )
+                proc.start()
+                pool.workers.append(_WorkerHandle(proc, taskq, active=wid < self._target[i]))
+            pools.append(pool)
+        self._pools = pools
+        self._warm = True
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, inputs: Iterable[Any]) -> int:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._running:
+            raise RuntimeError("backend already running; join() it first")
+        self.warm()
+        assert self._pools is not None
+        items = list(inputs)
+        self._n_items = len(items)
+        self._outputs = []
+        self._errors = []
+        self._abort = threading.Event()
+        self.instrumentation = PipelineInstrumentation(self.pipeline.n_stages)
+        self._threads = []
+        self._t0 = time.perf_counter()
+        self._running = True
+
+        feeder = threading.Thread(
+            target=self._feed, args=(items,), name="pp-feeder", daemon=True
+        )
+        self._threads.append(feeder)
+        for i in range(self.pipeline.n_stages):
+            self._threads.append(
+                threading.Thread(
+                    target=self._route, args=(i,), name=f"pp-router[{i}]", daemon=True
+                )
+            )
+        for t in self._threads:
+            t.start()
+        return self._n_items
+
+    def _dispatch(self, stage: int, seq: int, payload: bytes) -> bool:
+        """Send one pickled item to the least-loaded active worker of ``stage``."""
+        assert self._pools is not None
+        handle = self._pools[stage].pick()
+        while True:
+            try:
+                handle.taskq.put((seq, payload), timeout=0.05)
+                return True
+            except thread_queue.Full:
+                if self._abort.is_set():
+                    with self._pools[stage].lock:
+                        handle.inflight -= 1
+                    return False
+
+    def _feed(self, items: list[Any]) -> None:
+        try:
+            for seq, value in enumerate(items):
+                if self._abort.is_set():
+                    return
+                if not self._dispatch(0, seq, pickle.dumps(value)):
+                    return
+        except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
+            self._errors.append(StageError(self.pipeline.stage(0).name, err))
+            self._abort.set()
+
+    def _route(self, stage: int) -> None:
+        """Collect stage results, restore order, dispatch to the next stage.
+
+        Any unexpected failure here (unpicklable payloads, a result whose
+        class explodes on unpickle) must abort the run rather than leave
+        ``join()`` waiting forever for items that will never arrive.
+        """
+        try:
+            self._route_inner(stage)
+        except BaseException as err:  # noqa: BLE001 - reported via join()
+            self._errors.append(StageError(self.pipeline.stage(stage).name, err))
+            self._abort.set()
+
+    def _route_inner(self, stage: int) -> None:
+        assert self._pools is not None and self.instrumentation is not None
+        pool = self._pools[stage]
+        metrics = self.instrumentation.stages[stage]
+        last = stage + 1 >= self.pipeline.n_stages
+        reorder = SequenceReorderer()
+        received = 0
+        while received < self._n_items:
+            if self._abort.is_set():
+                return
+            try:
+                msg = pool.resq.get(timeout=0.1)
+            except thread_queue.Empty:
+                # No worker should die mid-run (close() is the only sender of
+                # stop pills); a dead one means its queued items are lost and
+                # `received` would never reach n_items — fail, don't hang.
+                dead = pool.dead_workers()
+                if dead:
+                    wid, code = dead[0]
+                    self._errors.append(
+                        StageError(
+                            self.pipeline.stage(stage).name,
+                            RuntimeError(
+                                f"worker {wid} died mid-run (exitcode {code}); "
+                                "its in-flight items are lost"
+                            ),
+                        )
+                    )
+                    self._abort.set()
+                    return
+                continue
+            kind, seq, worker_id, payload, extra = msg
+            pool.note_done(worker_id)
+            if kind == "err":
+                original: BaseException
+                if payload is not None:
+                    try:
+                        original = pickle.loads(payload)
+                    except Exception:
+                        original = RuntimeError(extra)
+                else:
+                    original = RuntimeError(extra)
+                self._errors.append(
+                    StageError(self.pipeline.stage(stage).name, original)
+                )
+                self._abort.set()
+                return
+            received += 1
+            with self._stage_locks[stage]:
+                metrics.record_service(extra, 1.0)
+                metrics.record_queue_length(pool.queued())
+            # Workers already produced pickled bytes and the next stage's
+            # workers expect exactly that format — forward the bytes
+            # untouched and deserialize only for final outputs.
+            for ready_seq, ready_payload in reorder.push(seq, payload):
+                if last:
+                    self._outputs.append(pickle.loads(ready_payload))
+                    with self._stage_locks[stage]:
+                        self.instrumentation.record_completion(self.now())
+                else:
+                    if not self._dispatch(stage + 1, ready_seq, ready_payload):
+                        return
+
+    def join(self) -> BackendResult:
+        if not self._threads:
+            raise RuntimeError("backend not started")
+        for t in self._threads:
+            t.join()
+        self._elapsed = time.perf_counter() - self._t0
+        self._running = False
+        self._threads = []
+        if self._errors:
+            # A failed run leaves queues in an unknown state: go cold so the
+            # next start() re-forks clean pools.
+            self._shutdown_pools(graceful=False)
+            raise self._errors[0]
+        assert self.instrumentation is not None
+        return BackendResult(
+            backend=self.name,
+            outputs=self._outputs,
+            items=len(self._outputs),
+            elapsed=self._elapsed,
+            service_means=[
+                s.total.mean if s.total.n else math.nan
+                for s in self.instrumentation.stages
+            ],
+            replica_counts=self.replica_counts(),
+        )
+
+    def running(self) -> bool:
+        return self._running and any(t.is_alive() for t in self._threads)
+
+    def _shutdown_pools(self, *, graceful: bool) -> None:
+        if self._pools is None:
+            return
+        for pool in self._pools:
+            for w in pool.workers:
+                if graceful:
+                    try:
+                        w.taskq.put(_STOP, timeout=0.5)
+                    except thread_queue.Full:
+                        pass
+                w.taskq.close()
+        for pool in self._pools:
+            for w in pool.workers:
+                w.proc.join(timeout=1.0 if graceful else 0.1)
+                if w.proc.is_alive():
+                    w.proc.terminate()
+                    w.proc.join(timeout=1.0)
+            pool.resq.close()
+        self._pools = None
+        self._warm = False
+
+    def close(self) -> None:
+        """Stop every warm worker and release the pools (idempotent)."""
+        if self._closed:
+            return
+        self._abort.set()
+        for t in self._threads:
+            t.join(timeout=1.0)
+        self._threads = []
+        self._running = False
+        self._shutdown_pools(graceful=not self._errors)
+        self._closed = True
+
+    # ----------------------------------------------------------- observation
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def snapshots(self) -> list[StageSnapshot]:
+        if self.instrumentation is None:
+            return []
+        return self.instrumentation.snapshots(self._stage_locks)
+
+    def items_completed(self) -> int:
+        return self.instrumentation.items_completed if self.instrumentation else 0
+
+    def recent_throughput(self, horizon: float) -> float:
+        if self.instrumentation is None:
+            return math.nan
+        return self.instrumentation.recent_throughput(self.now(), horizon)
+
+    # ----------------------------------------------------------------- shape
+    def replica_counts(self) -> list[int]:
+        if self._pools is None:
+            return list(self._target)
+        return [p.active_count() for p in self._pools]
+
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        """Activate/deactivate warm workers of ``stage`` to ``n_replicas``.
+
+        Counts are clamped to ``[1, replica_limit(stage)]`` (so a stateful
+        stage clamps to 1, matching the port contract and the thread
+        adapter) — growth never forks mid-run; deactivated workers finish
+        what they were dealt and then idle, warm, until reactivated or
+        closed.
+        """
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        n_replicas = min(n_replicas, self.replica_limit(stage))
+        self._target[stage] = n_replicas
+        if self._pools is None:
+            return
+        pool = self._pools[stage]
+        with pool.lock:
+            active = sum(1 for w in pool.workers if w.active)
+            if active < n_replicas:
+                for w in pool.workers:
+                    if not w.active:
+                        w.active = True
+                        active += 1
+                        if active == n_replicas:
+                            break
+            elif active > n_replicas:
+                # Drop the least-loaded workers first; busy ones finish what
+                # they were dealt either way.
+                idle_first = sorted(
+                    (w for w in pool.workers if w.active), key=lambda w: w.inflight
+                )
+                for w in idle_first:
+                    if active == n_replicas:
+                        break
+                    w.active = False
+                    active -= 1
+
+
+register_backend("processes", ProcessPoolBackend)

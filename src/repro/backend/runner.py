@@ -1,0 +1,326 @@
+"""Observe→decide→act on *real* executors, with wall-clock measurements.
+
+:class:`RuntimeAdaptiveRunner` closes the loop the simulator's controller
+runs in simulated time (:mod:`repro.core.adaptive`), but against a live
+:class:`~repro.backend.base.Backend`:
+
+* **observe** — the backend's per-stage :class:`StageSnapshot` samples
+  (wall-clock service times and queue depths collected through
+  :mod:`repro.monitor.instrument`);
+* **decide** — any policy with the ``decide(...)`` signature of
+  :class:`~repro.core.policy.AdaptationPolicy` (the model-driven default)
+  or :class:`~repro.core.policies_alt.ReactivePolicy`.  The policy reasons
+  over a **virtual local grid**: one uniform unit-speed processor per
+  available slot, so "replicate the bottleneck stage onto an idle
+  processor" translates to "activate another warm worker";
+* **act** — mapping deltas become ``backend.reconfigure(stage, n)`` calls,
+  clamped to the backend's warm-pool limits;
+* **validate** — after ``settle_time`` the measured sink throughput is
+  compared with the pre-action window; a regression beyond
+  ``rollback_tolerance`` reverts the replica counts and doubles the
+  cooldown, mirroring the simulator controller's rollback rule.
+
+On the local host every virtual processor has effective speed 1.0, so the
+snapshots' ``work_estimate`` *is* the measured wall-clock service time —
+the same quantity the policies consume in simulation, now grounded in
+reality.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.backend.base import Backend, make_backend
+from repro.core.events import AdaptationEvent
+from repro.core.pipeline import PipelineSpec
+from repro.core.policy import AdaptationConfig, AdaptationPolicy
+from repro.gridsim.spec import uniform_grid
+from repro.model.cost import MigrationCostModel
+from repro.model.mapping import Mapping
+from repro.model.throughput import ResourceView, snapshot_view
+
+__all__ = ["RuntimeAdaptiveRunner", "RuntimeRunResult", "local_config"]
+
+
+def local_config(**overrides) -> AdaptationConfig:
+    """An :class:`AdaptationConfig` tuned for wall-clock cadences.
+
+    The simulation defaults (5 s intervals, 10 s cooldowns) assume long
+    grid runs; local pipelines finish in seconds, so the loop must look and
+    act at sub-second cadence.  Activating a warm worker costs microseconds,
+    hence the near-zero migration model.
+    """
+    defaults = dict(
+        interval=0.25,
+        cooldown=0.5,
+        min_samples=2,
+        settle_time=0.3,
+        min_improvement=1.1,
+        migration=MigrationCostModel(restart_overhead=0.01, drain_slack=0.01),
+    )
+    defaults.update(overrides)
+    return AdaptationConfig(**defaults)
+
+
+@dataclass
+class RuntimeRunResult:
+    """Outcome of one adaptively-controlled run on a real backend."""
+
+    backend: str
+    outputs: list[Any] | None
+    items: int
+    elapsed: float
+    adaptation_events: list[AdaptationEvent] = field(default_factory=list)
+    replica_history: list[tuple[float, tuple[int, ...]]] = field(default_factory=list)
+    final_replicas: list[int] = field(default_factory=list)
+    service_means: list[float] = field(default_factory=list)
+
+    @property
+    def throughput(self) -> float:
+        return self.items / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class RuntimeAdaptiveRunner:
+    """Drives live adaptation of a pipeline on a real execution backend.
+
+    Parameters
+    ----------
+    pipeline:
+        What to run.
+    backend:
+        A :class:`Backend` instance, or a registered name (``"threads"``,
+        ``"processes"``); it must support live reconfiguration.
+    config:
+        Loop tunables; default :func:`local_config`.
+    policy:
+        Custom decide step (``AdaptationPolicy`` signature, carrying a
+        ``config`` attribute); overrides ``config``.
+    n_virtual_procs:
+        Size of the virtual local grid the policy plans over — effectively
+        the replica budget shared by all stages.  Default: enough for one
+        processor per stage plus the largest warm pool, capped to be at
+        least the host's core count.
+    rollback:
+        Enable the post-action throughput validation (default True).
+    backend_kwargs:
+        Forwarded to the backend factory when ``backend`` is a name.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        backend: str | Backend = "threads",
+        *,
+        config: AdaptationConfig | None = None,
+        policy=None,
+        n_virtual_procs: int | None = None,
+        rollback: bool = True,
+        **backend_kwargs,
+    ) -> None:
+        self.pipeline = pipeline
+        # run() keeps the backend's pools warm so the runner can be reused;
+        # close() (or the context manager) reaps them, whether the backend
+        # was built here from a name or passed in pre-configured.
+        self.backend = make_backend(backend, pipeline, **backend_kwargs)
+        if not self.backend.supports_live_reconfigure:
+            raise ValueError(
+                f"backend {self.backend.name!r} cannot reconfigure live; "
+                "use it through skel.api / Backend.run instead"
+            )
+        if policy is not None:
+            self.policy = policy
+            self.config = policy.config
+        else:
+            self.config = config if config is not None else local_config()
+            self.policy = AdaptationPolicy(pipeline, self.config)
+        self.rollback = rollback
+        n = pipeline.n_stages
+        if n_virtual_procs is None:
+            budget = max(self.backend.replica_limit(i) for i in range(n))
+            n_virtual_procs = max(n + budget - 1, os.cpu_count() or 2, 2)
+        if n_virtual_procs < n:
+            raise ValueError(
+                f"n_virtual_procs must cover {n} stages, got {n_virtual_procs}"
+            )
+        self.n_virtual_procs = n_virtual_procs
+        self._view: ResourceView = snapshot_view(
+            uniform_grid(n_virtual_procs).snapshot(0.0)
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        """Release the backend's warm resources (always delegates)."""
+        self.backend.close()
+
+    def __enter__(self) -> "RuntimeAdaptiveRunner":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ run
+    def _initial_mapping(self) -> Mapping:
+        """Spread stages over virtual processors, honouring start replicas."""
+        counts = self.backend.replica_counts()
+        free = list(range(self.n_virtual_procs))
+        stages = []
+        for count in counts:
+            reps = []
+            for _ in range(count):
+                if free:
+                    reps.append(free.pop(0))
+            if not reps:  # more replicas than procs: share pid 0
+                reps = [0]
+            stages.append(tuple(reps))
+        return Mapping(tuple(stages))
+
+    def _sleep_until(self, deadline: float, n_items: int) -> bool:
+        """Sleep in short slices; False when the run finished meanwhile."""
+        while time.perf_counter() < deadline:
+            if not self.backend.running() or self.backend.items_completed() >= n_items:
+                return False
+            time.sleep(0.02)
+        return self.backend.running() and self.backend.items_completed() < n_items
+
+    def run(self, inputs: Iterable[Any]) -> RuntimeRunResult:
+        """Process ``inputs`` adaptively; returns outputs plus the timeline."""
+        cfg = self.config
+        n_items = self.backend.start(inputs)
+        t0 = time.perf_counter()
+        mapping = self._initial_mapping()
+        events: list[AdaptationEvent] = []
+        replica_history: list[tuple[float, tuple[int, ...]]] = [
+            (0.0, tuple(self.backend.replica_counts()))
+        ]
+        last_action = -math.inf
+
+        try:
+            self._control_loop(cfg, n_items, t0, mapping, events, replica_history, last_action)
+        except BaseException:
+            # A crashing decide step (or an interrupt) must not orphan the
+            # started run: reap it so the backend is reusable/inspectable.
+            self.backend.close()
+            raise
+        result = self.backend.join()
+        return RuntimeRunResult(
+            backend=result.backend,
+            outputs=result.outputs,
+            items=result.items,
+            elapsed=result.elapsed,
+            adaptation_events=events,
+            replica_history=replica_history,
+            final_replicas=list(result.replica_counts),
+            service_means=list(result.service_means),
+        )
+
+    def _control_loop(
+        self,
+        cfg: AdaptationConfig,
+        n_items: int,
+        t0: float,
+        mapping: Mapping,
+        events: list[AdaptationEvent],
+        replica_history: list[tuple[float, tuple[int, ...]]],
+        last_action: float,
+    ) -> None:
+        while self._sleep_until(time.perf_counter() + cfg.interval, n_items):
+            now = time.perf_counter() - t0
+            decision = self.policy.decide(
+                now=now,
+                current=mapping,
+                snapshots=self.backend.snapshots(),
+                view=self._view,
+                source_pid=0,
+                sink_pid=0,
+                remaining_items=n_items - self.backend.items_completed(),
+                last_action_time=last_action,
+            )
+            if not decision.acts:
+                continue
+            assert decision.new_mapping is not None
+            new_mapping = decision.new_mapping
+            old_counts = self.backend.replica_counts()
+            # Clamp the proposal to what the warm pools can actually honour.
+            for i in range(self.pipeline.n_stages):
+                limit = self.backend.replica_limit(i)
+                reps = new_mapping.replicas(i)
+                if len(reps) > limit:
+                    new_mapping = new_mapping.with_stage(i, list(reps)[:limit])
+            new_counts = [
+                len(new_mapping.replicas(i)) for i in range(self.pipeline.n_stages)
+            ]
+            if new_mapping == mapping or new_counts == old_counts:
+                # Nothing physical would change (e.g. the proposal exceeded
+                # the warm-pool limit and clamped back to the current shape):
+                # recording an event or sleeping a settle window would
+                # fabricate adaptations the backend never performed.
+                continue
+            before_tp = self.backend.recent_throughput(max(cfg.interval, 0.25))
+            for i, (old_n, new_n) in enumerate(zip(old_counts, new_counts)):
+                if old_n != new_n:
+                    self.backend.reconfigure(i, new_n)
+            # Record what the backend *achieved*, not what was proposed — a
+            # live grow can no-op (e.g. the stage already drained), and the
+            # timeline must not claim replicas that never existed.
+            realized = self.backend.replica_counts()
+            if realized == old_counts:
+                continue
+            for i, cnt in enumerate(realized):
+                reps = new_mapping.replicas(i)
+                if cnt < len(reps):
+                    new_mapping = new_mapping.with_stage(i, list(reps)[:cnt])
+            old_mapping = mapping
+            mapping = new_mapping
+            last_action = time.perf_counter() - t0
+            kind = "replicate" if new_mapping.is_replicated() else "remap"
+            events.append(
+                AdaptationEvent(
+                    time=last_action,
+                    kind=kind,
+                    mapping_before=old_mapping,
+                    mapping_after=new_mapping,
+                    reason=decision.reason,
+                    predicted_gain=decision.predicted_gain,
+                    throughput_before=before_tp,
+                )
+            )
+            replica_history.append((last_action, tuple(realized)))
+            if not self.rollback:
+                continue
+            # Post-action validation mirrors the simulator controller: let
+            # in-flight items drain for one settle window, measure a second.
+            if not self._sleep_until(
+                time.perf_counter() + 2 * cfg.settle_time, n_items
+            ):
+                break
+            after_tp = self.backend.recent_throughput(cfg.settle_time)
+            if (
+                not math.isnan(before_tp)
+                and not math.isnan(after_tp)
+                and after_tp < before_tp * cfg.rollback_tolerance
+            ):
+                for i, (old_n, new_n) in enumerate(zip(old_counts, realized)):
+                    if old_n != new_n:
+                        self.backend.reconfigure(i, old_n)
+                now = time.perf_counter() - t0
+                events.append(
+                    AdaptationEvent(
+                        time=now,
+                        kind="rollback",
+                        mapping_before=new_mapping,
+                        mapping_after=old_mapping,
+                        reason=(
+                            f"measured {after_tp:.3f}/s < "
+                            f"{cfg.rollback_tolerance:.2f} x {before_tp:.3f}/s"
+                        ),
+                        predicted_gain=1.0,
+                        throughput_before=after_tp,
+                    )
+                )
+                mapping = old_mapping
+                replica_history.append((now, tuple(old_counts)))
+                last_action = now + cfg.cooldown  # demand stronger evidence

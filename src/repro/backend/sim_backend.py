@@ -1,0 +1,141 @@
+"""Simulator adapter: the discrete-event grid engine behind the port.
+
+The simulator *measures* (simulated seconds, adaptation events on a
+modelled grid) rather than computing; when every stage carries a real
+callable the adapter additionally applies the stages sequentially so
+``outputs`` obeys the same ``Pipeline1for1`` contract as the real
+backends — handy for apples-to-apples benchmark tables.
+
+Live ``reconfigure`` is deliberately unsupported: inside the simulation the
+observe→decide→act loop is owned by
+:class:`~repro.core.adaptive.AdaptivePipeline`'s controller process (enable
+it with ``adaptive=``); wall-clock controllers like
+:class:`~repro.backend.runner.RuntimeAdaptiveRunner` have no purchase on
+simulated time.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.backend.base import Backend, BackendResult, register_backend
+from repro.core.adaptive import AdaptivePipeline
+from repro.core.events import RunResult
+from repro.core.pipeline import PipelineSpec
+from repro.core.policy import AdaptationConfig
+from repro.gridsim.grid import GridSystem
+from repro.gridsim.spec import uniform_grid
+from repro.model.mapping import Mapping
+
+__all__ = ["SimBackend"]
+
+
+class SimBackend(Backend):
+    """Runs pipelines on the simulated grid (timing model, not wall clock).
+
+    Parameters
+    ----------
+    pipeline:
+        Stage specs; ``fn`` optional (needed only for real ``outputs``).
+    grid:
+        Target :class:`GridSystem`; default one uniform processor per stage.
+    adaptive:
+        ``False`` (static), ``True`` (default :class:`AdaptationConfig`) or
+        a config instance — forwarded to the in-sim controller.
+    mapping:
+        Initial stage→processor mapping (default: model's greedy choice).
+    replicas, capacity:
+        API-uniformity parameters shared with the real backends.
+        ``capacity`` maps onto the simulated inter-stage buffer capacity;
+        ``replicas`` has no direct simulated analogue (replication lives in
+        the ``mapping``), so requesting ``replicas[i] > 1`` raises — use
+        ``mapping=`` or :func:`repro.skel.api.simulate_farm` instead.
+    """
+
+    name = "sim"
+    supports_live_reconfigure = False
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        grid: GridSystem | None = None,
+        adaptive: bool | AdaptationConfig = False,
+        mapping: Mapping | None = None,
+        seed: int = 0,
+        replicas: list[int] | None = None,
+        capacity: int | None = None,
+    ) -> None:
+        super().__init__(pipeline)
+        if replicas is not None and any(r > 1 for r in replicas):
+            raise ValueError(
+                "the sim backend expresses replication through mapping=, "
+                "not replicas; use mapping= or skel.api.simulate_farm"
+            )
+        self.buffer_capacity = capacity if capacity is not None else 4
+        self.grid = grid if grid is not None else uniform_grid(pipeline.n_stages)
+        if adaptive is True:
+            self.config: AdaptationConfig | None = AdaptationConfig()
+        elif adaptive is False:
+            self.config = None
+        else:
+            self.config = adaptive
+        self.mapping = mapping
+        self.seed = seed
+        self.last_run: RunResult | None = None
+        self._outputs: list[Any] | None = None
+        self._n_items = 0
+
+    def start(self, inputs: Iterable[Any]) -> int:
+        items = list(inputs)
+        self._n_items = len(items)
+        if all(s.fn is not None for s in self.pipeline.stages):
+            outputs = []
+            for item in items:
+                for spec in self.pipeline.stages:
+                    assert spec.fn is not None
+                    item = spec.fn(item)
+                outputs.append(item)
+            self._outputs = outputs
+        else:
+            self._outputs = None
+        runner = AdaptivePipeline(
+            self.pipeline,
+            self.grid,
+            config=self.config,
+            initial_mapping=self.mapping,
+            buffer_capacity=self.buffer_capacity,
+            seed=self.seed,
+        )
+        self.last_run = runner.run(self._n_items)
+        return self._n_items
+
+    def join(self) -> BackendResult:
+        if self.last_run is None:
+            raise RuntimeError("backend not started")
+        run = self.last_run
+        return BackendResult(
+            backend=self.name,
+            outputs=self._outputs,
+            items=run.items_completed,
+            elapsed=run.end_time,
+            service_means=[c.work for c in self.pipeline.stage_costs()],
+            replica_counts=[
+                len(run.final_mapping.replicas(i))
+                for i in range(self.pipeline.n_stages)
+            ],
+        )
+
+    def items_completed(self) -> int:
+        return self.last_run.items_completed if self.last_run else 0
+
+    def replica_counts(self) -> list[int]:
+        if self.last_run is None:
+            return [1] * self.pipeline.n_stages
+        return [
+            len(self.last_run.final_mapping.replicas(i))
+            for i in range(self.pipeline.n_stages)
+        ]
+
+
+register_backend("sim", SimBackend)

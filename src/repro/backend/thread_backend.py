@@ -1,0 +1,106 @@
+"""Thread adapter: the existing :class:`ThreadPipeline` behind the port.
+
+Threads share the interpreter, so this backend suits I/O-bound stages and
+GIL-releasing (numpy) kernels; pure-Python CPU-bound stages should use the
+process backend instead.  Live reconfiguration maps directly onto the
+thread pipeline's ``add_replica``/``remove_replica`` — growth spawns a
+worker into the running stage, shrink retires one lazily.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable
+
+from repro.backend.base import Backend, BackendResult, register_backend
+from repro.core.pipeline import PipelineSpec
+from repro.monitor.instrument import StageSnapshot
+from repro.runtime.threads import ThreadPipeline
+from repro.util.validation import check_positive
+
+__all__ = ["ThreadBackend"]
+
+
+class ThreadBackend(Backend):
+    """Runs pipelines on :class:`~repro.runtime.threads.ThreadPipeline`.
+
+    One instance is reusable: replica counts adapted during a run carry
+    over to the next (warm in shape, if not in threads — workers are cheap
+    to start, so pools are rebuilt per run).
+    """
+
+    name = "threads"
+    supports_live_reconfigure = True
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        replicas: list[int] | None = None,
+        capacity: int | None = None,
+        max_replicas: int = 8,
+    ) -> None:
+        super().__init__(pipeline)
+        check_positive(max_replicas, "max_replicas")
+        self._tp = ThreadPipeline(
+            pipeline, replicas=replicas, capacity=8 if capacity is None else capacity
+        )
+        self.max_replicas = max(max_replicas, *self._tp.replicas)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, inputs: Iterable[Any]) -> int:
+        return self._tp.start(inputs)
+
+    def join(self) -> BackendResult:
+        outputs = self._tp.join()
+        stats = self._tp.last_stats
+        assert stats is not None
+        return BackendResult(
+            backend=self.name,
+            outputs=outputs,
+            items=stats.items,
+            elapsed=stats.elapsed,
+            # NaN for unsampled stages, matching the process adapter.
+            service_means=[
+                s.mean if s.n else math.nan for s in stats.stage_service
+            ],
+            replica_counts=list(self._tp.replicas),
+        )
+
+    def running(self) -> bool:
+        return self._tp.running
+
+    def close(self) -> None:
+        """Abort and reap any in-flight run (workers are per-run otherwise)."""
+        if self._tp.running:
+            self._tp.abort()
+            try:
+                self._tp.join()
+            except BaseException:  # noqa: BLE001 - closing, not reporting
+                pass
+
+    # ----------------------------------------------------------- observation
+    def snapshots(self) -> list[StageSnapshot]:
+        return self._tp.snapshots()
+
+    def items_completed(self) -> int:
+        return self._tp.items_completed()
+
+    def recent_throughput(self, horizon: float) -> float:
+        instr = self._tp.instrumentation
+        if instr is None:
+            return math.nan
+        return instr.recent_throughput(self._tp.now(), horizon)
+
+    # ----------------------------------------------------------------- shape
+    def replica_counts(self) -> list[int]:
+        return list(self._tp.replicas)
+
+    def replica_limit(self, stage: int) -> int:
+        return self.max_replicas if self.pipeline.stage(stage).replicable else 1
+
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        self._tp.reconfigure(stage, min(n_replicas, self.replica_limit(stage)))
+
+
+register_backend("threads", ThreadBackend)

@@ -10,7 +10,9 @@ re-mapping predictions possible on heterogeneous processors.
 from __future__ import annotations
 
 import math
+from contextlib import AbstractContextManager
 from dataclasses import dataclass
+from typing import Sequence
 
 from repro.util.stats import OnlineStats, SlidingWindow
 
@@ -101,8 +103,20 @@ class PipelineInstrumentation:
     def items_completed(self) -> int:
         return len(self.completion_times)
 
-    def snapshots(self) -> list[StageSnapshot]:
-        return [s.snapshot() for s in self.stages]
+    def snapshots(self, locks: "Sequence[AbstractContextManager] | None" = None) -> list[StageSnapshot]:
+        """Per-stage snapshots; ``locks[i]`` (if given) guards stage ``i``.
+
+        The simulator reads single-threaded and passes nothing; the real
+        executors pass their per-stage locks so snapshots are consistent
+        with concurrent ``record_service`` calls.
+        """
+        if locks is None:
+            return [s.snapshot() for s in self.stages]
+        snaps = []
+        for stage, lock in zip(self.stages, locks):
+            with lock:
+                snaps.append(stage.snapshot())
+        return snaps
 
     def bottleneck(self) -> StageSnapshot | None:
         """Stage with the largest recent service time (None before data)."""

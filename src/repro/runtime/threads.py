@@ -14,8 +14,18 @@ Architecture per stage (mirrors the simulator's wiring)::
 * Shutdown cascades with sentinels: each queue knows its producer count;
   when the last producer finishes, consumers receive one sentinel each.
 
+The executor implements the :mod:`repro.backend` port's runtime half:
+``start``/``join`` split the run so a controller thread can observe it
+mid-flight, ``snapshots()`` exposes per-stage service/queue measurements
+through :class:`~repro.monitor.instrument.PipelineInstrumentation`, and
+``add_replica``/``remove_replica`` grow or shrink a replicable stage's
+worker pool *while the run is in progress* (the dispatcher wiring makes
+this safe: order is restored downstream regardless of worker count).
+
 Exceptions raised by stage functions abort the run and re-raise from
-:meth:`ThreadPipeline.run` with the offending stage named.
+:meth:`ThreadPipeline.join` with the offending stage named; on abort every
+thread keeps draining its queue (without applying stage functions) so
+shutdown never deadlocks on a full buffer.
 """
 
 from __future__ import annotations
@@ -27,12 +37,21 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
 from repro.core.pipeline import PipelineSpec
+from repro.monitor.instrument import PipelineInstrumentation, StageMetrics, StageSnapshot
+from repro.util.ordering import SequenceReorderer
 from repro.util.stats import OnlineStats
 from repro.util.validation import check_positive
 
-__all__ = ["ThreadPipeline", "AdaptiveThreadPipeline", "ThreadRunStats"]
+__all__ = [
+    "ThreadPipeline",
+    "AdaptiveThreadPipeline",
+    "ThreadRunStats",
+    "StageError",
+    "propose_growth",
+]
 
 _SENTINEL = object()
+_RETIRE = object()  # consumed by exactly one worker, which then exits
 
 
 class StageError(RuntimeError):
@@ -69,15 +88,40 @@ class _CountedQueue:
         self._producers = producers
         self._consumers = consumers
 
-    def put(self, item: Any) -> None:
-        self.q.put(item)
+    def put(self, item: Any, abort: threading.Event | None = None) -> bool:
+        """Put ``item``; with ``abort`` set, give up instead of blocking."""
+        if abort is None:
+            self.q.put(item)
+            return True
+        while True:
+            try:
+                self.q.put(item, timeout=0.05)
+                return True
+            except queue.Full:
+                if abort.is_set():
+                    return False
 
     def get(self) -> Any:
         return self.q.get()
 
     def add_consumer(self) -> None:
         with self._lock:
-            self._consumers += 1
+            if self._producers == 0:
+                # Producers already finished: their sentinels are out, so the
+                # newcomer needs its own to terminate.
+                self.q.put(_SENTINEL)
+            else:
+                self._consumers += 1
+
+    def remove_consumer(self) -> None:
+        with self._lock:
+            self._consumers -= 1
+
+    def add_producer(self) -> None:
+        with self._lock:
+            if self._producers == 0:
+                raise RuntimeError("queue already drained; cannot add a producer")
+            self._producers += 1
 
     def producer_done(self) -> None:
         with self._lock:
@@ -86,31 +130,53 @@ class _CountedQueue:
                 for _ in range(self._consumers):
                     self.q.put(_SENTINEL)
 
+    @property
+    def drained(self) -> bool:
+        """True once every producer finished (sentinels are out)."""
+        with self._lock:
+            return self._producers == 0
+
 
 class _Dispatcher(threading.Thread):
     """Reorders (seq, value) pairs and forwards them in sequence order."""
 
-    def __init__(self, in_q: _CountedQueue, out_q: _CountedQueue, name: str) -> None:
+    def __init__(
+        self,
+        in_q: _CountedQueue,
+        out_q: _CountedQueue,
+        name: str,
+        abort: threading.Event,
+        metrics: StageMetrics | None = None,
+        metrics_lock: threading.Lock | None = None,
+    ) -> None:
         super().__init__(name=name, daemon=True)
         self.in_q = in_q
         self.out_q = out_q
+        self.abort = abort
+        self.metrics = metrics
+        self.metrics_lock = metrics_lock
+
+    def _forward(self, seq: int, value: Any) -> None:
+        self.out_q.put((seq, value), abort=self.abort)
+        if self.metrics is not None and self.metrics_lock is not None:
+            with self.metrics_lock:
+                self.metrics.record_queue_length(self.out_q.q.qsize())
 
     def run(self) -> None:
-        pending: dict[int, Any] = {}
-        next_seq = 0
+        reorder = SequenceReorderer()
         try:
             while True:
                 got = self.in_q.get()
                 if got is _SENTINEL:
                     break
+                if self.abort.is_set():
+                    continue  # drain without forwarding
                 seq, value = got
-                pending[seq] = value
-                while next_seq in pending:
-                    self.out_q.put((next_seq, pending.pop(next_seq)))
-                    next_seq += 1
-            while next_seq in pending:
-                self.out_q.put((next_seq, pending.pop(next_seq)))
-                next_seq += 1
+                for ready_seq, ready in reorder.push(seq, value):
+                    self._forward(ready_seq, ready)
+            if not self.abort.is_set():
+                for ready_seq, ready in reorder.drain():
+                    self._forward(ready_seq, ready)
         finally:
             self.out_q.producer_done()
 
@@ -125,9 +191,10 @@ class _Worker(threading.Thread):
         fn,
         work_q: _CountedQueue,
         out_q: _CountedQueue,
-        service: OnlineStats,
-        service_lock: threading.Lock,
+        metrics: StageMetrics,
+        metrics_lock: threading.Lock,
         errors: list[BaseException],
+        abort: threading.Event,
         name: str,
     ) -> None:
         super().__init__(name=name, daemon=True)
@@ -136,9 +203,10 @@ class _Worker(threading.Thread):
         self.fn = fn
         self.work_q = work_q
         self.out_q = out_q
-        self.service = service
-        self.service_lock = service_lock
+        self.metrics = metrics
+        self.metrics_lock = metrics_lock
         self.errors = errors
+        self.abort = abort
 
     def run(self) -> None:
         try:
@@ -146,17 +214,25 @@ class _Worker(threading.Thread):
                 got = self.work_q.get()
                 if got is _SENTINEL:
                     break
+                if got is _RETIRE:
+                    self.work_q.remove_consumer()
+                    break
+                if self.abort.is_set():
+                    continue  # drain without processing
                 seq, value = got
                 t0 = time.perf_counter()
                 try:
                     result = self.fn(value)
                 except BaseException as err:  # noqa: BLE001 - reported upward
                     self.errors.append(StageError(self.stage_name, err))
-                    break
+                    self.abort.set()
+                    continue
                 dt = time.perf_counter() - t0
-                with self.service_lock:
-                    self.service.push(dt)
-                self.out_q.put((seq, result))
+                with self.metrics_lock:
+                    # Effective speed 1.0: the local host is the reference
+                    # processor, so work estimates equal wall-clock service.
+                    self.metrics.record_service(dt, 1.0)
+                self.out_q.put((seq, result), abort=self.abort)
         finally:
             self.out_q.producer_done()
 
@@ -173,6 +249,11 @@ class ThreadPipeline:
         requires ``pipeline.stage(i).replicable``.
     capacity:
         Bounded queue capacity between stages (back-pressure).
+
+    ``run`` is ``start`` + ``join``; the split form lets a controller
+    observe ``snapshots()`` and call ``add_replica``/``remove_replica``
+    while items are flowing.  One instance can run repeatedly (adapted
+    replica counts carry over between runs).
     """
 
     def __init__(
@@ -205,83 +286,262 @@ class ThreadPipeline:
         self.replicas = list(replicas)
         self.capacity = capacity
         self.last_stats: ThreadRunStats | None = None
+        self.instrumentation: PipelineInstrumentation | None = None
+        self._mutate_lock = threading.Lock()
+        self._running = False
+        self._reset_run_state()
 
-    def run(self, inputs: Iterable[Any]) -> list[Any]:
-        """Process ``inputs``; returns outputs in input order."""
+    # ------------------------------------------------------------- lifecycle
+    def _reset_run_state(self) -> None:
+        self._errors: list[BaseException] = []
+        self._abort = threading.Event()
+        self._locks: list[threading.Lock] = []
+        self._in_q: list[_CountedQueue] = []
+        self._work_q: list[_CountedQueue] = []
+        self._collect_q: _CountedQueue | None = None
+        self._threads: list[threading.Thread] = []
+        self._feeder: threading.Thread | None = None
+        self._collector: threading.Thread | None = None
+        self._outputs: list[Any] = []
+        self._t0 = 0.0
+
+    def start(self, inputs: Iterable[Any]) -> int:
+        """Begin processing ``inputs``; returns the item count."""
+        if self._running:
+            raise RuntimeError("pipeline already running; join() it first")
+        self._reset_run_state()
         items = list(inputs)
         n = self.pipeline.n_stages
-        errors: list[BaseException] = []
-        service = [OnlineStats() for _ in range(n)]
-        locks = [threading.Lock() for _ in range(n)]
+        self.instrumentation = PipelineInstrumentation(n)
+        self._locks = [threading.Lock() for _ in range(n)]
 
         # Wiring: in_q[i] (from previous stage workers) -> dispatcher ->
         # work_q[i] -> workers -> in_q[i+1]; the last "in_q" is the collector
-        # feed, reordered by a final dispatcher into out_q.
-        in_q: list[_CountedQueue] = []
-        work_q: list[_CountedQueue] = []
+        # feed, reordered by a final dispatcher into final_q.
         producers_of_next = 1  # the feeder thread produces for in_q[0]
         for i in range(n):
-            in_q.append(
+            self._in_q.append(
                 _CountedQueue(self.capacity, producers=producers_of_next, consumers=1)
             )
-            work_q.append(
+            self._work_q.append(
                 _CountedQueue(self.capacity, producers=1, consumers=self.replicas[i])
             )
             producers_of_next = self.replicas[i]
-        collect_q = _CountedQueue(self.capacity, producers=producers_of_next, consumers=1)
+        self._collect_q = _CountedQueue(
+            self.capacity, producers=producers_of_next, consumers=1
+        )
         final_q = _CountedQueue(self.capacity, producers=1, consumers=1)
 
-        threads: list[threading.Thread] = []
         for i in range(n):
-            threads.append(_Dispatcher(in_q[i], work_q[i], name=f"dispatch[{i}]"))
-            nxt = in_q[i + 1] if i + 1 < n else collect_q
-            for r in range(self.replicas[i]):
-                threads.append(
-                    _Worker(
-                        i,
-                        self.pipeline.stage(i).name,
-                        self.pipeline.stage(i).fn,
-                        work_q[i],
-                        nxt,
-                        service[i],
-                        locks[i],
-                        errors,
-                        name=f"stage[{i}].{r}",
-                    )
+            self._threads.append(
+                _Dispatcher(
+                    self._in_q[i],
+                    self._work_q[i],
+                    name=f"dispatch[{i}]",
+                    abort=self._abort,
+                    metrics=self.instrumentation.stages[i],
+                    metrics_lock=self._locks[i],
                 )
-        threads.append(_Dispatcher(collect_q, final_q, name="dispatch[out]"))
+            )
+            for r in range(self.replicas[i]):
+                self._threads.append(self._make_worker(i, r))
+        self._threads.append(
+            _Dispatcher(self._collect_q, final_q, name="dispatch[out]", abort=self._abort)
+        )
 
-        t0 = time.perf_counter()
-        for t in threads:
+        self._t0 = time.perf_counter()
+        self._running = True
+        for t in self._threads:
             t.start()
 
-        def feed():
+        def feed() -> None:
             try:
                 for seq, value in enumerate(items):
-                    in_q[0].put((seq, value))
+                    if self._abort.is_set():
+                        break
+                    self._in_q[0].put((seq, value), abort=self._abort)
             finally:
-                in_q[0].producer_done()
+                self._in_q[0].producer_done()
 
-        feeder = threading.Thread(target=feed, name="feeder", daemon=True)
-        feeder.start()
+        def collect() -> None:
+            assert self.instrumentation is not None
+            while True:
+                got = final_q.get()
+                if got is _SENTINEL:
+                    break
+                _seq, value = got
+                self._outputs.append(value)
+                self.instrumentation.record_completion(self.now())
 
-        outputs: list[Any] = []
-        while True:
-            got = final_q.get()
-            if got is _SENTINEL:
-                break
-            _seq, value = got
-            outputs.append(value)
-        feeder.join()
-        for t in threads:
-            t.join()
-        elapsed = time.perf_counter() - t0
-        self.last_stats = ThreadRunStats(
-            elapsed=elapsed, items=len(outputs), stage_service=service
+        self._feeder = threading.Thread(target=feed, name="feeder", daemon=True)
+        self._collector = threading.Thread(target=collect, name="collector", daemon=True)
+        self._feeder.start()
+        self._collector.start()
+        return len(items)
+
+    def _worker_out_queue(self, stage: int) -> _CountedQueue:
+        assert self._collect_q is not None
+        return self._in_q[stage + 1] if stage + 1 < self.pipeline.n_stages else self._collect_q
+
+    def _make_worker(self, stage: int, replica_idx: int) -> _Worker:
+        assert self.instrumentation is not None
+        return _Worker(
+            stage,
+            self.pipeline.stage(stage).name,
+            self.pipeline.stage(stage).fn,
+            self._work_q[stage],
+            self._worker_out_queue(stage),
+            self.instrumentation.stages[stage],
+            self._locks[stage],
+            self._errors,
+            self._abort,
+            name=f"stage[{stage}].{replica_idx}",
         )
-        if errors:
-            raise errors[0]
-        return outputs
+
+    def join(self) -> list[Any]:
+        """Wait for the run to finish; returns outputs in input order."""
+        if self._feeder is None or self._collector is None:
+            raise RuntimeError("pipeline not started")
+        self._feeder.join()
+        while True:
+            with self._mutate_lock:
+                alive = [t for t in self._threads if t.is_alive()]
+            if not alive:
+                break
+            for t in alive:
+                t.join(timeout=0.5)
+        self._collector.join()
+        elapsed = time.perf_counter() - self._t0
+        self._running = False
+        assert self.instrumentation is not None
+        self.last_stats = ThreadRunStats(
+            elapsed=elapsed,
+            items=len(self._outputs),
+            # StageMetrics.total is the whole-run accumulator; the windowed
+            # views behind snapshots() share the same samples.
+            stage_service=[m.total for m in self.instrumentation.stages],
+        )
+        if self._errors:
+            raise self._errors[0]
+        return self._outputs
+
+    def run(self, inputs: Iterable[Any]) -> list[Any]:
+        """Process ``inputs``; returns outputs in input order."""
+        self.start(inputs)
+        return self.join()
+
+    def abort(self) -> None:
+        """Ask a running pipeline to stop: threads drain and exit quickly.
+
+        Follow with :meth:`join` to reap them (items not yet processed are
+        dropped, so the output list will be short).
+        """
+        self._abort.set()
+
+    # ----------------------------------------------------------- observation
+    def now(self) -> float:
+        """Wall-clock seconds since the current run started."""
+        return time.perf_counter() - self._t0
+
+    @property
+    def running(self) -> bool:
+        return self._running and self._collector is not None and self._collector.is_alive()
+
+    def items_completed(self) -> int:
+        return self.instrumentation.items_completed if self.instrumentation else 0
+
+    def snapshots(self) -> list[StageSnapshot]:
+        """Windowed per-stage service/queue measurements (thread-safe)."""
+        if self.instrumentation is None:
+            return []
+        return self.instrumentation.snapshots(self._locks)
+
+    # --------------------------------------------------------- reconfiguring
+    def add_replica(self, stage: int) -> bool:
+        """Grow ``stage`` by one worker mid-run; False if the stage drained."""
+        spec = self.pipeline.stage(stage)
+        if not spec.replicable:
+            raise ValueError(f"stage {stage} ({spec.name!r}) is stateful and cannot grow")
+        with self._mutate_lock:
+            if not self._running:
+                self.replicas[stage] += 1
+                return True
+            out_q = self._worker_out_queue(stage)
+            try:
+                out_q.add_producer()
+            except RuntimeError:
+                return False  # stage already finished; growth is pointless
+            self._work_q[stage].add_consumer()
+            worker = self._make_worker(stage, self.replicas[stage])
+            self.replicas[stage] += 1
+            self._threads.append(worker)
+            worker.start()
+            return True
+
+    def remove_replica(self, stage: int) -> bool:
+        """Shrink ``stage`` by one worker (lazily; the pool stays >= 1)."""
+        with self._mutate_lock:
+            if self.replicas[stage] <= 1:
+                return False
+            if self._running:
+                if self._work_q[stage].drained:
+                    # The stage's workers are exiting on sentinels; a retire
+                    # pill would land unread and the "shrink" would be a
+                    # phantom — mirror add_replica and report no-op.
+                    return False
+                self.replicas[stage] -= 1
+                self._work_q[stage].put(_RETIRE, abort=self._abort)
+            else:
+                self.replicas[stage] -= 1
+            return True
+
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        """Set ``stage``'s worker count to ``n_replicas`` (grow or shrink)."""
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        while self.replicas[stage] < n_replicas:
+            if not self.add_replica(stage):
+                break
+        while self.replicas[stage] > n_replicas:
+            if not self.remove_replica(stage):
+                break
+
+
+def propose_growth(
+    per_worker_service: Sequence[float],
+    replicas: Sequence[int],
+    replicable: Sequence[bool],
+    *,
+    max_workers: int,
+    imbalance_threshold: float,
+) -> int | None:
+    """The batch-mode growth decision: which stage (if any) gets a worker.
+
+    Picks the stage with the largest mean service time *per worker*; it
+    grows only when it is replicable, under ``max_workers``, and dominates
+    the runner-up by ``imbalance_threshold`` (ties below the threshold are
+    left alone — growing a balanced pipeline just burns threads).  Returns
+    the stage index or ``None``.
+    """
+    if not per_worker_service or max(per_worker_service) <= 0:
+        return None
+    order = sorted(
+        range(len(per_worker_service)),
+        key=lambda i: per_worker_service[i],
+        reverse=True,
+    )
+    worst = order[0]
+    runner_up = per_worker_service[order[1]] if len(order) > 1 else 0.0
+    if (
+        replicable[worst]
+        and replicas[worst] < max_workers
+        and (
+            runner_up == 0.0
+            or per_worker_service[worst] / max(runner_up, 1e-12) >= imbalance_threshold
+        )
+    ):
+        return worst
+    return None
 
 
 class AdaptiveThreadPipeline:
@@ -293,6 +553,10 @@ class AdaptiveThreadPipeline:
     ``max_workers``) when it dominates the next contender by
     ``imbalance_threshold``.  Rebuilding between batches keeps the threading
     model simple while exercising the same observe-decide-act loop.
+
+    This is the legacy *batch-mode* loop; for live in-run adaptation driven
+    by the model-based policies, use
+    :class:`repro.backend.runner.RuntimeAdaptiveRunner` on any backend.
     """
 
     def __init__(
@@ -332,16 +596,13 @@ class AdaptiveThreadPipeline:
         for i, s in enumerate(stats.stage_service):
             mean = s.mean if s.n else 0.0
             per_worker.append(mean / self.replicas[i])
-        if not per_worker or max(per_worker) <= 0:
-            return
-        order = sorted(range(len(per_worker)), key=lambda i: per_worker[i], reverse=True)
-        worst = order[0]
-        runner_up = per_worker[order[1]] if len(order) > 1 else 0.0
-        spec = self.pipeline.stage(worst)
-        if (
-            spec.replicable
-            and self.replicas[worst] < self.max_workers
-            and (runner_up == 0.0 or per_worker[worst] / max(runner_up, 1e-12) >= self.imbalance_threshold)
-        ):
-            self.replicas[worst] += 1
-            self.adaptations.append((worst, self.replicas[worst]))
+        stage = propose_growth(
+            per_worker,
+            self.replicas,
+            [self.pipeline.stage(i).replicable for i in range(self.pipeline.n_stages)],
+            max_workers=self.max_workers,
+            imbalance_threshold=self.imbalance_threshold,
+        )
+        if stage is not None:
+            self.replicas[stage] += 1
+            self.adaptations.append((stage, self.replicas[stage]))

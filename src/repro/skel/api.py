@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
+from repro.backend import Backend, RuntimeAdaptiveRunner, local_config, make_backend
 from repro.core.adaptive import AdaptivePipeline
 from repro.core.events import RunResult
 from repro.core.pipeline import PipelineSpec
@@ -11,9 +12,65 @@ from repro.core.policy import AdaptationConfig
 from repro.core.stage import StageSpec
 from repro.gridsim.grid import GridSystem
 from repro.model.mapping import Mapping
-from repro.runtime.threads import ThreadPipeline
 
 __all__ = ["pipeline_1for1", "farm", "simulate_pipeline", "simulate_farm"]
+
+
+def _run_on_backend(
+    pipe: PipelineSpec,
+    inputs: Iterable[Any],
+    backend: str | Backend,
+    adaptive: bool | AdaptationConfig,
+    replicas: list[int] | None,
+    capacity: int | None,
+    **backend_kwargs,
+) -> list[Any]:
+    """Execute ``pipe`` on the chosen backend, optionally under adaptation."""
+    owns = isinstance(backend, str)
+    if owns:
+        # capacity=None lets every adapter keep its own documented default
+        # (8 for the real executors, the simulator's 4 for "sim").
+        kwargs = dict(replicas=replicas, capacity=capacity, **backend_kwargs)
+        if adaptive and backend == "sim":
+            # The simulator's adaptation loop runs inside simulated time —
+            # hand the flag to its in-sim controller, not the wall-clock
+            # runner (which has no purchase on a simulated backend).
+            kwargs["adaptive"] = adaptive
+        b = make_backend(backend, pipe, **kwargs)
+    else:
+        # A Backend instance arrives fully configured: shape kwargs would be
+        # silently ignored — reject them loudly; make_backend validates that
+        # the instance runs the same stage callables as ``stages``.
+        if replicas is not None or capacity is not None or backend_kwargs:
+            raise ValueError(
+                "replicas/capacity/backend kwargs only apply when selecting "
+                "a backend by name; a Backend instance is already configured"
+            )
+        b = make_backend(backend, pipe)
+    use_runner = bool(adaptive) and b.supports_live_reconfigure
+    if adaptive and not use_runner and not (owns and backend == "sim"):
+        if owns:
+            b.close()  # don't leak warm resources on a refused request
+        raise ValueError(
+            f"backend {b.name!r} cannot adapt live; for the simulator, "
+            "configure adaptation on the SimBackend instance (adaptive=)"
+        )
+    try:
+        if use_runner:
+            config = adaptive if isinstance(adaptive, AdaptationConfig) else local_config()
+            outputs = (
+                RuntimeAdaptiveRunner(b.pipeline, b, config=config).run(inputs).outputs
+            )
+        else:
+            outputs = b.run(inputs).outputs
+    finally:
+        if owns:
+            b.close()
+    if outputs is None:
+        raise ValueError(
+            f"backend {b.name!r} produced no outputs (stages without fn?)"
+        )
+    return outputs
 
 
 def _as_pipeline(stages: Sequence[Callable[[Any], Any] | StageSpec]) -> PipelineSpec:
@@ -36,20 +93,42 @@ def pipeline_1for1(
     inputs: Iterable[Any],
     *,
     replicas: Sequence[int] | None = None,
-    capacity: int = 8,
+    capacity: int | None = None,
+    backend: str | Backend = "threads",
+    adaptive: bool | AdaptationConfig = False,
+    **backend_kwargs,
 ) -> list[Any]:
-    """Run ``inputs`` through a local threaded pipeline of ``stages``.
+    """Run ``inputs`` through a local pipeline of ``stages``.
 
     Each stage consumes one item and produces one item (``Pipeline1for1``
-    semantics); the result list is in input order.  ``replicas[i] > 1``
-    farms out stage ``i`` over several worker threads (stateless stages
-    only — pass :class:`StageSpec` with ``replicable=False`` to forbid it).
+    semantics); the result list is in input order regardless of backend.
+    ``replicas[i] > 1`` farms out stage ``i`` over several workers
+    (stateless stages only — pass :class:`StageSpec` with
+    ``replicable=False`` to forbid it).
+
+    ``backend`` selects the execution substrate: ``"threads"`` (default),
+    ``"processes"`` (warm process pools — use for CPU-bound pure-Python
+    stages), ``"sim"`` (the grid simulator; timing is simulated), or any
+    :class:`~repro.backend.base.Backend` instance (which must already be
+    configured — ``replicas``/``capacity`` then may not be given).
+    ``adaptive=True`` (or an :class:`AdaptationConfig`) runs the
+    observe→decide→act loop: live on backends with
+    ``supports_live_reconfigure``, via the in-sim controller on
+    ``backend="sim"``.
 
     >>> pipeline_1for1([lambda x: x + 1, lambda x: x * 2], [1, 2, 3])
     [4, 6, 8]
     """
     pipe = _as_pipeline(stages)
-    return ThreadPipeline(pipe, replicas=replicas, capacity=capacity).run(inputs)
+    return _run_on_backend(
+        pipe,
+        inputs,
+        backend,
+        adaptive,
+        list(replicas) if replicas is not None else None,
+        capacity,
+        **backend_kwargs,
+    )
 
 
 def farm(
@@ -57,14 +136,28 @@ def farm(
     inputs: Iterable[Any],
     *,
     workers: int = 4,
-    capacity: int = 8,
+    capacity: int | None = None,
+    backend: str | Backend = "threads",
+    adaptive: bool | AdaptationConfig = False,
+    **backend_kwargs,
 ) -> list[Any]:
-    """Task-farm ``worker`` over ``inputs`` with ``workers`` threads.
+    """Task-farm ``worker`` over ``inputs`` with ``workers`` replicas.
 
     A farm is a one-stage replicated pipeline; outputs are in input order.
+    ``backend`` picks the substrate by name and ``adaptive`` enables the
+    live loop, both as in :func:`pipeline_1for1`; a pre-configured
+    :class:`Backend` instance carries its own worker count, so combine
+    instances with :func:`pipeline_1for1` instead.
     """
+    if not isinstance(backend, str):
+        raise ValueError(
+            "farm() configures workers itself, so it takes a backend name; "
+            "for a pre-configured Backend instance use pipeline_1for1()"
+        )
     pipe = _as_pipeline([worker])
-    return ThreadPipeline(pipe, replicas=[workers], capacity=capacity).run(inputs)
+    return _run_on_backend(
+        pipe, inputs, backend, adaptive, [workers], capacity, **backend_kwargs
+    )
 
 
 def simulate_pipeline(

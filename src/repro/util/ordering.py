@@ -1,0 +1,40 @@
+"""Sequence-order restoration shared by the real executors.
+
+Replicated stage workers finish items out of order; every executor restores
+input order before the next stage starts them (and before final output) —
+the invariant behind the ``Pipeline1for1`` contract.  Both the thread
+runtime's dispatchers and the process backend's routers delegate to this
+one implementation so the invariant has a single home.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+__all__ = ["SequenceReorderer"]
+
+
+class SequenceReorderer:
+    """Buffers (seq, value) pairs and releases them in sequence order."""
+
+    def __init__(self, start: int = 0) -> None:
+        self._pending: dict[int, Any] = {}
+        self._next_seq = start
+
+    def push(self, seq: int, value: Any) -> Iterator[tuple[int, Any]]:
+        """Accept one pair; yield every pair now ready, in order."""
+        self._pending[seq] = value
+        while self._next_seq in self._pending:
+            seq_out = self._next_seq
+            self._next_seq += 1
+            yield seq_out, self._pending.pop(seq_out)
+
+    def drain(self) -> Iterator[tuple[int, Any]]:
+        """Yield any remaining consecutive pairs (used at shutdown)."""
+        while self._next_seq in self._pending:
+            seq_out = self._next_seq
+            self._next_seq += 1
+            yield seq_out, self._pending.pop(seq_out)
+
+    def __len__(self) -> int:
+        return len(self._pending)

@@ -1,0 +1,101 @@
+"""Tests for the backend port and registry."""
+
+import pytest
+
+from repro.backend import (
+    Backend,
+    BackendCapabilityError,
+    BackendResult,
+    ProcessPoolBackend,
+    SimBackend,
+    ThreadBackend,
+    available_backends,
+    make_backend,
+    register_backend,
+)
+from repro.backend.base import _REGISTRY
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+
+
+def pipe():
+    return PipelineSpec((StageSpec(name="inc", work=0.01, fn=lambda x: x + 1),))
+
+
+class TestRegistry:
+    def test_builtin_backends_registered(self):
+        assert {"sim", "threads", "processes"} <= set(available_backends())
+
+    def test_make_backend_by_name(self):
+        b = make_backend("threads", pipe())
+        assert isinstance(b, ThreadBackend)
+
+    def test_make_backend_passthrough_instance(self):
+        b = ThreadBackend(pipe())
+        assert make_backend(b) is b
+        assert make_backend(b, b.pipeline) is b  # same callables: fine
+
+    def test_make_backend_instance_pipeline_mismatch(self):
+        b = ThreadBackend(pipe())
+        other = PipelineSpec(
+            (StageSpec(name="dbl", work=0.01, fn=lambda x: x * 2),)
+        )
+        with pytest.raises(ValueError, match="does not run the given stages"):
+            make_backend(b, other)
+
+    def test_instance_with_kwargs_rejected(self):
+        with pytest.raises(ValueError, match="unexpected kwargs"):
+            make_backend(ThreadBackend(pipe()), capacity=4)
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu", pipe())
+
+    def test_name_requires_pipeline(self):
+        with pytest.raises(ValueError, match="PipelineSpec"):
+            make_backend("threads")
+
+    def test_register_custom_and_duplicate(self):
+        class Custom(ThreadBackend):
+            name = "custom-test"
+
+        register_backend("custom-test", Custom)
+        try:
+            assert "custom-test" in available_backends()
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("custom-test", Custom)
+            register_backend("custom-test", Custom, overwrite=True)
+            assert isinstance(make_backend("custom-test", pipe()), Custom)
+        finally:
+            _REGISTRY.pop("custom-test", None)
+
+
+class TestPortContract:
+    def test_factories_accept_common_kwargs(self):
+        # Every adapter must tolerate the skel-level kwargs (replicas,
+        # capacity) so callers can switch backends without special cases.
+        for name in ("sim", "threads", "processes"):
+            b = make_backend(name, pipe(), replicas=[1], capacity=4)
+            b.close()
+
+    def test_sim_rejects_live_reconfigure(self):
+        b = SimBackend(pipe())
+        assert not b.supports_live_reconfigure
+        with pytest.raises(BackendCapabilityError):
+            b.reconfigure(0, 2)
+
+    def test_live_backends_advertise_reconfigure(self):
+        assert ThreadBackend(pipe()).supports_live_reconfigure
+        b = ProcessPoolBackend(pipe())
+        assert b.supports_live_reconfigure
+        b.close()
+
+    def test_result_throughput(self):
+        r = BackendResult(backend="x", outputs=[1], items=10, elapsed=2.0)
+        assert r.throughput == 5.0
+        assert BackendResult(backend="x", outputs=None, items=0, elapsed=0.0).throughput == 0.0
+
+    def test_join_before_start_raises(self):
+        for backend in (ThreadBackend(pipe()), SimBackend(pipe())):
+            with pytest.raises(RuntimeError):
+                backend.join()

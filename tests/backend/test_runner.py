@@ -1,0 +1,108 @@
+"""Tests for the wall-clock adaptive runner."""
+
+import time
+
+import pytest
+
+from repro.backend import RuntimeAdaptiveRunner, ThreadBackend, local_config
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+
+
+def spec(fns):
+    return PipelineSpec(
+        tuple(StageSpec(name=f"s{i}", work=0.01, fn=f) for i, f in enumerate(fns))
+    )
+
+
+def _fast(x):
+    return x + 1
+
+
+def _bottleneck(x):
+    time.sleep(0.02)
+    return x * 2
+
+
+class TestLocalConfig:
+    def test_defaults_are_subsecond(self):
+        cfg = local_config()
+        assert cfg.interval < 1.0
+        assert cfg.cooldown < 2.0
+
+    def test_overrides(self):
+        cfg = local_config(interval=0.1, max_replicas=6)
+        assert cfg.interval == 0.1
+        assert cfg.max_replicas == 6
+
+    def test_invalid_overrides_still_validated(self):
+        with pytest.raises(ValueError):
+            local_config(min_improvement=0.5)
+
+
+class TestRuntimeAdaptiveRunner:
+    def test_rejects_sim_backend(self):
+        with pytest.raises(ValueError, match="cannot reconfigure live"):
+            RuntimeAdaptiveRunner(spec([_fast]), "sim")
+
+    def test_virtual_grid_must_cover_stages(self):
+        with pytest.raises(ValueError, match="n_virtual_procs"):
+            RuntimeAdaptiveRunner(spec([_fast, _fast]), "threads", n_virtual_procs=1)
+
+    def test_grows_bottleneck_on_thread_backend(self):
+        pipe = spec([_fast, _bottleneck, _fast])
+        runner = RuntimeAdaptiveRunner(
+            pipe,
+            "threads",
+            config=local_config(interval=0.1, cooldown=0.2, settle_time=0.1),
+            rollback=False,
+            max_replicas=3,
+        )
+        res = runner.run(range(80))
+        assert res.outputs == [(x + 1) * 2 + 1 for x in range(80)]
+        assert res.items == 80
+        grows = [e for e in res.adaptation_events if e.kind != "rollback"]
+        assert len(grows) >= 1
+        # The bottleneck stage (1) must have been replicated.
+        assert res.final_replicas[1] > 1
+        assert res.replica_history[0][1] == (1, 1, 1)
+        assert res.replica_history[-1][1][1] == res.final_replicas[1]
+
+    def test_clamped_noop_proposal_records_no_event(self):
+        # Warm pool caps the bottleneck at 2 replicas; with a huge virtual
+        # grid the policy keeps proposing more, but once the backend sits at
+        # the cap the clamped proposal changes nothing physical and must not
+        # fabricate adaptation events (or phantom rollbacks).
+        pipe = spec([_fast, _bottleneck, _fast])
+        runner = RuntimeAdaptiveRunner(
+            pipe,
+            "threads",
+            config=local_config(interval=0.1, cooldown=0.1, settle_time=0.1),
+            rollback=False,
+            max_replicas=2,
+            n_virtual_procs=12,
+        )
+        res = runner.run(range(120))
+        assert res.items == 120
+        real_changes = {tuple(c) for _, c in res.replica_history}
+        assert len(res.adaptation_events) == len(res.replica_history) - 1
+        # Every recorded event corresponds to a distinct physical shape.
+        assert len(real_changes) == len(res.replica_history)
+        assert res.final_replicas[1] <= 2
+
+    def test_context_manager_closes_owned_backend(self):
+        with RuntimeAdaptiveRunner(spec([_fast]), "processes") as runner:
+            res = runner.run(range(5))
+            assert res.outputs == [x + 1 for x in range(5)]
+        # The warm pools must be reaped: a closed backend refuses work.
+        with pytest.raises(RuntimeError, match="closed"):
+            runner.backend.start([1])
+
+    def test_quiet_pipeline_takes_no_action(self):
+        # A balanced, fast pipeline finishes before any decision can act.
+        pipe = spec([_fast, _fast])
+        runner = RuntimeAdaptiveRunner(pipe, ThreadBackend(pipe))
+        res = runner.run(range(30))
+        assert res.outputs == [x + 2 for x in range(30)]
+        assert res.adaptation_events == []
+        assert res.final_replicas == [1, 1]

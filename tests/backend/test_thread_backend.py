@@ -1,0 +1,65 @@
+"""Tests for the thread adapter of the backend port."""
+
+import time
+
+from repro.backend import ThreadBackend
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+
+
+def spec(fns):
+    return PipelineSpec(
+        tuple(StageSpec(name=f"s{i}", work=0.01, fn=f) for i, f in enumerate(fns))
+    )
+
+
+class TestThreadBackend:
+    def test_run_ordered(self):
+        b = ThreadBackend(spec([lambda x: x + 1, lambda x: x * 2]))
+        res = b.run(range(20))
+        assert res.outputs == [(x + 1) * 2 for x in range(20)]
+        assert res.backend == "threads"
+        assert res.replica_counts == [1, 1]
+
+    def test_replicas_carry_over_between_runs(self):
+        b = ThreadBackend(spec([lambda x: x]), max_replicas=4)
+        b.run(range(5))
+        b.reconfigure(0, 3)
+        res = b.run(range(5))
+        assert res.replica_counts == [3]
+        assert res.outputs == list(range(5))
+
+    def test_live_grow_preserves_order(self):
+        def slowish(x):
+            time.sleep(0.003)
+            return x * x
+
+        b = ThreadBackend(spec([slowish]), max_replicas=4)
+        b.start(range(40))
+        while b.items_completed() < 5:
+            time.sleep(0.002)
+        b.reconfigure(0, 3)
+        res = b.join()
+        assert res.outputs == [x * x for x in range(40)]
+        assert res.replica_counts == [3]
+
+    def test_observation_surfaces(self):
+        def work(x):
+            time.sleep(0.002)
+            return x
+
+        b = ThreadBackend(spec([work]))
+        b.run(range(12))
+        snaps = b.snapshots()
+        assert len(snaps) == 1
+        assert snaps[0].items_processed == 12
+        assert snaps[0].service_time >= 0.002
+        assert snaps[0].work_estimate >= 0.002  # eff speed 1.0 locally
+        assert b.items_completed() == 12
+        # Completions just happened, so a generous window must see them.
+        assert b.recent_throughput(horizon=60.0) > 0
+
+    def test_reconfigure_clamped_to_max(self):
+        b = ThreadBackend(spec([lambda x: x]), max_replicas=2)
+        b.reconfigure(0, 50)
+        assert b.replica_counts() == [2]

@@ -41,3 +41,8 @@ class TestExamples:
         out = run_example("farm_conversion.py")
         assert "replication sweep" in out
         assert "final mapping" in out
+
+    def test_process_pipeline(self):
+        out = run_example("process_pipeline.py")
+        assert "warm process pools" in out
+        assert "final replicas per stage" in out

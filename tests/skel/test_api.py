@@ -38,6 +38,89 @@ class TestPipeline1for1:
         assert out == [2, 4]
 
 
+def _inc(x):
+    return x + 1
+
+
+def _slow_double(x):
+    import time
+
+    time.sleep(0.01)
+    return x * 2
+
+
+class TestBackendSelection:
+    def test_processes_match_threads(self):
+        inputs = list(range(15))
+        expected = pipeline_1for1([_inc, _slow_double], inputs, backend="threads")
+        out = pipeline_1for1([_inc, _slow_double], inputs, backend="processes")
+        assert out == expected == [(x + 1) * 2 for x in inputs]
+
+    def test_sim_backend_computes_outputs(self):
+        out = pipeline_1for1([_inc], [1, 2, 3], backend="sim")
+        assert out == [2, 3, 4]
+
+    def test_sim_backend_with_adaptive_uses_in_sim_controller(self):
+        out = pipeline_1for1([_inc], [1, 2, 3], backend="sim", adaptive=True)
+        assert out == [2, 3, 4]
+
+    def test_farm_on_sim_rejects_workers(self):
+        with pytest.raises(ValueError, match="mapping"):
+            farm(_inc, range(5), workers=4, backend="sim")
+
+    def test_typoed_backend_kwarg_raises(self):
+        with pytest.raises(TypeError):
+            pipeline_1for1([_inc], [1], backend="processes", max_replcas=16)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            pipeline_1for1([_inc], [1], backend="quantum")
+
+    def test_backend_instance_accepted(self):
+        from repro.backend import ThreadBackend
+        from repro.core.pipeline import PipelineSpec as PS
+
+        pipe = PS((StageSpec(name="inc", work=0.01, fn=_inc),))
+        b = ThreadBackend(pipe)
+        assert pipeline_1for1([_inc], [5], backend=b) == [6]
+
+    def test_backend_instance_for_other_pipeline_rejected(self):
+        from repro.backend import ThreadBackend
+        from repro.core.pipeline import PipelineSpec as PS
+
+        b = ThreadBackend(PS((StageSpec(name="inc", work=0.01, fn=_inc),)))
+        with pytest.raises(ValueError, match="does not run the given stages"):
+            pipeline_1for1([_slow_double], [5], backend=b)
+
+    def test_backend_instance_with_shape_kwargs_rejected(self):
+        from repro.backend import ThreadBackend
+        from repro.core.pipeline import PipelineSpec as PS
+
+        b = ThreadBackend(PS((StageSpec(name="inc", work=0.01, fn=_inc),)))
+        with pytest.raises(ValueError, match="already configured"):
+            pipeline_1for1([_inc], [5], backend=b, replicas=[2])
+        with pytest.raises(ValueError, match="already configured"):
+            pipeline_1for1([_inc], [5], backend=b, capacity=32)
+
+    def test_farm_requires_backend_name(self):
+        from repro.backend import ThreadBackend
+        from repro.core.pipeline import PipelineSpec as PS
+
+        b = ThreadBackend(PS((StageSpec(name="inc", work=0.01, fn=_inc),)))
+        with pytest.raises(ValueError, match="backend name"):
+            farm(_inc, [1], backend=b)
+
+    def test_adaptive_run_returns_ordered_outputs(self):
+        out = pipeline_1for1(
+            [_inc, _slow_double], range(25), backend="threads", adaptive=True
+        )
+        assert out == [(x + 1) * 2 for x in range(25)]
+
+    def test_farm_on_processes(self):
+        out = farm(_slow_double, range(12), workers=3, backend="processes")
+        assert out == [x * 2 for x in range(12)]
+
+
 class TestFarm:
     def test_results_in_order(self):
         out = farm(lambda x: x * 3, range(20), workers=4)
