@@ -15,11 +15,12 @@ from repro.core.policy import AdaptationConfig
 from repro.gridsim.spec import heterogeneous_grid
 from repro.model.mapping import Mapping
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.util.tables import render_table
 from repro.workloads.scenarios import load_step
 from repro.workloads.synthetic import imbalanced_pipeline
 
-N_ITEMS = 900
+N_ITEMS = scaled(900, 250)
 SPEEDS = [1.0, 1.0, 1.0, 1.0, 2.0, 2.0]
 WORKS = [0.1, 0.3, 0.1, 0.1]
 
@@ -67,14 +68,15 @@ def test_e11_policy_ablation(benchmark, report):
     for name, res in results.items():
         assert res.completed_all, name
         assert res.in_order(), name
-    ms = {name: res.makespan for name, res in results.items()}
-    # The ordering claim (loose tolerances absorb settling noise):
-    assert ms["reactive"] < ms["static"] * 0.7, ms
-    assert ms["model (monitor)"] < ms["reactive"] * 1.02, ms
-    assert ms["model (oracle)"] < ms["model (monitor)"] * 1.10, ms
-    # The monitor-fed policy lands within a modest factor of the oracle —
-    # the measured gap is the price of forecast convergence after the step.
-    assert ms["model (monitor)"] < ms["model (oracle)"] * 2.0, ms
+    if not quick_mode():
+        ms = {name: res.makespan for name, res in results.items()}
+        # The ordering claim (loose tolerances absorb settling noise):
+        assert ms["reactive"] < ms["static"] * 0.7, ms
+        assert ms["model (monitor)"] < ms["reactive"] * 1.02, ms
+        assert ms["model (oracle)"] < ms["model (monitor)"] * 1.10, ms
+        # The monitor-fed policy lands within a modest factor of the oracle —
+        # the measured gap is the price of forecast convergence after the step.
+        assert ms["model (monitor)"] < ms["model (oracle)"] * 2.0, ms
 
     rows = [
         [

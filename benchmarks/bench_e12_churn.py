@@ -13,12 +13,13 @@ from repro.core.policy import AdaptationConfig
 from repro.gridsim.spec import uniform_grid
 from repro.model.mapping import Mapping
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.reporting.shapes import assert_ratio_at_least
 from repro.util.tables import render_series
 from repro.workloads.scenarios import node_churn
 from repro.workloads.synthetic import balanced_pipeline
 
-N_ITEMS = 1500
+N_ITEMS = scaled(1500, 400)
 CHURN_PERIOD = 60.0
 DT = 10.0
 
@@ -48,15 +49,16 @@ def test_e12_churn(benchmark, report):
 
     assert static.completed_all and adaptive.completed_all
     assert adaptive.in_order()
-    # Static pays every 30 s down-phase (~50% duty at ~2% speed); the
-    # adaptive run is near-nominal after one remap, so the ratio is bounded
-    # by the churn duty cycle (~1.7 here).
-    assert_ratio_at_least(
-        static.makespan, adaptive.makespan, 1.6, label="static/adaptive under churn"
-    )
-    # Sustained fraction of nominal (10 items/s) over the whole adaptive run.
-    sustained = adaptive.throughput() / 10.0
-    assert sustained > 0.8, f"sustained only {sustained:.0%} of nominal"
+    if not quick_mode():
+        # Static pays every 30 s down-phase (~50% duty at ~2% speed); the
+        # adaptive run is near-nominal after one remap, so the ratio is bounded
+        # by the churn duty cycle (~1.7 here).
+        assert_ratio_at_least(
+            static.makespan, adaptive.makespan, 1.6, label="static/adaptive under churn"
+        )
+        # Sustained fraction of nominal (10 items/s) over the whole adaptive run.
+        sustained = adaptive.throughput() / 10.0
+        assert sustained > 0.8, f"sustained only {sustained:.0%} of nominal"
 
     ts_a, a_series = adaptive.throughput_series(DT)
     ts_s, s_series = static.throughput_series(DT)

@@ -16,12 +16,13 @@ from repro.backend import make_backend
 from repro.gridsim.spec import uniform_grid
 from repro.model.mapping import Mapping
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import scaled
 from repro.util.tables import render_table
 from repro.workloads.apps import kmer_pipeline, make_sequences
 
 BACKENDS = ["sim", "threads", "processes"]
-N_ITEMS = 24
-SEQ_LEN = 6_000
+N_ITEMS = scaled(24, 8)
+SEQ_LEN = scaled(6_000, 1_500)
 REPLICAS = [1, 2, 1]  # farm the dominant k-mer stage
 # The simulator expresses the same shape as a mapping: stage 1 farmed
 # over two processors of a four-node grid.

@@ -10,12 +10,13 @@ from repro.core.policy import AdaptationConfig
 from repro.model.mapping import Mapping
 from repro.gridsim.spec import uniform_grid
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.reporting.shapes import assert_ratio_at_least
 from repro.util.tables import render_series
 from repro.workloads.scenarios import load_step
 from repro.workloads.synthetic import balanced_pipeline
 
-N_ITEMS = 1200
+N_ITEMS = scaled(1200, 300)
 PERTURB_AT = 20.0
 DT = 5.0
 
@@ -45,20 +46,21 @@ def test_e1_perturbation(benchmark, report):
 
     assert static.completed_all and adaptive.completed_all
     assert adaptive.in_order()
-    # Who wins and by what factor: paper-claim shape, adaptive >= 3x here.
-    assert_ratio_at_least(
-        static.makespan, adaptive.makespan, 3.0, label="static/adaptive makespan"
-    )
-    # Recovery: adaptive throughput over the post-recovery window is back
-    # near nominal (10 items/s); static stays degraded (~1 item/s).
     ts, a_series = adaptive.throughput_series(DT)
     _, s_series = static.throughput_series(DT)
-    recov = [y for t, y in zip(ts, a_series) if PERTURB_AT + 15.0 <= t <= adaptive.makespan]
-    assert min(recov) > 8.0, f"adaptive did not recover: {recov}"
-    degraded = [
-        y for t, y in zip(ts, s_series) if PERTURB_AT + 15.0 <= t <= PERTURB_AT + 60.0
-    ]
-    assert max(degraded) < 2.0, f"static unexpectedly recovered: {degraded}"
+    if not quick_mode():
+        # Who wins and by what factor: paper-claim shape, adaptive >= 3x here.
+        assert_ratio_at_least(
+            static.makespan, adaptive.makespan, 3.0, label="static/adaptive makespan"
+        )
+        # Recovery: adaptive throughput over the post-recovery window is back
+        # near nominal (10 items/s); static stays degraded (~1 item/s).
+        recov = [y for t, y in zip(ts, a_series) if PERTURB_AT + 15.0 <= t <= adaptive.makespan]
+        assert min(recov) > 8.0, f"adaptive did not recover: {recov}"
+        degraded = [
+            y for t, y in zip(ts, s_series) if PERTURB_AT + 15.0 <= t <= PERTURB_AT + 60.0
+        ]
+        assert max(degraded) < 2.0, f"static unexpectedly recovered: {degraded}"
 
     horizon = int(min(len(ts), 90 / DT))
     lines = [

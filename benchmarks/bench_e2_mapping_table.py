@@ -17,6 +17,7 @@ from repro.model.mapping import enumerate_mappings
 from repro.model.optimizer import exhaustive_best_mapping
 from repro.model.throughput import ModelContext, StageCost, snapshot_view
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.util.tables import render_table
 from repro.workloads.synthetic import imbalanced_pipeline
 
@@ -30,7 +31,7 @@ CONFIGS = [
     ("proc 2 is 8x", (1e-4, 1e-4, 1e-4), (0.3, 0.3, 0.3), (1, 1, 8)),
     ("slow link to p2", (1e-4, 0.5, 0.5), (0.1, 0.1, 0.1), (1, 1, 1)),
 ]
-N_ITEMS = 150
+N_ITEMS = scaled(150, 40)
 OUT_BYTES = 1_000.0
 
 
@@ -85,24 +86,25 @@ def run_experiment():
 def test_e2_mapping_table(benchmark, report):
     rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
-    for row in rows:
-        # The model's pick must be essentially as good as the simulated best.
-        assert row["simulated"] >= 0.95 * row["sim best tp"], row
+    if not quick_mode():
+        for row in rows:
+            # The model's pick must be essentially as good as the simulated best.
+            assert row["simulated"] >= 0.95 * row["sim best tp"], row
 
-    by_name = {r["config"]: r for r in rows}
-    # Qualitative rules the table must exhibit:
-    # 1. balanced + fast links -> three processors used
-    assert len(set(by_name["fast-links balanced"]["model pick"][1:-1].split(","))) == 3
-    # 2. doubling stage times halves throughput
-    assert by_name["fast-links doubled"]["simulated"] == pytest.approx(
-        by_name["fast-links balanced"]["simulated"] / 2.0, rel=0.10
-    )
-    # 3. degraded processor avoided
-    assert "2" not in by_name["proc 2 degraded"]["model pick"]
-    # 4. 8x processor hosts everything
-    assert by_name["proc 2 is 8x"]["model pick"] == "(2,2,2)"
-    # 5. slow links to p2 -> p2 avoided for balanced light stages
-    assert "2" not in by_name["slow link to p2"]["model pick"]
+        by_name = {r["config"]: r for r in rows}
+        # Qualitative rules the table must exhibit:
+        # 1. balanced + fast links -> three processors used
+        assert len(set(by_name["fast-links balanced"]["model pick"][1:-1].split(","))) == 3
+        # 2. doubling stage times halves throughput
+        assert by_name["fast-links doubled"]["simulated"] == pytest.approx(
+            by_name["fast-links balanced"]["simulated"] / 2.0, rel=0.10
+        )
+        # 3. degraded processor avoided
+        assert "2" not in by_name["proc 2 degraded"]["model pick"]
+        # 4. 8x processor hosts everything
+        assert by_name["proc 2 is 8x"]["model pick"] == "(2,2,2)"
+        # 5. slow links to p2 -> p2 avoided for balanced light stages
+        assert "2" not in by_name["slow link to p2"]["model pick"]
 
     table = render_table(
         ["config", "model pick", "predicted", "simulated", "sim best", "sim best tp"],

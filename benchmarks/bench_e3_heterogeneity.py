@@ -11,6 +11,7 @@ from repro.core.policy import AdaptationConfig
 from repro.gridsim.spec import heterogeneous_grid
 from repro.model.mapping import Mapping
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.reporting.shapes import assert_monotonic
 from repro.util.tables import ascii_plot, render_series
 from repro.workloads.scenarios import heterogeneity_ladder
@@ -19,7 +20,7 @@ from repro.workloads.synthetic import balanced_pipeline
 FACTORS = [1.0, 2.0, 4.0, 8.0]
 N_PROCS = 6
 N_STAGES = 6
-N_ITEMS = 700
+N_ITEMS = scaled(700, 150)
 
 
 def run_experiment():
@@ -46,10 +47,11 @@ def run_experiment():
 def test_e3_heterogeneity(benchmark, report):
     speedups = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
-    # Shape: speedup grows with heterogeneity; ~1 when homogeneous.
-    assert speedups[0] < 1.25, f"no free lunch on homogeneous grid: {speedups[0]}"
-    assert_monotonic(speedups, increasing=True, tolerance=0.10, label="speedup(h)")
-    assert speedups[-1] > 1.5, f"h=8 speedup too small: {speedups[-1]}"
+    if not quick_mode():
+        # Shape: speedup grows with heterogeneity; ~1 when homogeneous.
+        assert speedups[0] < 1.25, f"no free lunch on homogeneous grid: {speedups[0]}"
+        assert_monotonic(speedups, increasing=True, tolerance=0.10, label="speedup(h)")
+        assert speedups[-1] > 1.5, f"h=8 speedup too small: {speedups[-1]}"
 
     report(
         "\n".join(

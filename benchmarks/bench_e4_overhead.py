@@ -13,11 +13,12 @@ from repro.core.policy import AdaptationConfig
 from repro.gridsim.spec import uniform_grid
 from repro.model.mapping import Mapping
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.util.tables import render_table
 from repro.workloads.synthetic import balanced_pipeline
 
 INTERVALS = [1.0, 2.0, 5.0, 10.0]
-N_ITEMS = 800
+N_ITEMS = scaled(800, 150)
 
 
 def run_experiment():
@@ -49,9 +50,10 @@ def run_experiment():
 def test_e4_overhead(benchmark, report):
     static_makespan, rows = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
-    for row in rows:
-        assert row["actions"] == 0, f"spurious adaptation at interval {row['interval']}"
-        assert abs(row["overhead_pct"]) < 2.0, row
+    if not quick_mode():
+        for row in rows:
+            assert row["actions"] == 0, f"spurious adaptation at interval {row['interval']}"
+            assert abs(row["overhead_pct"]) < 2.0, row
 
     report(
         "\n".join(

@@ -17,13 +17,14 @@ from repro.model.optimizer import (
 )
 from repro.model.throughput import ModelContext, snapshot_view
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.reporting.shapes import assert_monotonic, assert_within
 from repro.util.tables import render_series
 from repro.workloads.synthetic import balanced_pipeline, imbalanced_pipeline
 
 PROCS = [2, 4, 8, 16]
 N_STAGES = 8
-N_ITEMS = 600
+N_ITEMS = scaled(600, 150)
 
 
 def run_experiment():
@@ -62,14 +63,15 @@ def run_experiment():
 def test_e5_scalability(benchmark, report):
     tp_balanced, tp_imbalanced = benchmark.pedantic(run_experiment, rounds=1, iterations=1)
 
-    assert_monotonic(tp_balanced, increasing=True, tolerance=0.05, label="balanced")
-    assert_monotonic(tp_imbalanced, increasing=True, tolerance=0.05, label="imbalanced")
-    # Balanced pipeline saturates at 1/work once P >= S.
-    assert_within(tp_balanced[-1], 10.0, rel=0.10, label="balanced ceiling")
-    assert_within(tp_balanced[-2], 10.0, rel=0.10, label="balanced at P=S")
-    # Replication pushes the imbalanced pipeline past its P=S ceiling
-    # (bottleneck 0.4 s would cap at 2.5/s; with replicas it beats 4/s).
-    assert tp_imbalanced[-1] > 4.0, tp_imbalanced
+    if not quick_mode():
+        assert_monotonic(tp_balanced, increasing=True, tolerance=0.05, label="balanced")
+        assert_monotonic(tp_imbalanced, increasing=True, tolerance=0.05, label="imbalanced")
+        # Balanced pipeline saturates at 1/work once P >= S.
+        assert_within(tp_balanced[-1], 10.0, rel=0.10, label="balanced ceiling")
+        assert_within(tp_balanced[-2], 10.0, rel=0.10, label="balanced at P=S")
+        # Replication pushes the imbalanced pipeline past its P=S ceiling
+        # (bottleneck 0.4 s would cap at 2.5/s; with replicas it beats 4/s).
+        assert tp_imbalanced[-1] > 4.0, tp_imbalanced
 
     report(
         "\n".join(

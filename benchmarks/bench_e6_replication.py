@@ -12,13 +12,14 @@ from repro.core.policy import AdaptationConfig
 from repro.gridsim.spec import uniform_grid
 from repro.model.mapping import Mapping
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.reporting.shapes import assert_monotonic, assert_ratio_at_least
 from repro.util.tables import ascii_plot, render_series
 from repro.workloads.synthetic import imbalanced_pipeline
 
 WORKS = [0.05, 0.05, 0.3, 0.05, 0.05]
 REPLICAS = [1, 2, 3, 4]
-N_ITEMS = 600
+N_ITEMS = scaled(600, 150)
 
 
 def run_experiment():
@@ -57,17 +58,18 @@ def test_e6_replication(benchmark, report):
         run_experiment, rounds=1, iterations=1
     )
 
-    assert_monotonic(throughputs, increasing=True, tolerance=0.05, label="tp(replicas)")
-    # Near-linear: 4 replicas of the 0.3 s stage -> bottleneck moves to
-    # 0.3/4 = 0.075s vs others 0.05s -> ~13.3/s vs 3.33/s at 1 replica.
-    assert_ratio_at_least(throughputs[-1], throughputs[0], 3.5, label="4-replica gain")
-    # The adaptive controller must discover a multi-replica farm and land
-    # within 15% of the best manually configured throughput.
-    assert any(len(m.replicas(2)) >= 3 for _, m in adaptive.mapping_history)
-    assert adaptive.steady_throughput() > 0.85 * throughputs[-1]
-    # Stateful ablation: no farm, throughput pinned at the 1-replica level.
-    assert all(len(m.replicas(2)) == 1 for _, m in stateful_run.mapping_history)
-    assert stateful_run.steady_throughput() < throughputs[0] * 1.25
+    if not quick_mode():
+        assert_monotonic(throughputs, increasing=True, tolerance=0.05, label="tp(replicas)")
+        # Near-linear: 4 replicas of the 0.3 s stage -> bottleneck moves to
+        # 0.3/4 = 0.075s vs others 0.05s -> ~13.3/s vs 3.33/s at 1 replica.
+        assert_ratio_at_least(throughputs[-1], throughputs[0], 3.5, label="4-replica gain")
+        # The adaptive controller must discover a multi-replica farm and land
+        # within 15% of the best manually configured throughput.
+        assert any(len(m.replicas(2)) >= 3 for _, m in adaptive.mapping_history)
+        assert adaptive.steady_throughput() > 0.85 * throughputs[-1]
+        # Stateful ablation: no farm, throughput pinned at the 1-replica level.
+        assert all(len(m.replicas(2)) == 1 for _, m in stateful_run.mapping_history)
+        assert stateful_run.steady_throughput() < throughputs[0] * 1.25
 
     report(
         "\n".join(

@@ -14,12 +14,13 @@ from repro.gridsim.spec import heterogeneous_grid
 from repro.model.mapping import random_mapping
 from repro.model.throughput import ModelContext, predict, snapshot_view
 from repro.reporting.render import experiment_header
+from repro.reporting.quick import quick_mode, scaled
 from repro.util.rng import derive_rng
 from repro.util.tables import render_table
 from repro.workloads.synthetic import imbalanced_pipeline
 
-N_CONFIGS = 60
-N_ITEMS = 350
+N_CONFIGS = scaled(60, 10)
+N_ITEMS = scaled(350, 120)
 
 
 def run_experiment():
@@ -68,9 +69,10 @@ def test_e9_model_fidelity(benchmark, report):
     mean_err = float(abs_err.mean())
     p95_err = float(np.percentile(abs_err, 95))
     bias = float(np.mean(errors))
-    assert mean_err < 0.08, f"mean |rel err| {mean_err:.3f}"
-    assert p95_err < 0.20, f"p95 |rel err| {p95_err:.3f}"
-    assert abs(bias) < 0.05, f"systematic bias {bias:+.3f}"
+    if not quick_mode():
+        assert mean_err < 0.08, f"mean |rel err| {mean_err:.3f}"
+        assert p95_err < 0.20, f"p95 |rel err| {p95_err:.3f}"
+        assert abs(bias) < 0.05, f"systematic bias {bias:+.3f}"
 
     report(
         "\n".join(

@@ -3,7 +3,9 @@
 Every experiment harness renders its table/figure through the ``report``
 fixture; collected blocks are printed in the terminal summary (so they land
 in ``bench_output.txt`` even with output capture on) and mirrored to
-``benchmarks/results/latest.txt``.
+``benchmarks/results/latest.txt``.  Machine-readable rows (the ``json: ``
+lines some experiments emit) are additionally extracted to
+``benchmarks/results/latest.jsonl`` so CI can archive them as an artifact.
 """
 
 from __future__ import annotations
@@ -35,6 +37,16 @@ def pytest_terminal_summary(terminalreporter, exitstatus, config):
             terminalreporter.write_line(line)
     _RESULTS_DIR.mkdir(exist_ok=True)
     (_RESULTS_DIR / "latest.txt").write_text("\n".join(_BLOCKS) + "\n")
+    json_lines = [
+        line[len("json: "):]
+        for block in _BLOCKS
+        for line in block.splitlines()
+        if line.startswith("json: ")
+    ]
+    # Always rewritten (even empty) so the txt/jsonl pair is from one run.
+    (_RESULTS_DIR / "latest.jsonl").write_text(
+        "\n".join(json_lines) + "\n" if json_lines else ""
+    )
     terminalreporter.write_line(
         f"\n[experiment report mirrored to {_RESULTS_DIR / 'latest.txt'}]"
     )

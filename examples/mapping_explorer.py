@@ -10,7 +10,7 @@ slow processors push work onto fast ones.
 Run:  python examples/mapping_explorer.py
 """
 
-from repro import GridSpec, SiteSpec, predict
+from repro import GridSpec, SiteSpec
 from repro.gridsim.network import Link
 from repro.model.optimizer import exhaustive_best_mapping
 from repro.model.throughput import ModelContext, StageCost, snapshot_view

@@ -3,14 +3,17 @@
 The :class:`~repro.backend.base.Backend` port decouples *what* a pipeline
 computes (a :class:`~repro.core.pipeline.PipelineSpec`) from *where* it
 executes — the same separation task-parallel frameworks like Pipeflow draw
-between pipeline structure and scheduling substrate.  Three adapters ship:
+between pipeline structure and scheduling substrate.  Four adapters ship:
 
 * ``"sim"`` — :class:`SimBackend`, the discrete-event grid simulator
   (simulated time; adaptation via the in-sim controller);
 * ``"threads"`` — :class:`ThreadBackend`, the local thread runtime (for
-  I/O-bound and GIL-releasing stages);
+  GIL-releasing kernels and portable correctness runs);
 * ``"processes"`` — :class:`ProcessPoolBackend`, warm pre-forked process
-  pools per stage (true multi-core for CPU-bound Python stages).
+  pools per stage (true multi-core for CPU-bound Python stages);
+* ``"asyncio"`` — :class:`AsyncioBackend`, coroutine pools on a dedicated
+  event-loop thread (I/O-bound stages; the concurrency limit is the
+  replica knob).
 
 :class:`RuntimeAdaptiveRunner` runs the paper's observe→decide→act loop
 against any live backend using wall-clock measurements, reusing the exact
@@ -20,6 +23,7 @@ policies (:class:`~repro.core.policy.AdaptationPolicy`,
 See ``docs/backends.md`` for the contract and selection guidance.
 """
 
+from repro.backend.async_backend import AsyncioBackend
 from repro.backend.base import (
     Backend,
     BackendCapabilityError,
@@ -34,6 +38,7 @@ from repro.backend.sim_backend import SimBackend
 from repro.backend.thread_backend import ThreadBackend
 
 __all__ = [
+    "AsyncioBackend",
     "Backend",
     "BackendCapabilityError",
     "BackendResult",

@@ -1,0 +1,410 @@
+"""Asyncio adapter: I/O-bound stages as coroutine pools on one event loop.
+
+Threads and processes buy parallelism with OS-level concurrency; for
+I/O-bound stages (network fetches, storage calls) the waiting itself is the
+work, and an event loop multiplexes thousands of in-flight waits on a
+single thread.  This adapter runs the full :class:`~repro.backend.base.Backend`
+port on ``asyncio``:
+
+* The **event loop lives in a dedicated thread**, started lazily on the
+  first ``start()`` and kept warm across runs, so the port's synchronous
+  ``start``/``join``/``snapshots``/``reconfigure`` contract is preserved
+  and :class:`~repro.backend.runner.RuntimeAdaptiveRunner` drives the
+  observe→decide→act loop from its own thread, unchanged.
+* Each stage is a **coroutine pool bounded by a resizable semaphore**: the
+  stage's dispatcher admits items (in input order) only while fewer than
+  ``limit`` are in flight, so the semaphore limit *is* the stage's replica
+  count.  ``reconfigure(stage, n)`` rewrites that limit in O(1) — growth
+  admits more items immediately, shrink takes effect as in-flight items
+  complete; nothing is drained or restarted.
+* Stages may be declared as ``async def`` coroutines (awaited on the loop)
+  or **plain callables**, which are offloaded via ``loop.run_in_executor``
+  to a backend-owned thread pool so they cannot stall the loop.
+* **Order restoration** is shared with the other executors through
+  :class:`~repro.util.ordering.SequenceReorderer`: every stage starts items
+  in input order and the collector emits in input order — the
+  ``Pipeline1for1`` contract, replica races notwithstanding.
+* **Abort-safe shutdown** mirrors the thread runtime: a failing stage
+  records a :class:`~repro.runtime.threads.StageError`, sets the abort
+  flag, in-flight tasks are cancelled, queues drain via sentinels, and
+  ``join()`` re-raises with the stage named — no coroutine is left parked
+  on a full queue.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import inspect
+import math
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Iterable
+
+from repro.backend.base import Backend, BackendResult, register_backend
+from repro.core.pipeline import PipelineSpec
+from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
+from repro.runtime.threads import StageError
+from repro.util.ordering import SequenceReorderer
+from repro.util.validation import check_positive
+
+__all__ = ["AsyncioBackend"]
+
+_SENTINEL = object()
+
+
+class _ResizableSemaphore:
+    """Concurrency limiter whose limit can change while waiters are parked.
+
+    Unlike ``asyncio.Semaphore`` this tracks a mutable *limit* against an
+    in-use count, so ``set_limit`` is O(1) and never needs to inject or
+    swallow permits to resize.  Exactly one coroutine (the stage's
+    dispatcher) ever awaits ``acquire``, which keeps the wake-up protocol a
+    single event.  All methods must run on the owning event loop.
+    """
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.in_use = 0
+        self._wake = asyncio.Event()
+
+    async def acquire(self) -> None:
+        while self.in_use >= self.limit:
+            self._wake.clear()
+            await self._wake.wait()
+        self.in_use += 1
+
+    def release(self) -> None:
+        self.in_use -= 1
+        self._wake.set()
+
+    def set_limit(self, limit: int) -> None:
+        self.limit = limit
+        self._wake.set()
+
+
+class AsyncioBackend(Backend):
+    """Executes pipelines as bounded coroutine pools on a warm event loop.
+
+    Parameters
+    ----------
+    pipeline:
+        Stage specs; every stage must define ``fn`` (``async def`` or a
+        plain callable — plain callables run on an offload thread pool).
+    replicas:
+        Initial concurrency limit per stage (default 1 each);
+        ``replicas[i] > 1`` requires ``pipeline.stage(i).replicable``.
+    capacity:
+        Bounded inter-stage queue capacity (back-pressure), default 8.
+    max_replicas:
+        Ceiling ``reconfigure`` can raise a replicable stage's limit to.
+
+    One instance is reusable: the loop thread stays warm between runs and
+    adapted concurrency limits carry over to the next run.
+    """
+
+    name = "asyncio"
+    supports_live_reconfigure = True
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        replicas: list[int] | None = None,
+        capacity: int | None = None,
+        max_replicas: int = 8,
+    ) -> None:
+        super().__init__(pipeline)
+        capacity = 8 if capacity is None else capacity
+        check_positive(capacity, "capacity")
+        check_positive(max_replicas, "max_replicas")
+        n = pipeline.n_stages
+        if replicas is None:
+            replicas = [1] * n
+        if len(replicas) != n:
+            raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
+        for i, r in enumerate(replicas):
+            if r < 1:
+                raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
+            if r > 1 and not pipeline.stage(i).replicable:
+                raise ValueError(
+                    f"stage {i} ({pipeline.stage(i).name!r}) is stateful and "
+                    "cannot be replicated"
+                )
+            if pipeline.stage(i).fn is None:
+                raise ValueError(
+                    f"stage {i} ({pipeline.stage(i).name!r}) has no fn; the "
+                    "asyncio runtime executes real callables"
+                )
+        self.capacity = capacity
+        self.max_replicas = max(max_replicas, *replicas)
+        self._is_async = [
+            inspect.iscoroutinefunction(pipeline.stage(i).fn) for i in range(n)
+        ]
+        self._target = list(replicas)
+        self._stage_locks = [threading.Lock() for _ in range(n)]
+        # Warm resources (created lazily, persist across runs).
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+        # Per-run state.
+        self._run_future = None
+        self._sems: list[_ResizableSemaphore] | None = None
+        self._abort: asyncio.Event | None = None
+        self._errors: list[BaseException] = []
+        self._outputs: list[Any] = []
+        self._n_items = 0
+        self._t0 = 0.0
+        self._elapsed = 0.0
+        self.instrumentation: PipelineInstrumentation | None = None
+
+    # --------------------------------------------------------------- warm-up
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        """Start the dedicated loop thread (idempotent, warm across runs)."""
+        if self._loop is None:
+            self._loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self._loop.run_forever, name="asyncio-backend", daemon=True
+            )
+            self._loop_thread.start()
+        if self._executor is None and not all(self._is_async):
+            # Sized so every sync stage can run at its ceiling concurrently;
+            # ThreadPoolExecutor spawns threads on demand, so an unused
+            # ceiling costs nothing.
+            workers = sum(
+                self.replica_limit(i)
+                for i, is_async in enumerate(self._is_async)
+                if not is_async
+            )
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(workers, 1), thread_name_prefix="asyncio-offload"
+            )
+        return self._loop
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, inputs: Iterable[Any]) -> int:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self.running():
+            raise RuntimeError("backend already running; join() it first")
+        loop = self._ensure_loop()
+        items = list(inputs)
+        self._n_items = len(items)
+        self._outputs = []
+        self._errors = []
+        self.instrumentation = PipelineInstrumentation(self.pipeline.n_stages)
+        self._sems = [_ResizableSemaphore(c) for c in self._target]
+        self._abort = asyncio.Event()
+        self._elapsed = 0.0
+        self._t0 = time.perf_counter()
+        self._run_future = asyncio.run_coroutine_threadsafe(
+            self._run_async(items), loop
+        )
+        return self._n_items
+
+    async def _run_async(self, items: list[Any]) -> None:
+        n = self.pipeline.n_stages
+        loop = asyncio.get_running_loop()
+        abort = self._abort
+        sems = self._sems
+        instrumentation = self.instrumentation
+        assert abort is not None and sems is not None and instrumentation is not None
+        # queues[i] feeds stage i's dispatcher; queues[n] feeds the collector.
+        # Each has exactly one consumer and receives one sentinel, put by its
+        # single upstream owner after all of that owner's work has landed.
+        queues: list[asyncio.Queue] = [
+            asyncio.Queue(maxsize=self.capacity) for _ in range(n + 1)
+        ]
+
+        async def run_one(
+            i: int, seq: int, value: Any, out_q: asyncio.Queue, sem: _ResizableSemaphore
+        ) -> None:
+            spec = self.pipeline.stage(i)
+            try:
+                t0 = time.perf_counter()
+                try:
+                    if self._is_async[i]:
+                        result = await spec.fn(value)
+                    else:
+                        result = await loop.run_in_executor(
+                            self._executor, spec.fn, value
+                        )
+                except asyncio.CancelledError:
+                    raise  # abort/close cancelled us: not a stage failure
+                except BaseException as err:  # noqa: BLE001 - reported via join()
+                    self._errors.append(StageError(spec.name, err))
+                    abort.set()
+                    return
+                dt = time.perf_counter() - t0
+                with self._stage_locks[i]:
+                    instrumentation.stages[i].record_service(dt, 1.0)
+                if not abort.is_set():
+                    await out_q.put((seq, result))
+            finally:
+                sem.release()
+
+        async def dispatch(i: int) -> None:
+            """Admit stage ``i``'s items in order, ``sems[i].limit`` at a time."""
+            in_q, out_q, sem = queues[i], queues[i + 1], sems[i]
+            metrics = instrumentation.stages[i]
+            reorder = SequenceReorderer()
+            pending: set[asyncio.Task] = set()
+            try:
+                while True:
+                    got = await in_q.get()
+                    if got is _SENTINEL:
+                        break
+                    if abort.is_set():
+                        continue  # drain without dispatching
+                    seq, value = got
+                    with self._stage_locks[i]:
+                        metrics.record_queue_length(in_q.qsize() + len(reorder))
+                    for ready_seq, ready in reorder.push(seq, value):
+                        await sem.acquire()
+                        if abort.is_set():
+                            sem.release()
+                            break
+                        task = loop.create_task(
+                            run_one(i, ready_seq, ready, out_q, sem)
+                        )
+                        pending.add(task)
+                        task.add_done_callback(pending.discard)
+                if abort.is_set():
+                    for task in pending:
+                        task.cancel()
+                if pending:
+                    await asyncio.gather(*list(pending), return_exceptions=True)
+            finally:
+                await out_q.put(_SENTINEL)
+
+        async def feed() -> None:
+            try:
+                for seq, value in enumerate(items):
+                    if abort.is_set():
+                        break
+                    await queues[0].put((seq, value))
+            finally:
+                await queues[0].put(_SENTINEL)
+
+        async def collect() -> None:
+            reorder = SequenceReorderer()
+            while True:
+                got = await queues[n].get()
+                if got is _SENTINEL:
+                    break
+                if abort.is_set():
+                    continue
+                seq, value = got
+                for _ready_seq, ready in reorder.push(seq, value):
+                    self._outputs.append(ready)
+                    instrumentation.record_completion(self.now())
+
+        tasks = [loop.create_task(feed())]
+        tasks += [loop.create_task(dispatch(i)) for i in range(n)]
+        tasks.append(loop.create_task(collect()))
+        try:
+            # return_exceptions keeps the sentinel cascade intact: a failing
+            # task's peers still run to completion (draining their queues),
+            # so nothing is left parked; the failure re-raises below.
+            results = await asyncio.gather(*tasks, return_exceptions=True)
+            for r in results:
+                if isinstance(r, BaseException):
+                    raise r
+        finally:
+            self._elapsed = time.perf_counter() - self._t0
+
+    def join(self) -> BackendResult:
+        if self._run_future is None:
+            raise RuntimeError("backend not started")
+        try:
+            self._run_future.result()
+        except BaseException:
+            if self._errors:
+                raise self._errors[0] from None
+            raise
+        if self._errors:
+            raise self._errors[0]
+        assert self.instrumentation is not None
+        return BackendResult(
+            backend=self.name,
+            outputs=self._outputs,
+            items=len(self._outputs),
+            elapsed=self._elapsed,
+            service_means=[
+                s.total.mean if s.total.n else math.nan
+                for s in self.instrumentation.stages
+            ],
+            replica_counts=self.replica_counts(),
+        )
+
+    def running(self) -> bool:
+        return self._run_future is not None and not self._run_future.done()
+
+    def close(self) -> None:
+        """Abort any in-flight run and stop the loop thread (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        loop = self._loop
+        if loop is not None:
+            if self._abort is not None:
+                loop.call_soon_threadsafe(self._abort.set)
+            if self._run_future is not None:
+                try:
+                    self._run_future.result(timeout=5.0)
+                except BaseException:  # noqa: BLE001 - closing, not reporting
+                    pass
+            loop.call_soon_threadsafe(loop.stop)
+            assert self._loop_thread is not None
+            self._loop_thread.join(timeout=5.0)
+            if not self._loop_thread.is_alive():
+                loop.close()
+            self._loop = None
+            self._loop_thread = None
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+
+    # ----------------------------------------------------------- observation
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def snapshots(self) -> list[StageSnapshot]:
+        if self.instrumentation is None:
+            return []
+        return self.instrumentation.snapshots(self._stage_locks)
+
+    def items_completed(self) -> int:
+        return self.instrumentation.items_completed if self.instrumentation else 0
+
+    def recent_throughput(self, horizon: float) -> float:
+        if self.instrumentation is None:
+            return math.nan
+        return self.instrumentation.recent_throughput(self.now(), horizon)
+
+    # ----------------------------------------------------------------- shape
+    def replica_counts(self) -> list[int]:
+        return list(self._target)
+
+    def replica_limit(self, stage: int) -> int:
+        return self.max_replicas if self.pipeline.stage(stage).replicable else 1
+
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        """Set ``stage``'s concurrency limit to ``n_replicas``, live, in O(1).
+
+        Counts clamp to ``[1, replica_limit(stage)]``.  Growth admits more
+        items the moment the dispatcher next checks the semaphore; shrink
+        lowers the limit without cancelling in-flight items — the pool
+        contracts as they complete.
+        """
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        n_replicas = min(n_replicas, self.replica_limit(stage))
+        self._target[stage] = n_replicas
+        if self.running() and self._sems is not None and self._loop is not None:
+            sem = self._sems[stage]
+            self._loop.call_soon_threadsafe(sem.set_limit, n_replicas)
+
+
+register_backend("asyncio", AsyncioBackend)

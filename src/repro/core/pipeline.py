@@ -7,7 +7,7 @@ its input sequence to an equal-length, order-preserved output sequence.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.stage import StageSpec
 from repro.model.throughput import StageCost

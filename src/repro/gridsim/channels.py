@@ -12,7 +12,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Any, Deque
 
-from repro.gridsim.engine import ResumeFn, SimEvent, Simulator, Waitable
+from repro.gridsim.engine import ResumeFn, Simulator, Waitable
 
 __all__ = ["Channel", "ChannelClosed", "SimResource"]
 

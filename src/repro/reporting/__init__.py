@@ -11,6 +11,7 @@
 
 from repro.reporting.experiment import aggregate, sweep
 from repro.reporting.io import read_rows_csv, write_rows_csv
+from repro.reporting.quick import quick_mode, scaled
 from repro.reporting.render import experiment_header, rows_table
 from repro.reporting.shapes import (
     assert_monotonic,
@@ -26,8 +27,10 @@ __all__ = [
     "assert_within",
     "experiment_header",
     "find_crossover",
+    "quick_mode",
     "read_rows_csv",
     "rows_table",
+    "scaled",
     "sweep",
     "write_rows_csv",
 ]

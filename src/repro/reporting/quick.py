@@ -1,0 +1,27 @@
+"""Quick-mode switch for the benchmark harnesses.
+
+CI runs every experiment in a smoke configuration (``REPRO_BENCH_QUICK=1``)
+so benchmark scripts cannot silently rot: imports, wiring and rendering are
+exercised on every push at a fraction of the full item counts.  Quantitative
+shape assertions are only meaningful at full size, so harnesses guard them
+with :func:`quick_mode` and size their sweeps through :func:`scaled`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TypeVar
+
+__all__ = ["quick_mode", "scaled"]
+
+T = TypeVar("T")
+
+
+def quick_mode() -> bool:
+    """True when ``REPRO_BENCH_QUICK`` asks for smoke-sized benchmark runs."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def scaled(full: T, quick: T) -> T:
+    """``full`` normally; ``quick`` under ``REPRO_BENCH_QUICK=1``."""
+    return quick if quick_mode() else full

@@ -108,7 +108,9 @@ def pipeline_1for1(
 
     ``backend`` selects the execution substrate: ``"threads"`` (default),
     ``"processes"`` (warm process pools — use for CPU-bound pure-Python
-    stages), ``"sim"`` (the grid simulator; timing is simulated), or any
+    stages), ``"asyncio"`` (coroutine pools on an event-loop thread — use
+    for I/O-bound stages; stages may be ``async def``), ``"sim"`` (the grid
+    simulator; timing is simulated), or any
     :class:`~repro.backend.base.Backend` instance (which must already be
     configured — ``replicas``/``capacity`` then may not be given).
     ``adaptive=True`` (or an :class:`AdaptationConfig`) runs the

@@ -15,22 +15,39 @@ __all__ = ["SequenceReorderer"]
 
 
 class SequenceReorderer:
-    """Buffers (seq, value) pairs and releases them in sequence order."""
+    """Buffers (seq, value) pairs and releases them in sequence order.
+
+    Duplicate sequence numbers are rejected: a seq still buffered, or one
+    already released, can only mean an executor dispatched the same item
+    twice — silently overwriting (or re-emitting) it would corrupt the
+    1-for-1 contract downstream, so ``push`` raises instead.
+    """
 
     def __init__(self, start: int = 0) -> None:
         self._pending: dict[int, Any] = {}
         self._next_seq = start
 
     def push(self, seq: int, value: Any) -> Iterator[tuple[int, Any]]:
-        """Accept one pair; yield every pair now ready, in order."""
+        """Accept one pair; yield every pair now ready, in order.
+
+        Validation and buffering happen eagerly (not on first iteration of
+        the returned iterator), so duplicates raise even if a caller never
+        consumes the ready items.
+        """
+        if seq < self._next_seq:
+            raise ValueError(
+                f"sequence {seq} was already released (next is {self._next_seq})"
+            )
+        if seq in self._pending:
+            raise ValueError(f"sequence {seq} is already buffered")
         self._pending[seq] = value
-        while self._next_seq in self._pending:
-            seq_out = self._next_seq
-            self._next_seq += 1
-            yield seq_out, self._pending.pop(seq_out)
+        return self._release()
 
     def drain(self) -> Iterator[tuple[int, Any]]:
         """Yield any remaining consecutive pairs (used at shutdown)."""
+        return self._release()
+
+    def _release(self) -> Iterator[tuple[int, Any]]:
         while self._next_seq in self._pending:
             seq_out = self._next_seq
             self._next_seq += 1

@@ -14,6 +14,8 @@ processing) and bioinformatics (sequence scanning).
 
 from __future__ import annotations
 
+import asyncio
+import time
 from collections import Counter
 
 import numpy as np
@@ -30,6 +32,8 @@ __all__ = [
     "make_documents",
     "kmer_pipeline",
     "make_sequences",
+    "fetch_pipeline",
+    "make_requests",
 ]
 
 
@@ -190,6 +194,85 @@ def _kmer_count(args: tuple[str, float], k: int = 6) -> tuple[float, dict[str, i
 def _report(args: tuple[float, dict[str, int]]) -> dict:
     gc, top = args
     return {"gc": gc, "top_kmer": next(iter(top), None), "distinct_top": len(top)}
+
+
+# ----------------------------------------------------------------------- io
+def make_requests(n: int) -> list[int]:
+    """Request ids for the simulated-latency service pipeline."""
+    check_positive(n, "n")
+    return list(range(n))
+
+
+def _simulated_latency(rid: int, base: float, jitter: float) -> float:
+    """Deterministic per-request latency, identical for sync/async variants."""
+    frac = ((rid * 2654435761) % 1000) / 1000.0
+    return base * (1.0 - jitter + 2.0 * jitter * frac)
+
+
+def fetch_pipeline(
+    *,
+    latency: float = 0.02,
+    jitter: float = 0.25,
+    asynchronous: bool = False,
+    sim_scale: float = 1.0,
+) -> PipelineSpec:
+    """Fetch → parse → store: a simulated-latency I/O service pipeline.
+
+    The dominant costs are *waits* (a network fetch, a storage write), not
+    computation — the workload family production services are made of.  Each
+    request's latency is a deterministic function of its id, so the
+    blocking variant (``time.sleep``, for the thread backend) and the
+    ``asynchronous=True`` variant (``await asyncio.sleep``, for the asyncio
+    backend) wait identical durations and produce identical outputs; only
+    the middle ``parse`` stage is real (and cheap) CPU work, and it stays a
+    plain callable in both variants.
+    """
+    check_positive(latency, "latency")
+    check_positive(sim_scale, "sim_scale")
+    if not 0.0 <= jitter < 1.0:
+        raise ValueError(f"jitter must be in [0, 1), got {jitter}")
+
+    def fetch_sync(rid: int) -> tuple[int, str]:
+        time.sleep(_simulated_latency(rid, latency, jitter))
+        return rid, f"payload-{rid:06d}" * 8
+
+    async def fetch_async(rid: int) -> tuple[int, str]:
+        await asyncio.sleep(_simulated_latency(rid, latency, jitter))
+        return rid, f"payload-{rid:06d}" * 8
+
+    def parse(args: tuple[int, str]) -> tuple[int, int]:
+        rid, payload = args
+        return rid, sum(1 for c in payload if c.isdigit())
+
+    def store_sync(args: tuple[int, int]) -> dict:
+        rid, digits = args
+        time.sleep(_simulated_latency(rid + 1_000_003, 0.5 * latency, jitter))
+        return {"id": rid, "digits": digits, "stored": True}
+
+    async def store_async(args: tuple[int, int]) -> dict:
+        rid, digits = args
+        await asyncio.sleep(_simulated_latency(rid + 1_000_003, 0.5 * latency, jitter))
+        return {"id": rid, "digits": digits, "stored": True}
+
+    s = sim_scale
+    return PipelineSpec(
+        (
+            StageSpec(
+                name="fetch", work=latency * s, out_bytes=16_384,
+                fn=fetch_async if asynchronous else fetch_sync,
+            ),
+            StageSpec(
+                name="parse", work=0.02 * latency * s, out_bytes=64,
+                fn=parse,
+            ),
+            StageSpec(
+                name="store", work=0.5 * latency * s, out_bytes=64,
+                fn=store_async if asynchronous else store_sync,
+            ),
+        ),
+        input_bytes=64,
+        name="fetch",
+    )
 
 
 def kmer_pipeline(*, sim_scale: float = 1.0) -> PipelineSpec:

@@ -1,0 +1,244 @@
+"""Tests for the asyncio adapter of the backend port."""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.backend import AsyncioBackend, RuntimeAdaptiveRunner, ThreadBackend, local_config
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.runtime.threads import StageError
+from repro.workloads.apps import fetch_pipeline, make_requests
+
+
+def spec(fns, **kwargs):
+    return PipelineSpec(
+        tuple(
+            StageSpec(name=f"s{i}", work=0.01, fn=f, **kwargs)
+            for i, f in enumerate(fns)
+        )
+    )
+
+
+async def _ainc(x):
+    return x + 1
+
+
+async def _adouble_slow(x):
+    await asyncio.sleep(0.002)
+    return x * 2
+
+
+class TestAsyncioBackend:
+    def test_run_ordered_sync_stages(self):
+        with AsyncioBackend(spec([lambda x: x + 1, lambda x: x * 2])) as b:
+            res = b.run(range(20))
+        assert res.outputs == [(x + 1) * 2 for x in range(20)]
+        assert res.backend == "asyncio"
+        assert res.replica_counts == [1, 1]
+        assert res.items == 20
+
+    def test_run_ordered_async_stages(self):
+        with AsyncioBackend(spec([_ainc, _adouble_slow]), replicas=[1, 4]) as b:
+            res = b.run(range(30))
+        assert res.outputs == [(x + 1) * 2 for x in range(30)]
+        assert res.replica_counts == [1, 4]
+
+    def test_mixed_sync_and_async_stages(self):
+        with AsyncioBackend(spec([_ainc, lambda x: x * 3, _adouble_slow])) as b:
+            res = b.run(range(15))
+        assert res.outputs == [(x + 1) * 3 * 2 for x in range(15)]
+
+    def test_output_parity_with_threads(self):
+        # The shared contract: same workload, same ordered outputs.
+        n = 40
+        with AsyncioBackend(
+            fetch_pipeline(latency=0.002, asynchronous=True), replicas=[4, 1, 4]
+        ) as b:
+            async_res = b.run(make_requests(n))
+        with ThreadBackend(
+            fetch_pipeline(latency=0.002), replicas=[4, 1, 4], max_replicas=4
+        ) as b:
+            thread_res = b.run(make_requests(n))
+        assert async_res.outputs == thread_res.outputs
+        assert [o["id"] for o in async_res.outputs] == list(range(n))
+
+    def test_replicas_carry_over_between_runs(self):
+        with AsyncioBackend(spec([_ainc]), max_replicas=4) as b:
+            b.run(range(5))
+            b.reconfigure(0, 3)
+            res = b.run(range(5))
+        assert res.replica_counts == [3]
+        assert res.outputs == [x + 1 for x in range(5)]
+
+    def test_live_grow_preserves_order(self):
+        with AsyncioBackend(spec([_adouble_slow]), max_replicas=4) as b:
+            b.start(range(40))
+            while b.items_completed() < 5:
+                time.sleep(0.002)
+            b.reconfigure(0, 4)
+            res = b.join()
+        assert res.outputs == [x * 2 for x in range(40)]
+        assert res.replica_counts == [4]
+
+    def test_live_shrink_is_lazy_and_safe(self):
+        with AsyncioBackend(spec([_adouble_slow]), replicas=[4], max_replicas=4) as b:
+            b.start(range(40))
+            while b.items_completed() < 5:
+                time.sleep(0.002)
+            b.reconfigure(0, 1)
+            res = b.join()
+        assert res.outputs == [x * 2 for x in range(40)]
+        assert res.replica_counts == [1]
+
+    def test_reconfigure_clamped_to_max(self):
+        with AsyncioBackend(spec([_ainc]), max_replicas=2) as b:
+            b.reconfigure(0, 50)
+            assert b.replica_counts() == [2]
+            with pytest.raises(ValueError, match=">= 1"):
+                b.reconfigure(0, 0)
+
+    def test_stateful_stage_clamps_to_one(self):
+        with AsyncioBackend(spec([_ainc], replicable=False)) as b:
+            assert b.replica_limit(0) == 1
+            b.reconfigure(0, 5)
+            assert b.replica_counts() == [1]
+
+    def test_observation_surfaces(self):
+        with AsyncioBackend(spec([_adouble_slow])) as b:
+            b.run(range(12))
+            snaps = b.snapshots()
+            assert len(snaps) == 1
+            assert snaps[0].items_processed == 12
+            assert snaps[0].service_time >= 0.002
+            assert snaps[0].work_estimate >= 0.002  # eff speed 1.0 locally
+            assert b.items_completed() == 12
+            assert b.recent_throughput(horizon=60.0) > 0
+
+    def test_stage_error_aborts_and_names_stage(self):
+        async def boom(x):
+            if x == 7:
+                raise RuntimeError("kaput")
+            return x
+
+        with AsyncioBackend(spec([_ainc, boom])) as b:
+            with pytest.raises(StageError, match="s1"):
+                b.run(range(20))
+            # The backend must be reusable after a failed run.
+            res = b.run([100])
+            assert res.outputs == [101]
+
+    def test_sync_stage_error_aborts(self):
+        def boom(x):
+            raise ValueError("no")
+
+        with AsyncioBackend(spec([boom])) as b:
+            with pytest.raises(StageError, match="s0"):
+                b.run(range(4))
+
+    def test_close_mid_run_does_not_hang(self):
+        b = AsyncioBackend(spec([_adouble_slow]), replicas=[2], max_replicas=2)
+        b.start(range(500))
+        while b.items_completed() < 3:
+            time.sleep(0.002)
+        t0 = time.perf_counter()
+        b.close()
+        assert time.perf_counter() - t0 < 5.0
+        with pytest.raises(RuntimeError, match="closed"):
+            b.start([1])
+
+    def test_join_before_start_raises(self):
+        with AsyncioBackend(spec([_ainc])) as b:
+            with pytest.raises(RuntimeError, match="not started"):
+                b.join()
+
+    def test_start_while_running_raises(self):
+        with AsyncioBackend(spec([_adouble_slow])) as b:
+            b.start(range(20))
+            with pytest.raises(RuntimeError, match="already running"):
+                b.start(range(5))
+            b.join()
+
+    def test_validation_mirrors_thread_backend(self):
+        with pytest.raises(ValueError, match="replica count"):
+            AsyncioBackend(spec([_ainc]), replicas=[0])
+        with pytest.raises(ValueError, match="stateful"):
+            AsyncioBackend(spec([_ainc], replicable=False), replicas=[2])
+        with pytest.raises(ValueError, match="no fn"):
+            AsyncioBackend(PipelineSpec((StageSpec(name="bare", work=0.1),)))
+        with pytest.raises(ValueError, match="must list"):
+            AsyncioBackend(spec([_ainc]), replicas=[1, 1])
+
+
+class TestAsyncioAdaptation:
+    def test_adapts_under_injected_io_bottleneck(self):
+        # An injected high-latency fetch stage bottlenecks the pipeline; the
+        # runner must observe it on wall-clock measurements and widen the
+        # coroutine pool at least once, preserving the 1-for-1 contract.
+        def cheap(x):
+            return x
+
+        async def slow_fetch(x):
+            await asyncio.sleep(0.02)
+            return x * 2
+
+        pipe = spec([cheap, slow_fetch, cheap])
+        runner = RuntimeAdaptiveRunner(
+            pipe,
+            "asyncio",
+            config=local_config(interval=0.1, cooldown=0.2, settle_time=0.1),
+            rollback=False,
+            max_replicas=3,
+        )
+        with runner:
+            res = runner.run(range(80))
+        assert res.outputs == [x * 2 for x in range(80)]
+        assert res.items == 80
+        grows = [e for e in res.adaptation_events if e.kind != "rollback"]
+        assert len(grows) >= 1
+        assert res.final_replicas[1] > 1
+        assert res.replica_history[0][1] == (1, 1, 1)
+
+    def test_skel_api_runs_asyncio_adaptive(self):
+        from repro.skel.api import pipeline_1for1
+
+        async def slow(x):
+            await asyncio.sleep(0.01)
+            return x + 1
+
+        out = pipeline_1for1(
+            [slow, lambda x: x * 2],
+            range(40),
+            backend="asyncio",
+            adaptive=local_config(interval=0.1, cooldown=0.2, settle_time=0.1),
+            max_replicas=3,
+        )
+        assert out == [(x + 1) * 2 for x in range(40)]
+
+
+class TestResizableSemaphoreConcurrency:
+    def test_limit_bounds_in_flight_and_resizes_live(self):
+        peak = 0
+        in_flight = 0
+        lock = threading.Lock()
+
+        async def tracked(x):
+            nonlocal peak, in_flight
+            with lock:
+                in_flight += 1
+                peak = max(peak, in_flight)
+            await asyncio.sleep(0.005)
+            with lock:
+                in_flight -= 1
+            return x
+
+        with AsyncioBackend(spec([tracked]), replicas=[2], max_replicas=8) as b:
+            b.run(range(30))
+            assert peak <= 2
+            peak = 0
+            b.reconfigure(0, 6)
+            b.run(range(60))
+        assert peak > 2  # the wider limit was actually used
+        assert peak <= 6

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.backend import (
-    Backend,
+    AsyncioBackend,
     BackendCapabilityError,
     BackendResult,
     ProcessPoolBackend,
@@ -24,11 +24,14 @@ def pipe():
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"sim", "threads", "processes"} <= set(available_backends())
+        assert {"sim", "threads", "processes", "asyncio"} <= set(available_backends())
 
     def test_make_backend_by_name(self):
         b = make_backend("threads", pipe())
         assert isinstance(b, ThreadBackend)
+        b2 = make_backend("asyncio", pipe())
+        assert isinstance(b2, AsyncioBackend)
+        b2.close()
 
     def test_make_backend_passthrough_instance(self):
         b = ThreadBackend(pipe())
@@ -50,6 +53,27 @@ class TestRegistry:
     def test_unknown_name(self):
         with pytest.raises(ValueError, match="unknown backend"):
             make_backend("gpu", pipe())
+
+    def test_unknown_name_error_lists_available(self):
+        # The message must name every registered backend so a typo is
+        # self-correcting from the traceback alone.
+        with pytest.raises(ValueError) as excinfo:
+            make_backend("treads", pipe())
+        for name in available_backends():
+            assert name in str(excinfo.value)
+
+    def test_double_registration_leaves_original_intact(self):
+        class Impostor(ThreadBackend):
+            name = "impostor-test"
+
+        register_backend("impostor-test", Impostor)
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_backend("impostor-test", ThreadBackend)
+            # The failed re-registration must not have clobbered the entry.
+            assert isinstance(make_backend("impostor-test", pipe()), Impostor)
+        finally:
+            _REGISTRY.pop("impostor-test", None)
 
     def test_name_requires_pipeline(self):
         with pytest.raises(ValueError, match="PipelineSpec"):
@@ -74,7 +98,7 @@ class TestPortContract:
     def test_factories_accept_common_kwargs(self):
         # Every adapter must tolerate the skel-level kwargs (replicas,
         # capacity) so callers can switch backends without special cases.
-        for name in ("sim", "threads", "processes"):
+        for name in ("sim", "threads", "processes", "asyncio"):
             b = make_backend(name, pipe(), replicas=[1], capacity=4)
             b.close()
 
@@ -86,9 +110,9 @@ class TestPortContract:
 
     def test_live_backends_advertise_reconfigure(self):
         assert ThreadBackend(pipe()).supports_live_reconfigure
-        b = ProcessPoolBackend(pipe())
-        assert b.supports_live_reconfigure
-        b.close()
+        for b in (ProcessPoolBackend(pipe()), AsyncioBackend(pipe())):
+            assert b.supports_live_reconfigure
+            b.close()
 
     def test_result_throughput(self):
         r = BackendResult(backend="x", outputs=[1], items=10, elapsed=2.0)
@@ -96,6 +120,6 @@ class TestPortContract:
         assert BackendResult(backend="x", outputs=None, items=0, elapsed=0.0).throughput == 0.0
 
     def test_join_before_start_raises(self):
-        for backend in (ThreadBackend(pipe()), SimBackend(pipe())):
+        for backend in (ThreadBackend(pipe()), SimBackend(pipe()), AsyncioBackend(pipe())):
             with pytest.raises(RuntimeError):
                 backend.join()

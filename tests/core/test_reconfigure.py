@@ -6,7 +6,7 @@ from repro.core.executor_sim import SimPipelineEngine
 from repro.core.pipeline import PipelineSpec
 from repro.core.stage import StageSpec
 from repro.gridsim.engine import Simulator
-from repro.gridsim.spec import heterogeneous_grid, uniform_grid
+from repro.gridsim.spec import uniform_grid
 from repro.model.mapping import Mapping
 
 

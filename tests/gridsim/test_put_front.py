@@ -1,6 +1,5 @@
 """Tests for priority channel insertion (put_front)."""
 
-import pytest
 
 from repro.gridsim.channels import Channel, ChannelClosed
 from repro.gridsim.engine import Simulator

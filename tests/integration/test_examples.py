@@ -46,3 +46,8 @@ class TestExamples:
         out = run_example("process_pipeline.py")
         assert "warm process pools" in out
         assert "final replicas per stage" in out
+
+    def test_async_pipeline(self):
+        out = run_example("async_pipeline.py")
+        assert "semaphore = replica knob" in out
+        assert "final concurrency limits per stage" in out

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.core.pipeline import PipelineSpec
 from repro.core.policy import AdaptationConfig
 from repro.core.stage import StageSpec
 from repro.gridsim.spec import uniform_grid
