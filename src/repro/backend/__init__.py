@@ -13,7 +13,10 @@ between pipeline structure and scheduling substrate.  Four adapters ship:
   pools per stage (true multi-core for CPU-bound Python stages);
 * ``"asyncio"`` — :class:`AsyncioBackend`, coroutine pools on a dedicated
   event-loop thread (I/O-bound stages; the concurrency limit is the
-  replica knob).
+  replica knob);
+* ``"distributed"`` — :class:`DistributedBackend`, TCP-socket workers on
+  this or other hosts (the paper's actual setting: real link costs, node
+  loss, load-derived speeds — see ``docs/distributed.md``).
 
 :class:`RuntimeAdaptiveRunner` runs the paper's observe→decide→act loop
 against any live backend using wall-clock measurements, reusing the exact
@@ -29,9 +32,11 @@ from repro.backend.base import (
     BackendCapabilityError,
     BackendResult,
     available_backends,
+    capability_error,
     make_backend,
     register_backend,
 )
+from repro.backend.distributed import DistributedBackend, WorkerAgent
 from repro.backend.process_backend import ProcessPoolBackend
 from repro.backend.runner import RuntimeAdaptiveRunner, RuntimeRunResult, local_config
 from repro.backend.sim_backend import SimBackend
@@ -42,12 +47,15 @@ __all__ = [
     "Backend",
     "BackendCapabilityError",
     "BackendResult",
+    "DistributedBackend",
     "ProcessPoolBackend",
     "RuntimeAdaptiveRunner",
     "RuntimeRunResult",
     "SimBackend",
     "ThreadBackend",
+    "WorkerAgent",
     "available_backends",
+    "capability_error",
     "local_config",
     "make_backend",
     "register_backend",

@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Iterable
 
 from repro.core.pipeline import PipelineSpec
+from repro.model.throughput import ResourceView
 from repro.monitor.instrument import StageSnapshot
 
 __all__ = [
@@ -36,13 +37,25 @@ __all__ = [
     "BackendCapabilityError",
     "BackendResult",
     "available_backends",
+    "capability_error",
     "make_backend",
     "register_backend",
 ]
 
 
 class BackendCapabilityError(RuntimeError):
-    """The backend cannot perform the requested operation (by design)."""
+    """The backend cannot perform the requested operation (by design).
+
+    Raise through :func:`capability_error` so every message names the
+    backend that refused — the traceback alone must identify which adapter
+    a caller picked.
+    """
+
+
+def capability_error(backend: "Backend | str", operation: str) -> BackendCapabilityError:
+    """A :class:`BackendCapabilityError` naming the refusing backend."""
+    name = backend if isinstance(backend, str) else backend.name
+    return BackendCapabilityError(f"backend {name!r} does not support {operation}")
 
 
 @dataclass
@@ -114,6 +127,17 @@ class Backend(ABC):
         """Sink completions/s over the trailing ``horizon`` (NaN = no data)."""
         return math.nan
 
+    def resource_view(self, n_procs: int) -> ResourceView | None:
+        """Measured view of the substrate as a virtual grid of ``n_procs``.
+
+        Backends that can ground the planner's virtual grid in reality —
+        host load, per-worker speeds, measured link costs — return a
+        :class:`~repro.model.throughput.ResourceView` whose pids are exactly
+        ``0..n_procs-1``; ``None`` (the default) keeps the runner's uniform
+        unit-speed assumption.
+        """
+        return None
+
     # ----------------------------------------------------------------- shape
     def replica_counts(self) -> list[int]:
         return [1] * self.pipeline.n_stages
@@ -124,9 +148,7 @@ class Backend(ABC):
 
     def reconfigure(self, stage: int, n_replicas: int) -> None:
         """Set ``stage``'s degree of parallelism (live when supported)."""
-        raise BackendCapabilityError(
-            f"backend {self.name!r} does not support reconfigure()"
-        )
+        raise capability_error(self, "reconfigure()")
 
 
 # --------------------------------------------------------------------- registry
@@ -174,7 +196,8 @@ def make_backend(
         factory = _REGISTRY[backend]
     except KeyError:
         raise ValueError(
-            f"unknown backend {backend!r}; available: {available_backends()}"
+            f"unknown backend {backend!r}; "
+            f"available: {', '.join(available_backends())}"
         ) from None
     if pipeline is None:
         raise ValueError("a PipelineSpec is required to build a backend by name")

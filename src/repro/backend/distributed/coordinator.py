@@ -1,0 +1,996 @@
+"""Coordinator side of the distributed backend: the full Backend port.
+
+Topology (a star — every transfer crosses the coordinator)::
+
+                         TCP                            TCP
+    feeder ──> replica set[0] ──> router[0] ──> replica set[1] ──> ...
+    (local)    (on workers)       (local)       (on workers)
+
+* The coordinator listens on a TCP socket; :class:`WorkerAgent` processes
+  connect and register, advertising cores and load average.  Workers can be
+  auto-spawned locally (``spawn_workers=``, the tests/CI path) or started
+  on remote hosts with ``python -m repro.backend.distributed.worker``.
+* Each stage owns a **replica set** spread across workers.  Dispatch picks
+  the least-loaded active replica (in-flight count normalised by the
+  worker's effective speed), bounded by ``capacity`` in-flight items per
+  replica for end-to-end back-pressure.
+* One **router thread per stage** collects that stage's results, records
+  service/transfer/queue measurements, restores sequence order through the
+  shared :class:`~repro.util.ordering.SequenceReorderer`, and forwards each
+  item's already-pickled bytes to the next stage untouched.
+* **Link cost is measured, not assumed**: a result echoes the dispatch
+  timestamp plus the worker-side service and queue-wait durations, so
+  ``rtt - service - wait`` is pure wire time; its EWMA per worker feeds
+  both placement scoring and the planner's
+  :meth:`~DistributedBackend.resource_view`.
+* **Failure handling**: connection EOF or a missed-heartbeat timeout marks
+  a worker dead; its replicas leave every stage's set (a stage left empty
+  is re-placed on a survivor), its in-flight items are re-dispatched, and
+  the shrunken local view is what the adaptation loop sees next.  Items are
+  delivered exactly once: a result is only accepted while its sequence
+  number is still assigned to the replica that produced it, so a
+  re-dispatched item's late duplicate is dropped on arrival.
+* ``reconfigure(stage, n)`` places or retires replicas across workers live.
+  Retired replicas finish what they were dealt (nothing is drained); growth
+  targets the worker with the best speed/link score.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing as mp
+import pickle
+import queue as thread_queue
+import socket
+import threading
+import time
+from typing import Any, Iterable
+
+from repro.backend.base import Backend, BackendResult, register_backend
+from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_frame
+from repro.backend.distributed.worker import WorkerAgent
+from repro.core.pipeline import PipelineSpec
+from repro.model.throughput import ResourceView, fn_view
+from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
+from repro.monitor.resource_monitor import load_to_speed
+from repro.runtime.threads import StageError
+from repro.util.ordering import SequenceReorderer
+from repro.util.validation import check_positive
+
+__all__ = ["DistributedBackend"]
+
+#: Modelled cost of the in-process hop between two replicas on one worker.
+_LOCAL_LINK = (1e-7, 1e9)
+#: Modelled socket bandwidth (bytes/s) for the virtual grid's remote links;
+#: latency is measured per worker, bandwidth estimation is future work.
+_WIRE_BANDWIDTH = 1e8
+#: Default one-way link estimate before any measurement exists.
+_DEFAULT_LINK_S = 1e-4
+
+
+def _spawn_agent(
+    host: str, port: int, cores: int, name: str, link_delay: float
+) -> None:
+    """Entry point of auto-spawned local worker processes."""
+    WorkerAgent(host, port, cores=cores, name=name, link_delay=link_delay).run()
+
+
+class _WorkerConn:
+    """Coordinator-side view of one registered worker."""
+
+    def __init__(
+        self, wid: int, sock: socket.socket, name: str, cores: int
+    ) -> None:
+        self.id = wid
+        self.sock = sock
+        self.name = name
+        self.cores = max(1, cores)
+        self.alive = True
+        self.last_seen = time.monotonic()
+        self.load = 0.0
+        self.speed = 1.0  # EWMA of load_to_speed(load, cores)
+        self.link_s: float | None = None  # EWMA one-way transfer seconds
+        self.proc: mp.process.BaseProcess | None = None  # auto-spawned only
+        self._send_lock = threading.Lock()
+        self._next_slot = 0
+
+    def new_slot(self) -> int:
+        with self._send_lock:
+            self._next_slot += 1
+            return self._next_slot
+
+    def send(self, message: tuple) -> bool:
+        try:
+            send_frame(self.sock, message, self._send_lock)
+            return True
+        except (OSError, ProtocolError):
+            return False
+
+    def observe_load(self, load: float) -> None:
+        self.last_seen = time.monotonic()
+        self.load = load
+        self.speed += 0.5 * (load_to_speed(load, self.cores) - self.speed)
+
+    def observe_link(self, one_way_s: float) -> None:
+        if self.link_s is None:
+            self.link_s = one_way_s
+        else:
+            self.link_s += 0.3 * (one_way_s - self.link_s)
+
+    def link_estimate(self) -> float:
+        return self.link_s if self.link_s is not None else _DEFAULT_LINK_S
+
+
+class _Replica:
+    """One placed stage replica: (worker, slot) plus dispatch accounting."""
+
+    def __init__(self, worker: _WorkerConn, slot: int) -> None:
+        self.worker = worker
+        self.slot = slot
+        self.inflight = 0
+        self.active = True
+        self.retired = False
+
+
+class DistributedBackend(Backend):
+    """Executes pipelines on socket-connected workers (multi-host capable).
+
+    Parameters
+    ----------
+    pipeline:
+        Stage specs; every stage must define a picklable ``fn`` (stage
+        callables travel to workers over the wire).
+    replicas:
+        Initially placed replicas per stage (default 1 each).
+    max_replicas:
+        Ceiling on a replicable stage's replica count across all workers.
+    capacity:
+        In-flight items allowed per replica (back-pressure granularity).
+    spawn_workers:
+        Number of local worker processes to auto-spawn at warm-up; 0 means
+        workers are started externally (``python -m
+        repro.backend.distributed.worker --connect host:port``) and the
+        caller should :meth:`wait_for_workers`.
+    worker_cores:
+        Advertised core count of each auto-spawned worker (they share the
+        local host, so 1 is the honest default).
+    worker_link_delays:
+        Per-spawned-worker artificial receive delay in seconds (experiment
+        knob: heterogeneous link costs on one host); padded with 0.0.
+    host, port:
+        Bind address of the coordinator socket (port 0 = ephemeral).
+    heartbeat_interval, heartbeat_timeout:
+        Worker heartbeat cadence and the silence span after which a worker
+        is declared dead (default 6x the interval).
+    register_timeout:
+        How long warm-up waits for ``spawn_workers`` registrations.
+    """
+
+    name = "distributed"
+    supports_live_reconfigure = True
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        replicas: list[int] | None = None,
+        max_replicas: int = 4,
+        capacity: int | None = None,
+        spawn_workers: int = 3,
+        worker_cores: int = 1,
+        worker_link_delays: list[float] | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        heartbeat_interval: float = 0.5,
+        heartbeat_timeout: float | None = None,
+        register_timeout: float = 20.0,
+    ) -> None:
+        super().__init__(pipeline)
+        capacity = 8 if capacity is None else capacity
+        check_positive(capacity, "capacity")
+        check_positive(max_replicas, "max_replicas")
+        check_positive(heartbeat_interval, "heartbeat_interval")
+        if spawn_workers < 0:
+            raise ValueError(f"spawn_workers must be >= 0, got {spawn_workers}")
+        n = pipeline.n_stages
+        if replicas is None:
+            replicas = [1] * n
+        if len(replicas) != n:
+            raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
+        self._fn_payloads: list[bytes] = []
+        for i, r in enumerate(replicas):
+            spec = pipeline.stage(i)
+            if r < 1:
+                raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
+            if r > 1 and not spec.replicable:
+                raise ValueError(
+                    f"stage {i} ({spec.name!r}) is stateful and cannot be replicated"
+                )
+            if spec.fn is None:
+                raise ValueError(
+                    f"stage {i} ({spec.name!r}) has no fn; the distributed "
+                    "runtime executes real callables"
+                )
+            try:
+                self._fn_payloads.append(
+                    pickle.dumps(spec.fn, protocol=pickle.HIGHEST_PROTOCOL)
+                )
+            except Exception as err:
+                raise ValueError(
+                    f"stage {i} ({spec.name!r}) fn is not picklable and cannot "
+                    f"be shipped to workers (use a module-level function): {err!r}"
+                ) from err
+        self.capacity = capacity
+        self.max_replicas = max(max_replicas, *replicas)
+        self.spawn_workers = spawn_workers
+        self.worker_cores = worker_cores
+        self.worker_link_delays = list(worker_link_delays or [])
+        self.heartbeat_interval = heartbeat_interval
+        self.heartbeat_timeout = (
+            heartbeat_timeout
+            if heartbeat_timeout is not None
+            else 6.0 * heartbeat_interval
+        )
+        self.register_timeout = register_timeout
+        self._bind_host = host
+        self._bind_port = port
+        self._target = [min(r, self.replica_limit(i)) for i, r in enumerate(replicas)]
+
+        # Worker registry (guarded by _registry; _registry_changed notifies).
+        self._registry = threading.Lock()
+        self._registry_changed = threading.Condition(self._registry)
+        self._workers: dict[int, _WorkerConn] = {}
+        self._next_worker_id = 0
+        self._spawned: dict[str, mp.process.BaseProcess] = {}
+        # Placement failures are configuration errors (e.g. a stage fn that
+        # does not resolve on a worker): they outlive per-run error state.
+        self._config_errors: list[BaseException] = []
+
+        # Per-stage replica sets + in-flight assignments (guarded by _conds[i]).
+        self._conds = [threading.Condition() for _ in range(n)]
+        self._replicas: list[list[_Replica]] = [[] for _ in range(n)]
+        self._inflight: list[dict[int, tuple[_Replica, bytes]]] = [{} for _ in range(n)]
+
+        # Infrastructure threads and sockets.
+        self._close_lock = threading.Lock()
+        self._server: socket.socket | None = None
+        self._accept_thread: threading.Thread | None = None
+        self._monitor_thread: threading.Thread | None = None
+        self._recv_threads: list[threading.Thread] = []
+        self._warm = False
+        self._closed = False
+        self._closing = False
+
+        # Per-run state.
+        self._epoch = 0
+        self._running = False
+        self._run_threads: list[threading.Thread] = []
+        self._resq: list[thread_queue.Queue] = []
+        self._outputs: list[Any] = []
+        self._errors: list[BaseException] = []
+        self._abort = threading.Event()
+        self._t0 = 0.0
+        self._elapsed = 0.0
+        self._n_items = 0
+        self.instrumentation: PipelineInstrumentation | None = None
+        self._metrics_locks = [threading.Lock() for _ in range(n)]
+
+    # ------------------------------------------------------------------ props
+    @property
+    def listen_address(self) -> tuple[str, int]:
+        """(host, port) the coordinator accepts workers on (after warm)."""
+        if self._server is None:
+            raise RuntimeError("coordinator socket not open; call warm() first")
+        return self._server.getsockname()[:2]
+
+    @property
+    def worker_processes(self) -> list[mp.process.BaseProcess]:
+        """Process handles of auto-spawned local workers (crash-test hook)."""
+        with self._registry:
+            return [w.proc for w in self._workers.values() if w.proc is not None]
+
+    def alive_workers(self) -> list[dict[str, Any]]:
+        """Snapshot of the live worker pool (id, name, cores, speed, link)."""
+        with self._registry:
+            return [
+                {
+                    "id": w.id,
+                    "name": w.name,
+                    "cores": w.cores,
+                    "load": w.load,
+                    "speed": w.speed,
+                    "link_s": w.link_estimate(),
+                }
+                for w in self._workers.values()
+                if w.alive
+            ]
+
+    def replica_placement(self) -> list[dict[int, int]]:
+        """Per stage: worker id -> active replica count (placement map)."""
+        placement: list[dict[int, int]] = []
+        for i, cond in enumerate(self._conds):
+            with cond:
+                counts: dict[int, int] = {}
+                for r in self._replicas[i]:
+                    if r.active:
+                        counts[r.worker.id] = counts.get(r.worker.id, 0) + 1
+            placement.append(counts)
+        return placement
+
+    # --------------------------------------------------------------- warm-up
+    def warm(self) -> None:
+        """Open the coordinator socket, spawn/await workers, place replicas."""
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._warm:
+            return
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        server.bind((self._bind_host, self._bind_port))
+        server.listen(64)
+        server.settimeout(0.2)
+        self._server = server
+        host, port = server.getsockname()[:2]
+        # Fork the local workers *before* starting coordinator threads: a
+        # fork in a multi-threaded process risks inheriting held locks.
+        # Their connects sit in the listen backlog until the accept loop runs.
+        if self.spawn_workers:
+            methods = mp.get_all_start_methods()
+            ctx = mp.get_context("fork" if "fork" in methods else methods[0])
+            delays = self.worker_link_delays + [0.0] * self.spawn_workers
+            for k in range(self.spawn_workers):
+                proc = ctx.Process(
+                    target=_spawn_agent,
+                    args=(host, port, self.worker_cores, f"local-{k}", delays[k]),
+                    name=f"dist-worker-{k}",
+                    daemon=True,
+                )
+                proc.start()
+                # Registration pairs the handle with the _WorkerConn by name.
+                self._spawned[f"local-{k}"] = proc
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="dist-accept", daemon=True
+        )
+        self._accept_thread.start()
+        self._monitor_thread = threading.Thread(
+            target=self._monitor_loop, name="dist-heartbeat-monitor", daemon=True
+        )
+        self._monitor_thread.start()
+        self._warm = True
+        # With external workers (spawn_workers=0) none may have connected
+        # yet: placement waits until start(), after wait_for_workers().
+        if self.spawn_workers:
+            self.wait_for_workers(self.spawn_workers, timeout=self.register_timeout)
+            self._ensure_placements()
+
+    def wait_for_workers(self, n: int, timeout: float = 30.0) -> None:
+        """Block until ``n`` live workers are registered (or raise)."""
+        deadline = time.monotonic() + timeout
+        with self._registry:
+            while True:
+                alive = sum(1 for w in self._workers.values() if w.alive)
+                if alive >= n:
+                    return
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise RuntimeError(
+                        f"timed out waiting for {n} workers ({alive} registered)"
+                    )
+                self._registry_changed.wait(timeout=min(remaining, 0.5))
+
+    def _accept_loop(self) -> None:
+        assert self._server is not None
+        while not self._closing:
+            try:
+                sock, _addr = self._server.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                sock.settimeout(10.0)
+                hello = recv_frame(sock)
+                if not hello or hello[0] != "hello":
+                    sock.close()
+                    continue
+                _, wname, cores, load = hello
+                sock.settimeout(None)
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            except (OSError, ProtocolError):
+                sock.close()
+                continue
+            with self._registry:
+                wid = self._next_worker_id
+                self._next_worker_id += 1
+                worker = _WorkerConn(wid, sock, wname, cores)
+                worker.proc = self._spawned.get(wname)
+                worker.observe_load(load)
+                self._workers[wid] = worker
+                self._registry_changed.notify_all()
+            if not worker.send(
+                ("welcome", wid, self.heartbeat_interval, self.capacity)
+            ):
+                self._on_worker_death(worker)
+                continue
+            t = threading.Thread(
+                target=self._recv_loop,
+                args=(worker,),
+                name=f"dist-recv[{wid}]",
+                daemon=True,
+            )
+            self._recv_threads.append(t)
+            t.start()
+
+    def _monitor_loop(self) -> None:
+        while not self._closing:
+            time.sleep(self.heartbeat_interval)
+            now = time.monotonic()
+            with self._registry:
+                stale = [
+                    w
+                    for w in self._workers.values()
+                    if w.alive and now - w.last_seen > self.heartbeat_timeout
+                ]
+            for w in stale:
+                self._on_worker_death(w)
+
+    # --------------------------------------------------------------- receive
+    def _recv_loop(self, w: _WorkerConn) -> None:
+        try:
+            while True:
+                frame = recv_frame(w.sock)
+                if frame is None:
+                    break
+                w.last_seen = time.monotonic()
+                kind = frame[0]
+                if kind == "result":
+                    (_, epoch, stage, slot, seq, ok, payload, service_s,
+                     wait_s, t_sent, err_repr) = frame
+                    if epoch != self._epoch:
+                        continue  # stale result from an aborted run
+                    self._resq[stage].put(
+                        (w, slot, seq, ok, payload, service_s, wait_s,
+                         t_sent, err_repr, time.perf_counter())
+                    )
+                elif kind == "reject":
+                    # The worker no longer hosts that slot (task raced a
+                    # retire): route it back through the router, which
+                    # re-dispatches rather than counting it delivered.
+                    _, epoch, stage, slot, seq = frame
+                    if epoch != self._epoch:
+                        continue
+                    self._resq[stage].put(
+                        (w, slot, seq, "reject", None, 0.0, 0.0, 0.0, None,
+                         time.perf_counter())
+                    )
+                elif kind == "heartbeat":
+                    w.observe_load(frame[1])
+                elif kind == "place_failed":
+                    _, stage, slot, err_repr = frame
+                    err = RuntimeError(
+                        f"worker {w.name!r} could not host stage {stage}: "
+                        f"{err_repr} (stage fns must be importable on workers)"
+                    )
+                    self._config_errors.append(err)
+                    with self._conds[stage]:
+                        self._replicas[stage] = [
+                            r
+                            for r in self._replicas[stage]
+                            if not (r.worker is w and r.slot == slot)
+                        ]
+                        self._conds[stage].notify_all()
+                    self._fail(stage, err)
+        except (OSError, ProtocolError):
+            pass
+        finally:
+            self._on_worker_death(w)
+
+    # --------------------------------------------------------------- failure
+    def _fail(self, stage: int, err: BaseException) -> None:
+        self._errors.append(StageError(self.pipeline.stage(stage).name, err))
+        self._abort.set()
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+
+    def _on_worker_death(self, w: _WorkerConn) -> None:
+        """Remove a dead worker; re-home its replicas and in-flight items."""
+        with self._registry:
+            if not w.alive:
+                return
+            w.alive = False
+            self._registry_changed.notify_all()
+        try:
+            w.sock.close()
+        except OSError:
+            pass
+        lost_by_stage: list[list[tuple[int, bytes]]] = []
+        for i, cond in enumerate(self._conds):
+            with cond:
+                self._replicas[i] = [
+                    r for r in self._replicas[i] if r.worker is not w
+                ]
+                lost = sorted(
+                    (seq, payload)
+                    for seq, (replica, payload) in self._inflight[i].items()
+                    if replica.worker is w
+                )
+                for seq, _payload in lost:
+                    del self._inflight[i][seq]
+                cond.notify_all()
+            lost_by_stage.append(lost)
+        if self._closing:
+            return
+        # A stage stripped of every replica gets one on a survivor; if no
+        # workers remain the run cannot finish — fail rather than hang.
+        for i, cond in enumerate(self._conds):
+            with cond:
+                has_active = any(r.active for r in self._replicas[i])
+            if not has_active and (self._running or self._warm):
+                if not self._place_replica(i):
+                    if self._running:
+                        self._fail(
+                            i,
+                            RuntimeError(
+                                f"worker {w.name!r} died and no live workers "
+                                f"remain to host stage {i}"
+                            ),
+                        )
+                    return
+        if not self._running or not any(lost_by_stage):
+            return
+        # Re-dispatch can block on back-pressure; doing it inline would stall
+        # the calling thread (the heartbeat monitor, or a recv loop), which
+        # must stay free to detect *further* failures.
+        threading.Thread(
+            target=self._redispatch_lost,
+            args=(lost_by_stage,),
+            name=f"dist-redispatch[{w.id}]",
+            daemon=True,
+        ).start()
+
+    def _redispatch_lost(self, lost_by_stage: list[list[tuple[int, bytes]]]) -> None:
+        try:
+            for i, lost in enumerate(lost_by_stage):
+                for seq, payload in lost:
+                    if not self._dispatch(i, seq, payload):
+                        return
+        except BaseException as err:  # noqa: BLE001 - reported via join()
+            self._fail(0, err)
+
+    # ------------------------------------------------------------- placement
+    def _worker_score(self, w: _WorkerConn, hosted: dict[int, int]) -> float:
+        """Lower is better: busy-ness over speed, inflated by link cost.
+
+        ``hosted`` maps worker id -> replicas currently hosted (all stages);
+        the +1 prices the replica about to be placed.  Link cost is priced
+        relative to a 10 ms reference service so a slow link only dominates
+        once it is comparable to real per-item work.
+        """
+        busy = (hosted.get(w.id, 0) + 1) / (w.cores * max(w.speed, 1e-3))
+        return busy * (1.0 + w.link_estimate() / 0.010)
+
+    def _hosted_counts(self) -> dict[int, int]:
+        hosted: dict[int, int] = {}
+        for i, cond in enumerate(self._conds):
+            with cond:
+                for r in self._replicas[i]:
+                    if r.active:
+                        hosted[r.worker.id] = hosted.get(r.worker.id, 0) + 1
+        return hosted
+
+    def _place_replica(
+        self, stage: int, worker: _WorkerConn | None = None
+    ) -> _Replica | None:
+        """Place one replica of ``stage`` (on ``worker``, or the best one)."""
+        while True:
+            if worker is not None:
+                if not worker.alive:
+                    return None
+                target = worker
+            else:
+                with self._registry:
+                    cands = [w for w in self._workers.values() if w.alive]
+                if not cands:
+                    return None
+                hosted = self._hosted_counts()
+                target = min(cands, key=lambda w: self._worker_score(w, hosted))
+            slot = target.new_slot()
+            ok = target.send(
+                (
+                    "place",
+                    stage,
+                    slot,
+                    self._fn_payloads[stage],
+                    self.pipeline.stage(stage).name,
+                )
+            )
+            if not ok:
+                self._on_worker_death(target)
+                if worker is not None:
+                    return None
+                continue
+            replica = _Replica(target, slot)
+            with self._conds[stage]:
+                self._replicas[stage].append(replica)
+                self._conds[stage].notify_all()
+            return replica
+
+    def _retire_replica(self, stage: int, replica: _Replica) -> None:
+        """Stop dispatching to a replica; it finishes what it was dealt."""
+        with self._conds[stage]:
+            replica.active = False
+            replica.retired = True
+            if replica.inflight == 0 and replica in self._replicas[stage]:
+                self._replicas[stage].remove(replica)
+        replica.worker.send(("retire", stage, replica.slot))
+
+    def _ensure_placements(self) -> None:
+        """Top each stage's active replica set up to its target count."""
+        for i in range(self.pipeline.n_stages):
+            while True:
+                with self._conds[i]:
+                    active = sum(1 for r in self._replicas[i] if r.active)
+                if active >= self._target[i]:
+                    break
+                if self._place_replica(i) is None:
+                    raise RuntimeError(
+                        f"no live workers available to place stage {i} "
+                        f"({self.pipeline.stage(i).name!r}); start workers "
+                        "(python -m repro.backend.distributed.worker "
+                        "--connect host:port) and wait_for_workers() first"
+                    )
+
+    def move_replica(self, stage: int, from_worker: int, to_worker: int) -> None:
+        """Relocate one replica of ``stage`` between workers, live.
+
+        Places on ``to_worker`` first, then retires one of ``from_worker``'s
+        replicas — the stage never dips below its current parallelism, and
+        the retiring replica finishes its in-flight items.
+        """
+        with self._registry:
+            src = self._workers.get(from_worker)
+            dst = self._workers.get(to_worker)
+        if src is None or dst is None or not dst.alive:
+            raise ValueError(
+                f"unknown or dead worker in move ({from_worker} -> {to_worker})"
+            )
+        with self._conds[stage]:
+            victims = [
+                r
+                for r in self._replicas[stage]
+                if r.active and r.worker is src
+            ]
+        if not victims:
+            raise ValueError(
+                f"stage {stage} has no active replica on worker {from_worker}"
+            )
+        if self._place_replica(stage, worker=dst) is None:
+            raise RuntimeError(f"failed to place stage {stage} on worker {to_worker}")
+        self._retire_replica(stage, victims[0])
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self, inputs: Iterable[Any]) -> int:
+        if self._closed:
+            raise RuntimeError("backend is closed")
+        if self._running:
+            raise RuntimeError("backend already running; join() it first")
+        self.warm()
+        self._ensure_placements()
+        if self._config_errors:
+            raise self._config_errors[0]
+        items = list(inputs)
+        self._n_items = len(items)
+        self._outputs = []
+        self._errors = []
+        self._abort = threading.Event()
+        self._epoch += 1
+        n = self.pipeline.n_stages
+        self._resq = [thread_queue.Queue() for _ in range(n)]
+        for i in range(n):
+            self._inflight[i].clear()
+        self.instrumentation = PipelineInstrumentation(n)
+        self._run_threads = []
+        self._t0 = time.perf_counter()
+        self._running = True
+        self._run_threads.append(
+            threading.Thread(
+                target=self._feed, args=(items,), name="dist-feeder", daemon=True
+            )
+        )
+        for i in range(n):
+            self._run_threads.append(
+                threading.Thread(
+                    target=self._route, args=(i,), name=f"dist-router[{i}]", daemon=True
+                )
+            )
+        for t in self._run_threads:
+            t.start()
+        return self._n_items
+
+    def _feed(self, items: list[Any]) -> None:
+        try:
+            for seq, value in enumerate(items):
+                if self._abort.is_set():
+                    return
+                payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+                if not self._dispatch(0, seq, payload):
+                    return
+        except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
+            self._fail(0, err)
+
+    def _acquire_slot(self, stage: int, seq: int, payload: bytes) -> _Replica | None:
+        """Assign ``seq`` to the best replica with capacity (blocks); None on abort."""
+        cond = self._conds[stage]
+        with cond:
+            while True:
+                if self._abort.is_set():
+                    return None
+                ready = [
+                    r
+                    for r in self._replicas[stage]
+                    if r.active and r.worker.alive and r.inflight < self.capacity
+                ]
+                if ready:
+                    best = min(
+                        ready,
+                        key=lambda r: (r.inflight + 1) / max(r.worker.speed, 1e-3),
+                    )
+                    best.inflight += 1
+                    self._inflight[stage][seq] = (best, payload)
+                    return best
+                cond.wait(timeout=0.1)
+
+    def _dispatch(self, stage: int, seq: int, payload: bytes) -> bool:
+        """Send one item to ``stage``; survives worker death mid-send."""
+        while True:
+            replica = self._acquire_slot(stage, seq, payload)
+            if replica is None:
+                return False
+            sent = replica.worker.send(
+                ("task", self._epoch, stage, replica.slot, seq, payload,
+                 time.perf_counter())
+            )
+            if sent:
+                return True
+            # Send failed: reclaim the assignment (unless the death handler
+            # got there first and already re-homed it), then mark the worker
+            # dead and retry.
+            with self._conds[stage]:
+                entry = self._inflight[stage].get(seq)
+                reclaimed = entry is not None and entry[0] is replica
+                if reclaimed:
+                    del self._inflight[stage][seq]
+                    replica.inflight -= 1
+            self._on_worker_death(replica.worker)
+            if not reclaimed:
+                return True
+
+    def _route(self, stage: int) -> None:
+        try:
+            self._route_inner(stage)
+        except BaseException as err:  # noqa: BLE001 - reported via join()
+            self._fail(stage, err)
+
+    def _route_inner(self, stage: int) -> None:
+        assert self.instrumentation is not None
+        metrics = self.instrumentation.stages[stage]
+        cond = self._conds[stage]
+        last = stage + 1 >= self.pipeline.n_stages
+        reorder = SequenceReorderer()
+        accepted = 0
+        while accepted < self._n_items:
+            if self._abort.is_set():
+                return
+            try:
+                msg = self._resq[stage].get(timeout=0.1)
+            except thread_queue.Empty:
+                continue
+            (w, slot, seq, ok, payload, service_s, wait_s, t_sent,
+             err_repr, recv_t) = msg
+            with cond:
+                entry = self._inflight[stage].get(seq)
+                if (
+                    entry is None
+                    or entry[0].worker is not w
+                    or entry[0].slot != slot
+                ):
+                    # Stale: this item was re-dispatched after its worker was
+                    # declared dead; exactly one assignment may deliver it.
+                    continue
+                replica, entry_payload = entry
+                del self._inflight[stage][seq]
+                replica.inflight -= 1
+                if (
+                    replica.retired
+                    and replica.inflight == 0
+                    and replica in self._replicas[stage]
+                ):
+                    self._replicas[stage].remove(replica)
+                queued = sum(r.inflight for r in self._replicas[stage])
+                cond.notify_all()
+            if ok == "reject":
+                # Task raced a retire on the worker: send it elsewhere.
+                if not self._dispatch(stage, seq, entry_payload):
+                    return
+                continue
+            if not ok:
+                self._fail(stage, RuntimeError(err_repr))
+                return
+            # rtt minus worker-side service and queue wait is wire time both
+            # ways; halve it for the one-way link estimate.
+            overhead = max(0.0, (recv_t - t_sent) - service_s - wait_s)
+            w.observe_link(overhead / 2.0)
+            with self._metrics_locks[stage]:
+                # work_estimate = service x effective speed, so a loaded
+                # worker's slow service still yields the true per-item work.
+                metrics.record_service(service_s, w.speed)
+                metrics.record_transfer(overhead / 2.0)
+                metrics.record_queue_length(queued)
+            accepted += 1
+            for ready_seq, ready_payload in reorder.push(seq, payload):
+                if last:
+                    self._outputs.append(pickle.loads(ready_payload))
+                    with self._metrics_locks[stage]:
+                        self.instrumentation.record_completion(self.now())
+                else:
+                    if not self._dispatch(stage + 1, ready_seq, ready_payload):
+                        return
+
+    def join(self) -> BackendResult:
+        if not self._run_threads:
+            raise RuntimeError("backend not started")
+        for t in self._run_threads:
+            t.join()
+        self._elapsed = time.perf_counter() - self._t0
+        self._running = False
+        self._run_threads = []
+        if self._errors:
+            raise self._errors[0]
+        assert self.instrumentation is not None
+        return BackendResult(
+            backend=self.name,
+            outputs=self._outputs,
+            items=len(self._outputs),
+            elapsed=self._elapsed,
+            service_means=[
+                s.total.mean if s.total.n else math.nan
+                for s in self.instrumentation.stages
+            ],
+            replica_counts=self.replica_counts(),
+        )
+
+    def running(self) -> bool:
+        return self._running and any(t.is_alive() for t in self._run_threads)
+
+    def close(self) -> None:
+        """Shut workers down and release every socket/thread (idempotent)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._closing = True
+        self._abort.set()
+        for cond in self._conds:
+            with cond:
+                cond.notify_all()
+        for t in self._run_threads:
+            t.join(timeout=2.0)
+        self._run_threads = []
+        self._running = False
+        with self._registry:
+            workers = list(self._workers.values())
+        for w in workers:
+            if w.alive:
+                w.send(("shutdown",))
+            try:
+                w.sock.close()
+            except OSError:
+                pass
+        if self._server is not None:
+            try:
+                self._server.close()
+            except OSError:
+                pass
+        for t in self._recv_threads:
+            t.join(timeout=1.0)
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=1.0)
+        if self._monitor_thread is not None:
+            self._monitor_thread.join(timeout=self.heartbeat_interval + 1.0)
+        for w in workers:
+            if w.proc is not None:
+                w.proc.join(timeout=1.0)
+                if w.proc.is_alive():
+                    w.proc.terminate()
+                    w.proc.join(timeout=1.0)
+
+    # ----------------------------------------------------------- observation
+    def now(self) -> float:
+        return time.perf_counter() - self._t0
+
+    def snapshots(self) -> list[StageSnapshot]:
+        if self.instrumentation is None:
+            return []
+        return self.instrumentation.snapshots(self._metrics_locks)
+
+    def items_completed(self) -> int:
+        return self.instrumentation.items_completed if self.instrumentation else 0
+
+    def recent_throughput(self, horizon: float) -> float:
+        if self.instrumentation is None:
+            return math.nan
+        return self.instrumentation.recent_throughput(self.now(), horizon)
+
+    def resource_view(self, n_procs: int) -> ResourceView | None:
+        """The measured worker pool as a virtual grid of ``n_procs`` slots.
+
+        Slots are dealt round-robin over live workers, so when a worker dies
+        the same pid universe re-maps onto the survivors — the planner sees
+        fewer distinct hosts (and their measured speed and link costs)
+        without the mapping's pid space shifting underneath it.
+        """
+        with self._registry:
+            alive = sorted(
+                (w for w in self._workers.values() if w.alive), key=lambda w: w.id
+            )
+        if not alive:
+            return None
+        owner = {pid: alive[pid % len(alive)] for pid in range(n_procs)}
+
+        def eff(pid: int) -> float:
+            return max(owner[pid].speed, 1e-3)
+
+        def link(a: int, b: int) -> tuple[float, float]:
+            wa, wb = owner[a], owner[b]
+            if wa is wb:
+                return _LOCAL_LINK
+            return (wa.link_estimate() + wb.link_estimate(), _WIRE_BANDWIDTH)
+
+        return fn_view(eff=eff, link=link, pids=list(range(n_procs)))
+
+    # ----------------------------------------------------------------- shape
+    def replica_counts(self) -> list[int]:
+        if not self._warm:
+            return list(self._target)
+        counts = []
+        for i, cond in enumerate(self._conds):
+            with cond:
+                counts.append(sum(1 for r in self._replicas[i] if r.active))
+        return counts
+
+    def replica_limit(self, stage: int) -> int:
+        return self.max_replicas if self.pipeline.stage(stage).replicable else 1
+
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        """Place/retire replicas of ``stage`` across workers to ``n_replicas``.
+
+        Counts clamp to ``[1, replica_limit(stage)]``.  Growth places on the
+        worker with the best speed/link score; shrink retires the
+        worst-scored replica, which finishes its in-flight items — nothing
+        drains, the run never pauses.
+        """
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        n_replicas = min(n_replicas, self.replica_limit(stage))
+        self._target[stage] = n_replicas
+        if not self._warm:
+            return
+        with self._conds[stage]:
+            active = [r for r in self._replicas[stage] if r.active]
+        grow = n_replicas - len(active)
+        for _ in range(grow):
+            if self._place_replica(stage) is None:
+                break
+        if grow < 0:
+            hosted = self._hosted_counts()
+            by_badness = sorted(
+                active,
+                key=lambda r: self._worker_score(r.worker, hosted),
+                reverse=True,
+            )
+            for r in by_badness[: len(active) - n_replicas]:
+                self._retire_replica(stage, r)
+
+
+register_backend("distributed", DistributedBackend)

@@ -1,0 +1,115 @@
+"""Wire protocol of the distributed backend.
+
+Frames are length-prefixed pickles over a TCP stream: a 4-byte big-endian
+payload length followed by ``pickle.dumps(message)``.  A message is a plain
+tuple whose first element is the kind (see the table in
+``docs/distributed.md``):
+
+========================  =========  ====================================
+kind                      direction  fields after the kind
+========================  =========  ====================================
+``hello``                 w → c      name, cores, load1
+``welcome``               c → w      worker_id, heartbeat_interval,
+                                     capacity
+``place``                 c → w      stage, slot, fn_payload, stage_name
+``place_failed``          w → c      stage, slot, error_repr
+``retire``                c → w      stage, slot
+``task``                  c → w      epoch, stage, slot, seq, payload, t_sent
+``result``                w → c      epoch, stage, slot, seq, ok, payload,
+                                     service_s, wait_s, t_sent, error_repr
+``reject``                w → c      epoch, stage, slot, seq (task arrived
+                                     for a slot the worker no longer hosts)
+``heartbeat``             w → c      load1
+``shutdown``              c → w      (none)
+========================  =========  ====================================
+
+``payload`` fields are already-pickled item bytes: the coordinator forwards
+a stage's output bytes to the next stage untouched, so each item crosses
+the coordinator without a decode/encode round trip.  ``t_sent`` is the
+*sender's* clock and is only ever echoed back to be differenced on the
+machine that produced it — no cross-host clock comparison happens anywhere
+in the protocol.
+
+TCP ordering is load-bearing: a ``place`` is always written before any
+``task`` for that slot, so workers never see a task for an unknown replica.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+import threading
+from typing import Any
+
+__all__ = [
+    "MAX_FRAME",
+    "ProtocolError",
+    "recv_frame",
+    "send_frame",
+]
+
+#: Upper bound on one frame's payload: guards both sides against a corrupt
+#: or hostile length header committing them to a multi-GB allocation.
+MAX_FRAME = 256 * 1024 * 1024
+
+_HEADER = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """The peer sent bytes that are not a valid frame."""
+
+
+def send_frame(
+    sock: socket.socket, message: Any, lock: threading.Lock | None = None
+) -> None:
+    """Pickle ``message`` and write it as one frame (atomically if locked).
+
+    ``lock`` serialises concurrent senders on a shared socket — interleaved
+    ``sendall`` calls from two threads would corrupt the stream.
+    """
+    payload = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(payload) > MAX_FRAME:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds MAX_FRAME ({MAX_FRAME})"
+        )
+    data = _HEADER.pack(len(payload)) + payload
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes | None:
+    """Read exactly ``n`` bytes; ``None`` on clean EOF before the first byte."""
+    chunks: list[bytes] = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            if chunks:
+                raise ProtocolError(
+                    f"connection closed mid-frame ({n - remaining}/{n} bytes)"
+                )
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Any | None:
+    """Read one frame; ``None`` on clean EOF at a frame boundary."""
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"peer announced a {length}-byte frame (> {MAX_FRAME})")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed between header and payload")
+    try:
+        return pickle.loads(payload)
+    except Exception as err:
+        raise ProtocolError(f"undecodable frame: {err!r}") from err

@@ -1,0 +1,301 @@
+"""The worker side of the distributed backend.
+
+A :class:`WorkerAgent` connects to a coordinator, registers (advertising
+its core count and current load average), and then hosts **stage replicas**
+on demand: each ``place`` message starts one replica — a thread with its
+own bounded task queue — and each ``retire`` message lets that replica
+finish what it was dealt and exit.  Replicas execute the stage callable on
+unpickled item payloads, timing the service, and ship results back tagged
+with the service time and the in-queue wait so the coordinator can separate
+computation from link cost.
+
+A heartbeat thread reports the 1-minute load average every
+``heartbeat_interval`` seconds; the coordinator derives the worker's
+effective speed from it and treats missing heartbeats as node loss.
+
+Run a worker on a (possibly remote) host with::
+
+    python -m repro.backend.distributed.worker --connect HOST:PORT
+
+Stage callables arrive pickled, so they must be importable on the worker
+(module-level functions).  Workers the coordinator auto-spawns locally are
+forked from the coordinator process, which makes any module already loaded
+there — including test modules — resolvable without an installed package.
+
+``--link-delay`` injects an artificial per-frame receive delay, simulating
+a slow link for experiments (E16): the delay is applied *before* the task's
+arrival timestamp, so it shows up in the coordinator's measured transfer
+time, not in service or wait time.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pickle
+import queue as thread_queue
+import socket
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_frame
+from repro.monitor.resource_monitor import read_load1
+
+__all__ = ["WorkerAgent", "main"]
+
+_STOP = object()
+
+
+@dataclass
+class _Task:
+    epoch: int
+    seq: int
+    payload: bytes
+    t_sent: float
+    arrived: float  # worker clock, stamped after any injected link delay
+
+
+class _ReplicaRunner:
+    """One hosted stage replica: a thread draining a bounded task queue."""
+
+    def __init__(
+        self,
+        agent: "WorkerAgent",
+        stage: int,
+        slot: int,
+        fn: Callable[[Any], Any],
+        stage_name: str,
+        capacity: int,
+    ) -> None:
+        self.stage = stage
+        self.slot = slot
+        self.fn = fn
+        self.queue: thread_queue.Queue = thread_queue.Queue(maxsize=max(capacity, 1))
+        self._agent = agent
+        self.thread = threading.Thread(
+            target=self._serve, name=f"replica[{stage_name}.{slot}]", daemon=True
+        )
+        self.thread.start()
+
+    def _serve(self) -> None:
+        while True:
+            msg = self.queue.get()
+            if msg is _STOP:
+                return
+            task: _Task = msg
+            started = time.perf_counter()
+            wait_s = started - task.arrived
+            try:
+                value = pickle.loads(task.payload)
+                result = self.fn(value)
+                service_s = time.perf_counter() - started
+                out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+            except BaseException as err:  # noqa: BLE001 - shipped to coordinator
+                self._agent._send(
+                    (
+                        "result",
+                        task.epoch,
+                        self.stage,
+                        self.slot,
+                        task.seq,
+                        False,
+                        None,
+                        0.0,
+                        wait_s,
+                        task.t_sent,
+                        repr(err),
+                    )
+                )
+                continue  # stay warm; the coordinator aborts the run
+            self._agent._send(
+                (
+                    "result",
+                    task.epoch,
+                    self.stage,
+                    self.slot,
+                    task.seq,
+                    True,
+                    out,
+                    service_s,
+                    wait_s,
+                    task.t_sent,
+                    None,
+                )
+            )
+
+
+class WorkerAgent:
+    """Connects to a coordinator and hosts stage replicas until shut down.
+
+    Parameters
+    ----------
+    host, port:
+        Coordinator address.
+    cores:
+        Advertised core count (capacity signal for placement); defaults to
+        ``os.cpu_count()``.
+    name:
+        Advertised worker name (defaults to ``host:pid``).
+    link_delay:
+        Artificial receive delay in seconds per task frame (0 disables) —
+        an experiment knob simulating a slow link.
+    capacity:
+        Per-replica task-queue bound (matches the coordinator's in-flight
+        cap, so puts never block in the receive loop).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        cores: int | None = None,
+        name: str | None = None,
+        link_delay: float = 0.0,
+        capacity: int = 64,
+    ) -> None:
+        if link_delay < 0:
+            raise ValueError(f"link_delay must be >= 0, got {link_delay}")
+        self.host = host
+        self.port = port
+        self.cores = cores if cores is not None else (os.cpu_count() or 1)
+        self.name = name if name is not None else f"{socket.gethostname()}:{os.getpid()}"
+        self.link_delay = float(link_delay)
+        self.capacity = capacity
+        self.worker_id: int | None = None
+        self._sock: socket.socket | None = None
+        self._send_lock = threading.Lock()
+        self._replicas: dict[tuple[int, int], _ReplicaRunner] = {}
+        self._stop = threading.Event()
+
+    # -------------------------------------------------------------- plumbing
+    def _send(self, message: tuple) -> None:
+        sock = self._sock
+        if sock is None:
+            return
+        try:
+            send_frame(sock, message, self._send_lock)
+        except OSError:
+            # The coordinator is gone; the receive loop will notice and exit.
+            self._stop.set()
+
+    def _heartbeat_loop(self, interval: float) -> None:
+        while not self._stop.wait(interval):
+            self._send(("heartbeat", read_load1()))
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> None:
+        """Connect, register, and serve until shutdown or coordinator EOF."""
+        sock = socket.create_connection((self.host, self.port), timeout=10.0)
+        sock.settimeout(None)
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._sock = sock
+        try:
+            send_frame(sock, ("hello", self.name, self.cores, read_load1()), self._send_lock)
+            welcome = recv_frame(sock)
+            if not welcome or welcome[0] != "welcome":
+                raise ProtocolError(f"expected welcome, got {welcome!r}")
+            _, self.worker_id, heartbeat_interval, coord_capacity = welcome
+            # Replica queues must cover the coordinator's per-replica
+            # in-flight cap so puts never block the receive loop.
+            self.capacity = max(self.capacity, coord_capacity)
+            beat = threading.Thread(
+                target=self._heartbeat_loop,
+                args=(heartbeat_interval,),
+                name="worker-heartbeat",
+                daemon=True,
+            )
+            beat.start()
+            self._serve_loop(sock)
+        finally:
+            self._stop.set()
+            for runner in self._replicas.values():
+                runner.queue.put(_STOP)
+            self._sock = None
+            sock.close()
+
+    def _serve_loop(self, sock: socket.socket) -> None:
+        while not self._stop.is_set():
+            try:
+                frame = recv_frame(sock)
+            except (OSError, ProtocolError):
+                return
+            if frame is None:
+                return
+            kind = frame[0]
+            if kind == "task":
+                _, epoch, stage, slot, seq, payload, t_sent = frame
+                if self.link_delay:
+                    time.sleep(self.link_delay)
+                runner = self._replicas.get((stage, slot))
+                if runner is not None:
+                    runner.queue.put(
+                        _Task(epoch, seq, payload, t_sent, time.perf_counter())
+                    )
+                else:
+                    # A task can legitimately race a retire (the coordinator
+                    # assigned the slot just before retiring it): bounce it
+                    # back so the item is re-dispatched, never dropped.
+                    self._send(("reject", epoch, stage, slot, seq))
+            elif kind == "place":
+                _, stage, slot, fn_payload, stage_name = frame
+                try:
+                    fn = pickle.loads(fn_payload)
+                except Exception as err:
+                    self._send(("place_failed", stage, slot, repr(err)))
+                    continue
+                self._replicas[(stage, slot)] = _ReplicaRunner(
+                    self, stage, slot, fn, stage_name, self.capacity
+                )
+            elif kind == "retire":
+                _, stage, slot = frame
+                runner = self._replicas.pop((stage, slot), None)
+                if runner is not None:
+                    # The sentinel queues behind already-dealt tasks, so the
+                    # replica finishes its in-flight work before exiting.
+                    runner.queue.put(_STOP)
+            elif kind == "shutdown":
+                return
+
+
+def main(argv: list[str] | None = None) -> None:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.backend.distributed.worker",
+        description="Join a distributed pipeline coordinator as a worker.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address to register with",
+    )
+    parser.add_argument(
+        "--cores",
+        type=int,
+        default=None,
+        help="advertised core count (default: os.cpu_count())",
+    )
+    parser.add_argument("--name", default=None, help="advertised worker name")
+    parser.add_argument(
+        "--link-delay",
+        type=float,
+        default=0.0,
+        help="inject an artificial per-task receive delay in seconds",
+    )
+    args = parser.parse_args(argv)
+    host, _, port = args.connect.rpartition(":")
+    if not host or not port.isdigit():
+        parser.error(f"--connect must be HOST:PORT, got {args.connect!r}")
+    WorkerAgent(
+        host,
+        int(port),
+        cores=args.cores,
+        name=args.name,
+        link_delay=args.link_delay,
+    ).run()
+
+
+if __name__ == "__main__":
+    main()

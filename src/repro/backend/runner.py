@@ -20,10 +20,12 @@ runs in simulated time (:mod:`repro.core.adaptive`), but against a live
   ``rollback_tolerance`` reverts the replica counts and doubles the
   cooldown, mirroring the simulator controller's rollback rule.
 
-On the local host every virtual processor has effective speed 1.0, so the
-snapshots' ``work_estimate`` *is* the measured wall-clock service time —
-the same quantity the policies consume in simulation, now grounded in
-reality.
+The virtual grid is grounded in measurements where the backend can provide
+them: each decide step asks ``backend.resource_view(n_virtual_procs)`` for
+a view carrying load-derived effective speeds (thread backend) or
+per-worker speeds plus measured link costs (distributed backend), falling
+back to uniform unit-speed processors — where ``work_estimate`` *is* the
+measured wall-clock service time.
 """
 
 from __future__ import annotations
@@ -229,11 +231,15 @@ class RuntimeAdaptiveRunner:
     ) -> None:
         while self._sleep_until(time.perf_counter() + cfg.interval, n_items):
             now = time.perf_counter() - t0
+            # Ground the virtual grid in the backend's measured reality when
+            # it has one (host load, per-worker speeds, link costs); the
+            # uniform unit-speed view remains the fallback.
+            measured_view = self.backend.resource_view(self.n_virtual_procs)
             decision = self.policy.decide(
                 now=now,
                 current=mapping,
                 snapshots=self.backend.snapshots(),
-                view=self._view,
+                view=measured_view if measured_view is not None else self._view,
                 source_pid=0,
                 sink_pid=0,
                 remaining_items=n_items - self.backend.items_completed(),

@@ -14,7 +14,9 @@ from typing import Any, Iterable
 
 from repro.backend.base import Backend, BackendResult, register_backend
 from repro.core.pipeline import PipelineSpec
+from repro.model.throughput import ResourceView, fn_view
 from repro.monitor.instrument import StageSnapshot
+from repro.monitor.resource_monitor import HostLoadSampler
 from repro.runtime.threads import ThreadPipeline
 from repro.util.validation import check_positive
 
@@ -42,8 +44,15 @@ class ThreadBackend(Backend):
     ) -> None:
         super().__init__(pipeline)
         check_positive(max_replicas, "max_replicas")
+        self._load = HostLoadSampler()
+        # Workers record service at the sampled effective speed, so
+        # work_estimate stays load-normalised — consistent with the
+        # load-degraded speeds resource_view reports to the planner.
         self._tp = ThreadPipeline(
-            pipeline, replicas=replicas, capacity=8 if capacity is None else capacity
+            pipeline,
+            replicas=replicas,
+            capacity=8 if capacity is None else capacity,
+            speed_fn=self._load.effective_speed,
         )
         self.max_replicas = max(max_replicas, *self._tp.replicas)
 
@@ -91,6 +100,21 @@ class ThreadBackend(Backend):
         if instr is None:
             return math.nan
         return instr.recent_throughput(self._tp.now(), horizon)
+
+    def resource_view(self, n_procs: int) -> ResourceView:
+        """Availability-aware local view: every slot shares this host.
+
+        The host's load average degrades every virtual processor's
+        effective speed alike, so the planner sees contended cores rather
+        than assuming a dedicated machine; links are in-process queues
+        (effectively free).
+        """
+        speed = self._load.effective_speed()
+        return fn_view(
+            eff=lambda pid: speed,
+            link=lambda a, b: (1e-7, 1e9),
+            pids=list(range(n_procs)),
+        )
 
     # ----------------------------------------------------------------- shape
     def replica_counts(self) -> list[int]:

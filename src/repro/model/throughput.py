@@ -49,6 +49,7 @@ __all__ = [
     "ModelContext",
     "PipelinePrediction",
     "ResourceView",
+    "fn_view",
     "snapshot_view",
     "estimates_view",
     "predict",
@@ -111,6 +112,19 @@ class _FnView(ResourceView):
 
     def pids(self) -> list[int]:
         return list(self._pids)
+
+
+def fn_view(
+    eff: Callable[[int], float],
+    link: Callable[[int, int], tuple[float, float]],
+    pids: list[int],
+) -> ResourceView:
+    """A :class:`ResourceView` from plain callables.
+
+    The seam real backends use to describe their measured world (host load,
+    socket transfer times) to the planner without a simulated grid.
+    """
+    return _FnView(eff=eff, link=link, pids=pids)
 
 
 def snapshot_view(snap: GridSnapshot) -> ResourceView:

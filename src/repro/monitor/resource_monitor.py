@@ -10,11 +10,19 @@ forecasts through :meth:`estimates`.
 The *decide* step of the adaptive pipeline consumes only these estimates —
 never ground truth — so every adaptation decision in the experiments is made
 with realistic, imperfect information.
+
+:class:`HostLoadSampler` is the same sensor idea pointed at the *real* host:
+it samples ``os.getloadavg()`` and turns it into an effective per-core speed
+for the virtual grid the wall-clock adaptation loop plans over, so the
+thread and distributed backends model contended cores instead of assuming
+speed 1.0.
 """
 
 from __future__ import annotations
 
 import math
+import os
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -25,7 +33,93 @@ from repro.monitor.forecasters import EnsembleForecaster, default_ensemble
 from repro.monitor.samples import MeasurementStream
 from repro.util.validation import check_non_negative, check_positive
 
-__all__ = ["ResourceMonitor", "ResourceEstimates"]
+__all__ = [
+    "HostLoadSampler",
+    "ResourceMonitor",
+    "ResourceEstimates",
+    "load_to_speed",
+    "read_load1",
+]
+
+#: Effective speed is never reported below this: a saturated host still
+#: makes progress, and a zero speed would divide the throughput model by 0.
+SPEED_FLOOR = 0.05
+
+
+def read_load1() -> float:
+    """The host's 1-minute load average; 0.0 where unavailable (dedicated).
+
+    The one load sensor in the codebase: the thread backend's sampler and
+    the distributed worker's heartbeats both read through here.
+    """
+    if not hasattr(os, "getloadavg"):
+        return 0.0
+    try:
+        return float(os.getloadavg()[0])
+    except OSError:
+        return 0.0
+
+
+def load_to_speed(load: float, cores: int, *, floor: float = SPEED_FLOOR) -> float:
+    """Effective per-core speed of a host with ``cores`` at load avg ``load``.
+
+    The NWS-style availability heuristic: each unit of load average is one
+    runnable task contending for a core, so a newly placed worker sees
+    roughly the free fraction ``1 - load/cores`` of one core, clamped to
+    ``[floor, 1]``.
+    """
+    if cores < 1:
+        raise ValueError(f"cores must be >= 1, got {cores}")
+    return max(floor, min(1.0, 1.0 - max(0.0, load) / cores))
+
+
+class HostLoadSampler:
+    """Samples the host's load average into an effective-speed estimate.
+
+    Samples are rate-limited (at most one ``os.getloadavg`` call per
+    ``min_interval`` seconds) and EWMA-smoothed, because the decide loop may
+    query at sub-second cadence while the kernel updates the 1-minute load
+    average far more slowly.  On platforms without ``os.getloadavg`` the
+    sampler reports a dedicated host (speed 1.0, load 0.0).
+    """
+
+    def __init__(
+        self,
+        *,
+        cores: int | None = None,
+        alpha: float = 0.5,
+        min_interval: float = 0.25,
+        floor: float = SPEED_FLOOR,
+    ) -> None:
+        check_non_negative(min_interval, "min_interval")
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        self.cores = cores if cores is not None else (os.cpu_count() or 1)
+        self.alpha = float(alpha)
+        self.min_interval = float(min_interval)
+        self.floor = float(floor)
+        self._speed: float | None = None
+        self._load = 0.0
+        self._last_sample = -math.inf
+
+    def sample(self) -> float:
+        """Take (or reuse) a load sample; returns the raw 1-min load avg."""
+        now = time.monotonic()
+        if now - self._last_sample >= self.min_interval:
+            self._last_sample = now
+            self._load = read_load1()
+            raw = load_to_speed(self._load, self.cores, floor=self.floor)
+            if self._speed is None:
+                self._speed = raw
+            else:
+                self._speed += self.alpha * (raw - self._speed)
+        return self._load
+
+    def effective_speed(self) -> float:
+        """Smoothed effective per-core speed in ``[floor, 1]``."""
+        self.sample()
+        assert self._speed is not None
+        return self._speed
 
 
 @dataclass(frozen=True)

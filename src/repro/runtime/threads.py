@@ -34,7 +34,7 @@ import queue
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Sequence
+from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.pipeline import PipelineSpec
 from repro.monitor.instrument import PipelineInstrumentation, StageMetrics, StageSnapshot
@@ -196,6 +196,7 @@ class _Worker(threading.Thread):
         errors: list[BaseException],
         abort: threading.Event,
         name: str,
+        speed_fn: Callable[[], float],
     ) -> None:
         super().__init__(name=name, daemon=True)
         self.stage_index = stage_index
@@ -207,6 +208,7 @@ class _Worker(threading.Thread):
         self.metrics_lock = metrics_lock
         self.errors = errors
         self.abort = abort
+        self.speed_fn = speed_fn
 
     def run(self) -> None:
         try:
@@ -229,9 +231,13 @@ class _Worker(threading.Thread):
                     continue
                 dt = time.perf_counter() - t0
                 with self.metrics_lock:
-                    # Effective speed 1.0: the local host is the reference
-                    # processor, so work estimates equal wall-clock service.
-                    self.metrics.record_service(dt, 1.0)
+                    # Recording the effective speed the item actually saw
+                    # keeps work_estimate load-normalised: on a contended
+                    # host the inflated dt is divided back out, so the
+                    # planner does not double-count the load it also sees
+                    # in the resource view.  Default speed is 1.0 (the
+                    # local host as the reference processor).
+                    self.metrics.record_service(dt, self.speed_fn())
                 self.out_q.put((seq, result), abort=self.abort)
         finally:
             self.out_q.producer_done()
@@ -262,9 +268,13 @@ class ThreadPipeline:
         *,
         replicas: Sequence[int] | None = None,
         capacity: int = 8,
+        speed_fn: Callable[[], float] | None = None,
     ) -> None:
         check_positive(capacity, "capacity")
         self.pipeline = pipeline
+        # Effective speed items are serviced at (see _Worker.run); the
+        # thread backend wires the host-load sampler in here.
+        self.speed_fn = speed_fn if speed_fn is not None else (lambda: 1.0)
         n = pipeline.n_stages
         if replicas is None:
             replicas = [1] * n
@@ -396,6 +406,7 @@ class ThreadPipeline:
             self._errors,
             self._abort,
             name=f"stage[{stage}].{replica_idx}",
+            speed_fn=self.speed_fn,
         )
 
     def join(self) -> list[Any]:

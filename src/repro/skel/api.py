@@ -109,7 +109,11 @@ def pipeline_1for1(
     ``backend`` selects the execution substrate: ``"threads"`` (default),
     ``"processes"`` (warm process pools — use for CPU-bound pure-Python
     stages), ``"asyncio"`` (coroutine pools on an event-loop thread — use
-    for I/O-bound stages; stages may be ``async def``), ``"sim"`` (the grid
+    for I/O-bound stages; stages may be ``async def``), ``"distributed"``
+    (TCP-socket workers on this or other hosts — stage fns must be
+    picklable module-level functions; pass ``spawn_workers=`` for local
+    workers or start remote ones with ``python -m
+    repro.backend.distributed.worker``), ``"sim"`` (the grid
     simulator; timing is simulated), or any
     :class:`~repro.backend.base.Backend` instance (which must already be
     configured — ``replicas``/``capacity`` then may not be given).

@@ -10,6 +10,7 @@ from repro.backend import (
     SimBackend,
     ThreadBackend,
     available_backends,
+    capability_error,
     make_backend,
     register_backend,
 )
@@ -24,7 +25,9 @@ def pipe():
 
 class TestRegistry:
     def test_builtin_backends_registered(self):
-        assert {"sim", "threads", "processes", "asyncio"} <= set(available_backends())
+        assert {"sim", "threads", "processes", "asyncio", "distributed"} <= set(
+            available_backends()
+        )
 
     def test_make_backend_by_name(self):
         b = make_backend("threads", pipe())
@@ -54,13 +57,16 @@ class TestRegistry:
         with pytest.raises(ValueError, match="unknown backend"):
             make_backend("gpu", pipe())
 
-    def test_unknown_name_error_lists_available(self):
-        # The message must name every registered backend so a typo is
-        # self-correcting from the traceback alone.
+    def test_unknown_name_error_lists_available_sorted(self):
+        # The message must name every registered backend, in sorted order,
+        # so a typo is self-correcting from the traceback alone.
         with pytest.raises(ValueError) as excinfo:
             make_backend("treads", pipe())
+        message = str(excinfo.value)
         for name in available_backends():
-            assert name in str(excinfo.value)
+            assert name in message
+        listed = message.split("available: ", 1)[1].split(", ")
+        assert listed == sorted(listed)
 
     def test_double_registration_leaves_original_intact(self):
         class Impostor(ThreadBackend):
@@ -101,12 +107,27 @@ class TestPortContract:
         for name in ("sim", "threads", "processes", "asyncio"):
             b = make_backend(name, pipe(), replicas=[1], capacity=4)
             b.close()
+        # The distributed adapter too — but it ships fns over sockets, so
+        # the stage must be picklable (abs, not this file's lambda).
+        dist_pipe = PipelineSpec((StageSpec(name="abs", work=0.01, fn=abs),))
+        b = make_backend("distributed", dist_pipe, replicas=[1], capacity=4)
+        b.close()
 
     def test_sim_rejects_live_reconfigure(self):
         b = SimBackend(pipe())
         assert not b.supports_live_reconfigure
-        with pytest.raises(BackendCapabilityError):
+        # The refusal must name the backend: a traceback from deep inside
+        # the adaptation loop has no other clue which adapter was selected.
+        with pytest.raises(BackendCapabilityError, match="'sim'"):
             b.reconfigure(0, 2)
+
+    def test_capability_error_names_backend(self):
+        err = capability_error(SimBackend(pipe()), "reconfigure()")
+        assert "'sim'" in str(err) and "reconfigure()" in str(err)
+        assert "'frob'" in str(capability_error("frob", "live migration"))
+
+    def test_default_resource_view_is_none(self):
+        assert SimBackend(pipe()).resource_view(4) is None
 
     def test_live_backends_advertise_reconfigure(self):
         assert ThreadBackend(pipe()).supports_live_reconfigure

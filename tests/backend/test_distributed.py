@@ -1,0 +1,384 @@
+"""Tests for the distributed socket backend (protocol, coordinator, worker).
+
+Stage functions live at module level: they are pickled by reference and
+resolved inside worker processes (forked from this one, so the test module
+is importable there without an installed package).
+"""
+
+import pickle
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.backend import DistributedBackend, available_backends, make_backend
+from repro.backend.distributed.protocol import (
+    MAX_FRAME,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.skel.api import pipeline_1for1
+
+
+def _inc(x):
+    return x + 1
+
+
+def _slow_triple(x):
+    time.sleep(0.01)
+    return x * 3
+
+
+def _boom(x):
+    raise ValueError(f"boom on {x}")
+
+
+def _pipe():
+    return PipelineSpec(
+        (
+            StageSpec(name="inc", work=0.001, fn=_inc),
+            StageSpec(name="triple", work=0.01, fn=_slow_triple),
+        )
+    )
+
+
+def _expected(inputs):
+    return [(x + 1) * 3 for x in inputs]
+
+
+@pytest.fixture
+def backend():
+    b = DistributedBackend(_pipe(), spawn_workers=3, max_replicas=3)
+    try:
+        yield b
+    finally:
+        b.close()
+
+
+class TestProtocol:
+    def test_frame_roundtrip(self):
+        a, b = socket.socketpair()
+        try:
+            msgs = [("hello", "w0", 4, 0.5), ("task", 1, 0, 2, 3, b"x" * 1000, 0.0)]
+            for msg in msgs:
+                send_frame(a, msg)
+            assert [recv_frame(b) for _ in msgs] == msgs
+        finally:
+            a.close()
+            b.close()
+
+    def test_clean_eof_returns_none(self):
+        a, b = socket.socketpair()
+        a.close()
+        try:
+            assert recv_frame(b) is None
+        finally:
+            b.close()
+
+    def test_mid_frame_eof_raises(self):
+        a, b = socket.socketpair()
+        try:
+            a.sendall(b"\x00\x00\x00\x10abc")  # announces 16 bytes, sends 3
+            a.close()
+            with pytest.raises(ProtocolError, match="mid-frame"):
+                recv_frame(b)
+        finally:
+            b.close()
+
+    def test_oversized_frame_rejected_both_ways(self):
+        a, b = socket.socketpair()
+        try:
+            with pytest.raises(ProtocolError, match="exceeds MAX_FRAME"):
+                send_frame(a, b"x" * (MAX_FRAME + 1))
+            a.sendall((MAX_FRAME + 1).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError, match="announced"):
+                recv_frame(b)
+        finally:
+            a.close()
+            b.close()
+
+
+class TestRegistration:
+    def test_registered_in_registry(self):
+        assert "distributed" in available_backends()
+        b = make_backend("distributed", _pipe(), spawn_workers=0)
+        assert isinstance(b, DistributedBackend)
+        b.close()
+
+    def test_workers_register_and_advertise(self, backend):
+        backend.warm()
+        workers = backend.alive_workers()
+        assert len(workers) == 3
+        for w in workers:
+            assert w["cores"] == 1
+            assert 0.0 < w["speed"] <= 1.0
+
+    def test_unpicklable_stage_fn_rejected_at_construction(self):
+        bad = PipelineSpec(
+            (StageSpec(name="lam", work=0.01, fn=lambda x: x + 1),)
+        )
+        with pytest.raises(ValueError, match="not picklable"):
+            DistributedBackend(bad, spawn_workers=0)
+
+    def test_external_worker_cli_registers(self):
+        # A worker started the CLI way (``--connect host:port``) registers
+        # and serves; spawn_workers=0 models the external-deployment path.
+        # Fresh subprocesses cannot import this test module, so the stages
+        # are builtins — picklable by reference on any worker.
+        import subprocess
+        import sys
+
+        pipe = PipelineSpec(
+            (
+                StageSpec(name="abs", work=0.001, fn=abs),
+                StageSpec(name="float", work=0.001, fn=float),
+            )
+        )
+        b = DistributedBackend(pipe, spawn_workers=0)
+        try:
+            b.warm()
+            host, port = b.listen_address
+            procs = [
+                subprocess.Popen(
+                    [
+                        sys.executable,
+                        "-m",
+                        "repro.backend.distributed.worker",
+                        "--connect",
+                        f"{host}:{port}",
+                        "--name",
+                        f"cli-{k}",
+                    ]
+                )
+                for k in range(2)
+            ]
+            try:
+                b.wait_for_workers(2, timeout=30.0)
+                res = b.run(range(-20, 0))
+                assert res.outputs == [float(abs(x)) for x in range(-20, 0)]
+                names = {w["name"] for w in b.alive_workers()}
+                assert names == {"cli-0", "cli-1"}
+            finally:
+                b.close()
+                for p in procs:
+                    p.wait(timeout=10)
+        finally:
+            b.close()
+
+
+class TestEndToEnd:
+    def test_ordered_outputs_on_three_workers(self, backend):
+        res = backend.run(range(50))
+        assert res.outputs == _expected(range(50))
+        assert res.items == 50
+        assert len(backend.alive_workers()) == 3
+
+    def test_through_skel_api(self):
+        inputs = list(range(25))
+        out = pipeline_1for1(
+            [_inc, _slow_triple], inputs, backend="distributed", spawn_workers=3
+        )
+        assert out == _expected(inputs)
+
+    def test_reusable_across_runs(self, backend):
+        first = backend.run(range(15))
+        second = backend.run(range(30))
+        assert first.outputs == _expected(range(15))
+        assert second.outputs == _expected(range(30))
+
+    def test_stage_error_aborts_and_names_stage(self):
+        pipe = PipelineSpec((StageSpec(name="boom", work=0.01, fn=_boom),))
+        b = DistributedBackend(pipe, spawn_workers=1)
+        try:
+            with pytest.raises(RuntimeError, match="boom"):
+                b.run(range(5))
+        finally:
+            b.close()
+
+    def test_service_and_transfer_measured(self, backend):
+        backend.run(range(40))
+        snaps = backend.snapshots()
+        # The sleeping stage's measured service must reflect the sleep, and
+        # every worker must have a measured (non-default) link estimate.
+        assert snaps[1].service_time >= 0.009
+        assert snaps[1].work_estimate > 0
+        assert backend.items_completed() == 40
+
+
+class TestFailureHandling:
+    def test_worker_crash_mid_run_redispatches(self):
+        pipe = PipelineSpec((StageSpec(name="triple", work=0.02, fn=_slow_triple),))
+        b = DistributedBackend(pipe, spawn_workers=3, replicas=[3], max_replicas=3)
+        try:
+            n = 90
+            b.start(range(n))
+            time.sleep(0.3)  # let items spread over all three workers
+            assert b.running()
+            b.worker_processes[0].kill()
+            res = b.join()
+            # No lost items, no reordering, and the local view shrank.
+            assert res.items == n
+            assert res.outputs == [x * 3 for x in range(n)]
+            assert len(b.alive_workers()) == 2
+            assert all(
+                wid in {w["id"] for w in b.alive_workers()}
+                for placement in b.replica_placement()
+                for wid in placement
+            )
+        finally:
+            b.close()
+
+    def test_all_stage_replicas_lost_replaced_on_survivor(self):
+        pipe = PipelineSpec((StageSpec(name="triple", work=0.02, fn=_slow_triple),))
+        b = DistributedBackend(pipe, spawn_workers=2, replicas=[1])
+        try:
+            b.start(range(60))
+            time.sleep(0.2)
+            # Kill the worker hosting the only replica of the only stage.
+            (hosting_wid,) = b.replica_placement()[0]
+            victim = next(
+                w for w in b._workers.values() if w.id == hosting_wid
+            )
+            assert victim.proc is not None
+            victim.proc.kill()
+            res = b.join()
+            assert res.outputs == [x * 3 for x in range(60)]
+            assert b.replica_placement()[0]  # re-homed on the survivor
+        finally:
+            b.close()
+
+    def test_view_shrinks_after_death(self):
+        b = DistributedBackend(_pipe(), spawn_workers=3)
+        try:
+            b.warm()
+            view = b.resource_view(6)
+            assert view is not None and len(view.pids()) == 6
+            b.worker_processes[0].kill()
+            deadline = time.monotonic() + 10
+            while len(b.alive_workers()) > 2 and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert len(b.alive_workers()) == 2
+            # Same pid universe, remapped onto survivors.
+            view = b.resource_view(6)
+            assert len(view.pids()) == 6
+        finally:
+            b.close()
+
+
+class TestReconfigure:
+    def test_grow_spreads_across_workers(self, backend):
+        backend.warm()
+        backend.reconfigure(1, 3)
+        placement = backend.replica_placement()[1]
+        assert sum(placement.values()) == 3
+        assert len(placement) >= 2  # replicas on at least two workers
+        res = backend.run(range(40))
+        assert res.outputs == _expected(range(40))
+        assert backend.replica_counts()[1] == 3
+
+    def test_shrink_without_drain_mid_run(self, backend):
+        backend.warm()
+        backend.reconfigure(1, 3)
+        backend.start(range(60))
+        time.sleep(0.15)
+        backend.reconfigure(1, 1)
+        res = backend.join()
+        assert res.outputs == _expected(range(60))
+        assert backend.replica_counts()[1] == 1
+
+    def test_move_replica_between_workers_mid_run(self, backend):
+        backend.warm()
+        backend.start(range(80))
+        time.sleep(0.1)
+        (src,) = backend.replica_placement()[1]
+        dst = next(
+            w["id"] for w in backend.alive_workers() if w["id"] != src
+        )
+        backend.move_replica(1, src, dst)
+        placement = backend.replica_placement()[1]
+        assert list(placement) == [dst]
+        res = backend.join()
+        assert res.outputs == _expected(range(80))
+
+    def test_clamps_to_limit_and_rejects_zero(self, backend):
+        backend.warm()
+        with pytest.raises(ValueError, match=">= 1"):
+            backend.reconfigure(1, 0)
+        backend.reconfigure(1, 99)
+        assert backend.replica_counts()[1] == backend.max_replicas
+        # Stage 0 is replicable too, but a stateful stage would clamp to 1.
+        assert backend.replica_limit(1) == backend.max_replicas
+
+
+class TestResourceView:
+    def test_no_workers_means_no_view(self):
+        b = DistributedBackend(_pipe(), spawn_workers=0)
+        try:
+            assert b.resource_view(4) is None
+        finally:
+            b.close()
+
+    def test_links_cheap_within_worker_costly_across(self):
+        b = DistributedBackend(_pipe(), spawn_workers=2)
+        try:
+            b.run(range(20))  # populate link measurements
+            view = b.resource_view(4)
+            # pids 0,2 share worker 0; pids 1,3 share worker 1 (round-robin).
+            same_lat, _ = view.link(0, 2)
+            cross_lat, _ = view.link(0, 1)
+            assert same_lat < cross_lat
+            for pid in view.pids():
+                assert 0 < view.eff_speed(pid) <= 1.0
+        finally:
+            b.close()
+
+
+def test_worker_rejects_task_for_unknown_slot():
+    # A task can race a retire: the worker must bounce it back (reject),
+    # never silently drop it — that is what keeps re-dispatch lossless.
+    from repro.backend.distributed.worker import WorkerAgent
+
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    host, port = server.getsockname()
+    agent = WorkerAgent(host, port, name="reject-test")
+    t = threading.Thread(target=agent.run, daemon=True)
+    t.start()
+    sock, _ = server.accept()
+    try:
+        sock.settimeout(10.0)
+        hello = recv_frame(sock)
+        assert hello[0] == "hello" and hello[1] == "reject-test"
+        send_frame(sock, ("welcome", 0, 5.0, 8))
+        send_frame(sock, ("task", 1, 0, 7, 3, b"payload", 0.0))
+        frame = recv_frame(sock)
+        assert frame == ("reject", 1, 0, 7, 3)
+        send_frame(sock, ("shutdown",))
+        t.join(timeout=5.0)
+        assert not t.is_alive()
+    finally:
+        sock.close()
+        server.close()
+
+
+def test_worker_task_payloads_forwarded_pickled():
+    # Items cross stages as pickled bytes: a payload type with costly or
+    # odd pickling still round-trips exactly once per hop.
+    data = [{"k": [1, 2, 3], "v": ("x", 4.5)}, {"k": [], "v": (None, 0.0)}]
+    roundtripped = pickle.loads(pickle.dumps(data))
+    assert roundtripped == data
+
+
+def test_concurrent_close_is_safe():
+    b = DistributedBackend(_pipe(), spawn_workers=2)
+    b.warm()
+    threads = [threading.Thread(target=b.close) for _ in range(3)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()

@@ -106,3 +106,37 @@ class TestRuntimeAdaptiveRunner:
         assert res.outputs == [x + 2 for x in range(30)]
         assert res.adaptation_events == []
         assert res.final_replicas == [1, 1]
+
+
+class TestMeasuredResourceView:
+    def test_thread_backend_view_reflects_host_load(self):
+        backend = ThreadBackend(spec([_fast]))
+        view = backend.resource_view(4)
+        assert view.pids() == [0, 1, 2, 3]
+        speeds = {view.eff_speed(p) for p in view.pids()}
+        assert len(speeds) == 1  # one host: every slot degrades alike
+        assert 0.0 < speeds.pop() <= 1.0
+        lat, bw = view.link(0, 1)
+        assert lat < 1e-3 and bw > 1e6  # in-process links are near-free
+
+    def test_runner_consumes_backend_view(self):
+        # The decide step must query the backend's measured view each
+        # iteration (falling back to uniform only when it returns None).
+        calls = []
+
+        class Spying(ThreadBackend):
+            def resource_view(self, n_procs):
+                calls.append(n_procs)
+                return super().resource_view(n_procs)
+
+        runner = RuntimeAdaptiveRunner(
+            spec([_fast, _bottleneck]),
+            Spying(spec([_fast, _bottleneck])),
+            config=local_config(interval=0.05, cooldown=0.1, settle_time=0.05),
+            rollback=False,
+        )
+        with runner:
+            res = runner.run(range(40))
+        assert res.outputs == [(x + 1) * 2 for x in range(40)]
+        assert calls, "runner never asked the backend for its measured view"
+        assert all(n == runner.n_virtual_procs for n in calls)

@@ -51,3 +51,9 @@ class TestExamples:
         out = run_example("async_pipeline.py")
         assert "semaphore = replica knob" in out
         assert "final concurrency limits per stage" in out
+
+    def test_distributed_pipeline(self):
+        out = run_example("distributed_pipeline.py")
+        assert "registered workers" in out
+        assert "still ordered" in out
+        assert "real links, real failures" in out

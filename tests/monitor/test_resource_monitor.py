@@ -4,7 +4,12 @@ import pytest
 
 from repro.gridsim.engine import Simulator
 from repro.gridsim.spec import heterogeneous_grid, uniform_grid
-from repro.monitor.resource_monitor import ResourceMonitor
+from repro.monitor.resource_monitor import (
+    SPEED_FLOOR,
+    HostLoadSampler,
+    ResourceMonitor,
+    load_to_speed,
+)
 from repro.util.rng import derive_rng
 
 
@@ -86,3 +91,50 @@ class TestSampling:
         sim.run(until=5.0)
         stream = mon.availability_stream(0)
         assert len(stream) == 6
+
+
+class TestHostLoadSampler:
+    """The availability-aware local view: os.getloadavg -> effective speed."""
+
+    def test_load_to_speed_bounds(self):
+        assert load_to_speed(0.0, 4) == 1.0
+        assert load_to_speed(2.0, 4) == pytest.approx(0.5)
+        assert load_to_speed(100.0, 4) == SPEED_FLOOR  # saturated, floored
+        assert load_to_speed(-1.0, 4) == 1.0  # negative load clamps to free
+        with pytest.raises(ValueError):
+            load_to_speed(1.0, 0)
+
+    def test_sampler_tracks_injected_load(self, monkeypatch):
+        readings = iter([(0.0, 0, 0), (4.0, 0, 0), (4.0, 0, 0), (4.0, 0, 0)])
+        monkeypatch.setattr("os.getloadavg", lambda: next(readings))
+        sampler = HostLoadSampler(cores=4, alpha=1.0, min_interval=0.0)
+        assert sampler.effective_speed() == pytest.approx(1.0)
+        # alpha=1.0 means no smoothing: the next sample lands directly,
+        # floored at SPEED_FLOOR (a saturated host still makes progress).
+        assert sampler.effective_speed() == pytest.approx(SPEED_FLOOR)
+
+    def test_sampler_smooths_with_ewma(self, monkeypatch):
+        values = iter([0.0, 4.0, 4.0, 4.0, 4.0])
+        monkeypatch.setattr("os.getloadavg", lambda: (next(values), 0, 0))
+        sampler = HostLoadSampler(cores=4, alpha=0.5, min_interval=0.0)
+        first = sampler.effective_speed()
+        second = sampler.effective_speed()
+        assert first == pytest.approx(1.0)
+        # One EWMA step toward the floor, not all the way.
+        assert SPEED_FLOOR < second < first
+
+    def test_sampler_rate_limits_getloadavg(self, monkeypatch):
+        calls = []
+        monkeypatch.setattr(
+            "os.getloadavg", lambda: calls.append(1) or (0.5, 0, 0)
+        )
+        sampler = HostLoadSampler(cores=2, min_interval=60.0)
+        for _ in range(10):
+            sampler.effective_speed()
+        assert len(calls) == 1
+
+    def test_sampler_without_getloadavg_is_dedicated(self, monkeypatch):
+        monkeypatch.delattr("os.getloadavg")
+        sampler = HostLoadSampler(cores=2, min_interval=0.0)
+        assert sampler.effective_speed() == 1.0
+        assert sampler.sample() == 0.0
