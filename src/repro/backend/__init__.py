@@ -10,7 +10,9 @@ between pipeline structure and scheduling substrate.  Four adapters ship:
 * ``"threads"`` — :class:`ThreadBackend`, the local thread runtime (for
   GIL-releasing kernels and portable correctness runs);
 * ``"processes"`` — :class:`ProcessPoolBackend`, warm pre-forked process
-  pools per stage (true multi-core for CPU-bound Python stages);
+  pools per stage (true multi-core for CPU-bound Python stages; items
+  travel through a :mod:`repro.transport` codec — shared-memory frames
+  for large payloads);
 * ``"asyncio"`` — :class:`AsyncioBackend`, coroutine pools on a dedicated
   event-loop thread (I/O-bound stages; the concurrency limit is the
   replica knob);

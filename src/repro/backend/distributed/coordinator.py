@@ -15,14 +15,26 @@ Topology (a star — every transfer crosses the coordinator)::
   worker's effective speed), bounded by ``capacity`` in-flight items per
   replica for end-to-end back-pressure.
 * One **router thread per stage** collects that stage's results, records
-  service/transfer/queue measurements, restores sequence order through the
-  shared :class:`~repro.util.ordering.SequenceReorderer`, and forwards each
-  item's already-pickled bytes to the next stage untouched.
+  service/transfer/queue/payload-size measurements, restores sequence
+  order through the shared :class:`~repro.util.ordering.SequenceReorderer`,
+  and forwards each item's encoded :class:`~repro.transport.Frame` to the
+  next stage untouched.  Items travel through the **negotiated transport**
+  (``transport=``): frames carry shared-memory descriptors to workers that
+  verified the session's shm probe (same host), and are materialized
+  inline for workers that did not.  The coordinator owns every frame's
+  lifecycle — a task frame is released only when its result is accepted
+  (so a worker death can always re-dispatch), and ``close()`` sweeps the
+  session's surviving segments.
 * **Link cost is measured, not assumed**: a result echoes the dispatch
   timestamp plus the worker-side service and queue-wait durations, so
-  ``rtt - service - wait`` is pure wire time; its EWMA per worker feeds
-  both placement scoring and the planner's
-  :meth:`~DistributedBackend.resource_view`.
+  ``rtt - service - wait`` is pure wire time.  Each observation is paired
+  with the bytes that crossed (task frame out + result frame back) and fed
+  to a per-worker :class:`~repro.transport.SizeStratifiedLinkEstimator`,
+  whose fitted ``latency + bytes/bandwidth`` model replaces the old
+  constant-bandwidth assumption in both placement scoring and the
+  planner's :meth:`~DistributedBackend.resource_view` — large payloads are
+  priced per link, so the adaptation loop steers them away from
+  bandwidth-starved workers.
 * **Failure handling**: connection EOF or a missed-heartbeat timeout marks
   a worker dead; its replicas leave every stage's set (a stage left empty
   is re-placed on a survivor), its in-flight items are re-dispatched, and
@@ -44,8 +56,10 @@ import queue as thread_queue
 import socket
 import threading
 import time
+from multiprocessing import shared_memory
 from typing import Any, Iterable
 
+from repro import transport as _transport
 from repro.backend.base import Backend, BackendResult, register_backend
 from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_frame
 from repro.backend.distributed.worker import WorkerAgent
@@ -54,6 +68,14 @@ from repro.model.throughput import ResourceView, fn_view
 from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
 from repro.monitor.resource_monitor import load_to_speed
 from repro.runtime.threads import StageError
+from repro.transport import (
+    Codec,
+    Frame,
+    LinkModel,
+    SizeStratifiedLinkEstimator,
+    materialize,
+    untrack,
+)
 from repro.util.ordering import SequenceReorderer
 from repro.util.validation import check_positive
 
@@ -61,18 +83,22 @@ __all__ = ["DistributedBackend"]
 
 #: Modelled cost of the in-process hop between two replicas on one worker.
 _LOCAL_LINK = (1e-7, 1e9)
-#: Modelled socket bandwidth (bytes/s) for the virtual grid's remote links;
-#: latency is measured per worker, bandwidth estimation is future work.
+#: Prior socket bandwidth (bytes/s) for a link before its size-stratified
+#: samples pin down a fitted value.
 _WIRE_BANDWIDTH = 1e8
 #: Default one-way link estimate before any measurement exists.
 _DEFAULT_LINK_S = 1e-4
 
 
 def _spawn_agent(
-    host: str, port: int, cores: int, name: str, link_delay: float
+    host: str, port: int, cores: int, name: str, link_delay: float,
+    link_bandwidth: float,
 ) -> None:
     """Entry point of auto-spawned local worker processes."""
-    WorkerAgent(host, port, cores=cores, name=name, link_delay=link_delay).run()
+    WorkerAgent(
+        host, port, cores=cores, name=name, link_delay=link_delay,
+        link_bandwidth=link_bandwidth,
+    ).run()
 
 
 class _WorkerConn:
@@ -86,10 +112,14 @@ class _WorkerConn:
         self.name = name
         self.cores = max(1, cores)
         self.alive = True
+        self.shm_ok = False  # verified the session's shared-memory probe
+        self.shm_replied = False  # negotiation answer received
         self.last_seen = time.monotonic()
         self.load = 0.0
         self.speed = 1.0  # EWMA of load_to_speed(load, cores)
-        self.link_s: float | None = None  # EWMA one-way transfer seconds
+        self.link_est = SizeStratifiedLinkEstimator(
+            default_bandwidth=_WIRE_BANDWIDTH, round_trips=2
+        )
         self.proc: mp.process.BaseProcess | None = None  # auto-spawned only
         self._send_lock = threading.Lock()
         self._next_slot = 0
@@ -111,14 +141,16 @@ class _WorkerConn:
         self.load = load
         self.speed += 0.5 * (load_to_speed(load, self.cores) - self.speed)
 
-    def observe_link(self, one_way_s: float) -> None:
-        if self.link_s is None:
-            self.link_s = one_way_s
-        else:
-            self.link_s += 0.3 * (one_way_s - self.link_s)
+    def observe_transfer(self, nbytes: float, overhead_s: float) -> None:
+        """One round trip: ``nbytes`` crossed (both ways) in ``overhead_s``."""
+        self.link_est.observe(nbytes, overhead_s)
 
-    def link_estimate(self) -> float:
-        return self.link_s if self.link_s is not None else _DEFAULT_LINK_S
+    def link_fit(self) -> LinkModel:
+        """Fitted one-way (latency, bandwidth) for this worker's link."""
+        model = self.link_est.fit()
+        if model.n_samples == 0:
+            return LinkModel(_DEFAULT_LINK_S, _WIRE_BANDWIDTH, 0, fitted=False)
+        return model
 
 
 class _Replica:
@@ -157,6 +189,15 @@ class DistributedBackend(Backend):
     worker_link_delays:
         Per-spawned-worker artificial receive delay in seconds (experiment
         knob: heterogeneous link costs on one host); padded with 0.0.
+    worker_link_bandwidths:
+        Per-spawned-worker artificial bandwidth limit in bytes/s (0 = no
+        limit; experiment knob: a bandwidth-starved link whose cost grows
+        with payload size); padded with 0.0.
+    transport:
+        Payload codec (``"auto"``/``"pickle"``/``"shm"`` or a configured
+        :class:`~repro.transport.Codec`).  ``"auto"`` (default) ships
+        large payloads as shared-memory descriptors to workers that share
+        this host, negotiated per worker at registration.
     host, port:
         Bind address of the coordinator socket (port 0 = ephemeral).
     heartbeat_interval, heartbeat_timeout:
@@ -179,6 +220,8 @@ class DistributedBackend(Backend):
         spawn_workers: int = 3,
         worker_cores: int = 1,
         worker_link_delays: list[float] | None = None,
+        worker_link_bandwidths: list[float] | None = None,
+        transport: str | Codec = "auto",
         host: str = "127.0.0.1",
         port: int = 0,
         heartbeat_interval: float = 0.5,
@@ -225,6 +268,13 @@ class DistributedBackend(Backend):
         self.spawn_workers = spawn_workers
         self.worker_cores = worker_cores
         self.worker_link_delays = list(worker_link_delays or [])
+        self.worker_link_bandwidths = list(worker_link_bandwidths or [])
+        self._codec = _transport.get(transport)
+        self._probe_name: str | None = None
+        self._probe_token = b""
+        # Mean payload size seen recently (EWMA): the reference point at
+        # which placement scores price a worker's link.
+        self._ref_bytes = 0.0
         self.heartbeat_interval = heartbeat_interval
         self.heartbeat_timeout = (
             heartbeat_timeout
@@ -249,7 +299,7 @@ class DistributedBackend(Backend):
         # Per-stage replica sets + in-flight assignments (guarded by _conds[i]).
         self._conds = [threading.Condition() for _ in range(n)]
         self._replicas: list[list[_Replica]] = [[] for _ in range(n)]
-        self._inflight: list[dict[int, tuple[_Replica, bytes]]] = [{} for _ in range(n)]
+        self._inflight: list[dict[int, tuple[_Replica, Frame]]] = [{} for _ in range(n)]
 
         # Infrastructure threads and sockets.
         self._close_lock = threading.Lock()
@@ -290,20 +340,31 @@ class DistributedBackend(Backend):
             return [w.proc for w in self._workers.values() if w.proc is not None]
 
     def alive_workers(self) -> list[dict[str, Any]]:
-        """Snapshot of the live worker pool (id, name, cores, speed, link)."""
+        """Snapshot of the live worker pool (id, name, cores, speed, link).
+
+        ``link_s`` is the fitted one-way latency; ``bandwidth_Bps`` and
+        ``link_fitted`` expose the rest of the per-worker link model.
+        """
         with self._registry:
-            return [
-                {
-                    "id": w.id,
-                    "name": w.name,
-                    "cores": w.cores,
-                    "load": w.load,
-                    "speed": w.speed,
-                    "link_s": w.link_estimate(),
-                }
-                for w in self._workers.values()
-                if w.alive
-            ]
+            rows = []
+            for w in self._workers.values():
+                if not w.alive:
+                    continue
+                fit = w.link_fit()
+                rows.append(
+                    {
+                        "id": w.id,
+                        "name": w.name,
+                        "cores": w.cores,
+                        "load": w.load,
+                        "speed": w.speed,
+                        "shm_ok": w.shm_ok,
+                        "link_s": fit.latency_s,
+                        "bandwidth_Bps": fit.bandwidth_Bps,
+                        "link_fitted": fit.fitted,
+                    }
+                )
+            return rows
 
     def replica_placement(self) -> list[dict[int, int]]:
         """Per stage: worker id -> active replica count (placement map)."""
@@ -331,6 +392,7 @@ class DistributedBackend(Backend):
         server.settimeout(0.2)
         self._server = server
         host, port = server.getsockname()[:2]
+        self._create_probe()
         # Fork the local workers *before* starting coordinator threads: a
         # fork in a multi-threaded process risks inheriting held locks.
         # Their connects sit in the listen backlog until the accept loop runs.
@@ -338,10 +400,12 @@ class DistributedBackend(Backend):
             methods = mp.get_all_start_methods()
             ctx = mp.get_context("fork" if "fork" in methods else methods[0])
             delays = self.worker_link_delays + [0.0] * self.spawn_workers
+            bandwidths = self.worker_link_bandwidths + [0.0] * self.spawn_workers
             for k in range(self.spawn_workers):
                 proc = ctx.Process(
                     target=_spawn_agent,
-                    args=(host, port, self.worker_cores, f"local-{k}", delays[k]),
+                    args=(host, port, self.worker_cores, f"local-{k}", delays[k],
+                          bandwidths[k]),
                     name=f"dist-worker-{k}",
                     daemon=True,
                 )
@@ -362,6 +426,44 @@ class DistributedBackend(Backend):
         if self.spawn_workers:
             self.wait_for_workers(self.spawn_workers, timeout=self.register_timeout)
             self._ensure_placements()
+
+    def _create_probe(self) -> None:
+        """Create the session's shm probe workers verify at registration.
+
+        A worker that can attach this segment and read back the token
+        shares the coordinator's shared-memory namespace, so frames may
+        carry descriptors instead of payload bytes.  A ``"pickle"``
+        transport never probes — every frame is self-contained anyway.
+        """
+        if self._probe_name is not None or self._codec.name == "pickle":
+            return
+        import os as _os
+        import uuid as _uuid
+
+        self._probe_token = _uuid.uuid4().bytes
+        name = f"{_transport.SHM_PREFIX}{self._codec.session}-probe{_os.getpid()}"
+        try:
+            seg = shared_memory.SharedMemory(
+                name=name, create=True, size=len(self._probe_token)
+            )
+        except OSError:
+            return  # no shared memory here: every worker negotiates pickle
+        untrack(seg)
+        seg.buf[: len(self._probe_token)] = self._probe_token
+        seg.close()
+        self._codec.track(name)  # close()'s sweep reclaims the probe too
+        self._probe_name = name
+
+    def _transport_spec(self) -> dict:
+        spec = _transport.spec_of(self._codec)
+        spec["probe"] = self._probe_name
+        spec["token"] = self._probe_token
+        return spec
+
+    def link_models(self) -> dict[int, LinkModel]:
+        """Fitted per-worker link models (worker id -> latency/bandwidth)."""
+        with self._registry:
+            return {w.id: w.link_fit() for w in self._workers.values() if w.alive}
 
     def wait_for_workers(self, n: int, timeout: float = 30.0) -> None:
         """Block until ``n`` live workers are registered (or raise)."""
@@ -408,7 +510,8 @@ class DistributedBackend(Backend):
                 self._workers[wid] = worker
                 self._registry_changed.notify_all()
             if not worker.send(
-                ("welcome", wid, self.heartbeat_interval, self.capacity)
+                ("welcome", wid, self.heartbeat_interval, self.capacity,
+                 self._transport_spec())
             ):
                 self._on_worker_death(worker)
                 continue
@@ -465,6 +568,9 @@ class DistributedBackend(Backend):
                     )
                 elif kind == "heartbeat":
                     w.observe_load(frame[1])
+                elif kind == "shm_ok":
+                    w.shm_ok = bool(frame[1])
+                    w.shm_replied = True
                 elif kind == "place_failed":
                     _, stage, slot, err_repr = frame
                     err = RuntimeError(
@@ -504,7 +610,7 @@ class DistributedBackend(Backend):
             w.sock.close()
         except OSError:
             pass
-        lost_by_stage: list[list[tuple[int, bytes]]] = []
+        lost_by_stage: list[list[tuple[int, Frame]]] = []
         for i, cond in enumerate(self._conds):
             with cond:
                 self._replicas[i] = [
@@ -549,7 +655,7 @@ class DistributedBackend(Backend):
             daemon=True,
         ).start()
 
-    def _redispatch_lost(self, lost_by_stage: list[list[tuple[int, bytes]]]) -> None:
+    def _redispatch_lost(self, lost_by_stage: list[list[tuple[int, Frame]]]) -> None:
         try:
             for i, lost in enumerate(lost_by_stage):
                 for seq, payload in lost:
@@ -563,12 +669,16 @@ class DistributedBackend(Backend):
         """Lower is better: busy-ness over speed, inflated by link cost.
 
         ``hosted`` maps worker id -> replicas currently hosted (all stages);
-        the +1 prices the replica about to be placed.  Link cost is priced
-        relative to a 10 ms reference service so a slow link only dominates
-        once it is comparable to real per-item work.
+        the +1 prices the replica about to be placed.  Link cost is the
+        fitted model evaluated at the payload size the pipeline currently
+        moves (``_ref_bytes``) — a bandwidth-starved worker is cheap for
+        tiny items but expensive for large ones — priced relative to a
+        10 ms reference service so a slow link only dominates once it is
+        comparable to real per-item work.
         """
         busy = (hosted.get(w.id, 0) + 1) / (w.cores * max(w.speed, 1e-3))
-        return busy * (1.0 + w.link_estimate() / 0.010)
+        link_cost = w.link_fit().seconds(self._ref_bytes)
+        return busy * (1.0 + link_cost / 0.010)
 
     def _hosted_counts(self) -> dict[int, int]:
         hosted: dict[int, int] = {}
@@ -688,6 +798,10 @@ class DistributedBackend(Backend):
         n = self.pipeline.n_stages
         self._resq = [thread_queue.Queue() for _ in range(n)]
         for i in range(n):
+            # Frames stranded in flight by an aborted previous run will
+            # never be decoded: reclaim their segments before forgetting.
+            for _replica, stale_frame in self._inflight[i].values():
+                self._codec.release(stale_frame)
             self._inflight[i].clear()
         self.instrumentation = PipelineInstrumentation(n)
         self._run_threads = []
@@ -710,16 +824,32 @@ class DistributedBackend(Backend):
 
     def _feed(self, items: list[Any]) -> None:
         try:
+            # With every worker *confirmed* shm-incapable, descriptor
+            # frames would be materialized right back at dispatch — encode
+            # inline from the start instead.  A worker whose negotiation
+            # reply is still in flight keeps the descriptor path (dispatch
+            # materializes per item if it ends up answering no).
+            with self._registry:
+                all_inline = all(
+                    w.shm_replied and not w.shm_ok
+                    for w in self._workers.values()
+                    if w.alive
+                )
+            codec = (
+                _transport.get("pickle", session=self._codec.session)
+                if all_inline
+                else self._codec
+            )
             for seq, value in enumerate(items):
                 if self._abort.is_set():
                     return
-                payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-                if not self._dispatch(0, seq, payload):
+                frame = codec.encode(value)
+                if not self._dispatch(0, seq, frame):
                     return
-        except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
+        except BaseException as err:  # noqa: BLE001 - e.g. unencodable input
             self._fail(0, err)
 
-    def _acquire_slot(self, stage: int, seq: int, payload: bytes) -> _Replica | None:
+    def _acquire_slot(self, stage: int, seq: int, payload: Frame) -> _Replica | None:
         """Assign ``seq`` to the best replica with capacity (blocks); None on abort."""
         cond = self._conds[stage]
         with cond:
@@ -741,12 +871,28 @@ class DistributedBackend(Backend):
                     return best
                 cond.wait(timeout=0.1)
 
-    def _dispatch(self, stage: int, seq: int, payload: bytes) -> bool:
+    def _dispatch(self, stage: int, seq: int, payload: Frame) -> bool:
         """Send one item to ``stage``; survives worker death mid-send."""
         while True:
             replica = self._acquire_slot(stage, seq, payload)
             if replica is None:
                 return False
+            if not payload.inline and not replica.worker.shm_ok:
+                # The chosen worker cannot attach this host's segments:
+                # swap the assignment to a self-contained copy.  Copy
+                # first, swap under the lock, release last — a concurrent
+                # worker-death re-dispatch must never find the original's
+                # segments already gone.
+                copy = materialize(payload, release=False)
+                with self._conds[stage]:
+                    entry = self._inflight[stage].get(seq)
+                    owned = entry is not None and entry[0] is replica
+                    if owned:
+                        self._inflight[stage][seq] = (replica, copy)
+                if not owned:
+                    return True  # a death handler already re-homed the item
+                self._codec.release(payload)
+                payload = copy
             sent = replica.worker.send(
                 ("task", self._epoch, stage, replica.slot, seq, payload,
                  time.perf_counter())
@@ -797,6 +943,9 @@ class DistributedBackend(Backend):
                 ):
                     # Stale: this item was re-dispatched after its worker was
                     # declared dead; exactly one assignment may deliver it.
+                    # The duplicate's result frame will never be read.
+                    if isinstance(payload, Frame):
+                        self._codec.release(payload)
                     continue
                 replica, entry_payload = entry
                 del self._inflight[stage][seq]
@@ -815,22 +964,33 @@ class DistributedBackend(Backend):
                     return
                 continue
             if not ok:
+                self._codec.release(entry_payload)
                 self._fail(stage, RuntimeError(err_repr))
                 return
+            # The task frame was consumed on the worker; nothing can
+            # re-dispatch it now, so its segments can go.
+            self._codec.release(entry_payload)
             # rtt minus worker-side service and queue wait is wire time both
-            # ways; halve it for the one-way link estimate.
+            # ways; halve it for the one-way transfer estimate, and pair the
+            # full overhead with the bytes that crossed (task out + result
+            # back) to feed the size-stratified latency/bandwidth fit.
             overhead = max(0.0, (recv_t - t_sent) - service_s - wait_s)
-            w.observe_link(overhead / 2.0)
+            crossed = entry_payload.nbytes + payload.nbytes
+            w.observe_transfer(crossed, overhead)
+            self._ref_bytes += 0.1 * (entry_payload.nbytes - self._ref_bytes)
             with self._metrics_locks[stage]:
                 # work_estimate = service x effective speed, so a loaded
                 # worker's slow service still yields the true per-item work.
                 metrics.record_service(service_s, w.speed)
                 metrics.record_transfer(overhead / 2.0)
                 metrics.record_queue_length(queued)
+                metrics.record_bytes_in(entry_payload.nbytes)
+                metrics.record_bytes_out(payload.nbytes)
             accepted += 1
             for ready_seq, ready_payload in reorder.push(seq, payload):
                 if last:
-                    self._outputs.append(pickle.loads(ready_payload))
+                    self._outputs.append(self._codec.decode(ready_payload))
+                    self._codec.release(ready_payload)
                     with self._metrics_locks[stage]:
                         self.instrumentation.record_completion(self.now())
                 else:
@@ -904,6 +1064,12 @@ class DistributedBackend(Backend):
                 if w.proc.is_alive():
                     w.proc.terminate()
                     w.proc.join(timeout=1.0)
+        # Every producer and consumer of this session's segments is now
+        # stopped (externally-started workers lost their socket above):
+        # reclaim the probe and whatever frames aborts or killed workers
+        # stranded.  A clean run leaves only the probe.
+        self._probe_name = None
+        self._codec.sweep()
 
     # ----------------------------------------------------------- observation
     def now(self) -> float:
@@ -929,6 +1095,12 @@ class DistributedBackend(Backend):
         the same pid universe re-maps onto the survivors — the planner sees
         fewer distinct hosts (and their measured speed and link costs)
         without the mapping's pid space shifting underneath it.
+
+        Links carry each worker's **fitted** (latency, bandwidth): the
+        pair's one-way latencies add (both hops cross the coordinator) and
+        the smaller fitted bandwidth bounds the path, so the throughput
+        model prices a large payload's transfer per link instead of
+        assuming one constant wire speed.
         """
         with self._registry:
             alive = sorted(
@@ -937,6 +1109,7 @@ class DistributedBackend(Backend):
         if not alive:
             return None
         owner = {pid: alive[pid % len(alive)] for pid in range(n_procs)}
+        fits = {w.id: w.link_fit() for w in alive}
 
         def eff(pid: int) -> float:
             return max(owner[pid].speed, 1e-3)
@@ -945,7 +1118,11 @@ class DistributedBackend(Backend):
             wa, wb = owner[a], owner[b]
             if wa is wb:
                 return _LOCAL_LINK
-            return (wa.link_estimate() + wb.link_estimate(), _WIRE_BANDWIDTH)
+            fa, fb = fits[wa.id], fits[wb.id]
+            return (
+                fa.latency_s + fb.latency_s,
+                min(fa.bandwidth_Bps, fb.bandwidth_Bps),
+            )
 
         return fn_view(eff=eff, link=link, pids=list(range(n_procs)))
 

@@ -10,7 +10,9 @@ kind                      direction  fields after the kind
 ========================  =========  ====================================
 ``hello``                 w → c      name, cores, load1
 ``welcome``               c → w      worker_id, heartbeat_interval,
-                                     capacity
+                                     capacity, transport_spec
+``shm_ok``                w → c      bool (the worker verified the
+                                     transport spec's shared-memory probe)
 ``place``                 c → w      stage, slot, fn_payload, stage_name
 ``place_failed``          w → c      stage, slot, error_repr
 ``retire``                c → w      stage, slot
@@ -23,9 +25,16 @@ kind                      direction  fields after the kind
 ``shutdown``              c → w      (none)
 ========================  =========  ====================================
 
-``payload`` fields are already-pickled item bytes: the coordinator forwards
-a stage's output bytes to the next stage untouched, so each item crosses
-the coordinator without a decode/encode round trip.  ``t_sent`` is the
+``payload`` fields are :class:`~repro.transport.Frame` objects — a pickle
+stream plus out-of-band buffers, each inline or a shared-memory segment
+descriptor under the **negotiated frame format**: ``welcome`` carries the
+coordinator's transport spec (codec name, session, placement threshold)
+plus a shared-memory probe, and the worker's ``shm_ok`` reply fixes
+whether descriptors may cross this connection (same host) or every frame
+must be materialized inline (remote).  The coordinator forwards a stage's
+output frame to the next stage untouched, so each item crosses the
+coordinator without a decode/encode round trip — and, with descriptors,
+without its bulk bytes crossing any socket at all.  ``t_sent`` is the
 *sender's* clock and is only ever echoed back to be differenced on the
 machine that produced it — no cross-host clock comparison happens anywhere
 in the protocol.

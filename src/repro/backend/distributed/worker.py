@@ -4,10 +4,24 @@ A :class:`WorkerAgent` connects to a coordinator, registers (advertising
 its core count and current load average), and then hosts **stage replicas**
 on demand: each ``place`` message starts one replica — a thread with its
 own bounded task queue — and each ``retire`` message lets that replica
-finish what it was dealt and exit.  Replicas execute the stage callable on
-unpickled item payloads, timing the service, and ship results back tagged
-with the service time and the in-queue wait so the coordinator can separate
-computation from link cost.
+finish what it was dealt and exit.  Replicas decode item payloads through
+the **negotiated transport codec** (see below), execute the stage callable,
+timing the service, and ship results back tagged with the service time and
+the in-queue wait so the coordinator can separate computation from link
+cost.
+
+**Transport negotiation.**  The ``welcome`` message carries the
+coordinator's transport spec plus a shared-memory *probe*: the name and
+expected contents of a small segment the coordinator created.  A worker
+that can attach the probe and read the right token shares the
+coordinator's shared-memory namespace (same host), replies ``shm_ok``
+true, and encodes its results with the negotiated codec — large payloads
+then cross the socket as segment descriptors instead of bytes.  A worker
+that cannot (a remote host) replies false and falls back to inline
+pickle; the coordinator materializes any descriptor frames it forwards
+there.  Workers never unlink segments: the coordinator owns every frame's
+release (a task may be re-dispatched after a worker death, so consuming a
+frame must not destroy it).
 
 A heartbeat thread reports the 1-minute load average every
 ``heartbeat_interval`` seconds; the coordinator derives the worker's
@@ -25,7 +39,10 @@ there — including test modules — resolvable without an installed package.
 ``--link-delay`` injects an artificial per-frame receive delay, simulating
 a slow link for experiments (E16): the delay is applied *before* the task's
 arrival timestamp, so it shows up in the coordinator's measured transfer
-time, not in service or wait time.
+time, not in service or wait time.  ``--link-bandwidth`` is its size-aware
+sibling (E17): an extra ``payload_bytes / bandwidth`` seconds per task,
+simulating a bandwidth-starved link whose cost grows with payload size —
+exactly what the coordinator's size-stratified link fit must detect.
 """
 
 from __future__ import annotations
@@ -38,10 +55,13 @@ import socket
 import threading
 import time
 from dataclasses import dataclass
+from multiprocessing import shared_memory
 from typing import Any, Callable
 
+from repro import transport as _transport
 from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_frame
 from repro.monitor.resource_monitor import read_load1
+from repro.transport import Codec, Frame, untrack
 
 __all__ = ["WorkerAgent", "main"]
 
@@ -52,7 +72,7 @@ _STOP = object()
 class _Task:
     epoch: int
     seq: int
-    payload: bytes
+    payload: Frame
     t_sent: float
     arrived: float  # worker clock, stamped after any injected link delay
 
@@ -88,10 +108,12 @@ class _ReplicaRunner:
             started = time.perf_counter()
             wait_s = started - task.arrived
             try:
-                value = pickle.loads(task.payload)
+                # Decode without releasing: the coordinator owns the task
+                # frame (it may re-dispatch after this worker's death).
+                value = self._agent.codec.decode(task.payload)
                 result = self.fn(value)
                 service_s = time.perf_counter() - started
-                out = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+                out = self._agent.codec.encode(result)
             except BaseException as err:  # noqa: BLE001 - shipped to coordinator
                 self._agent._send(
                     (
@@ -141,6 +163,10 @@ class WorkerAgent:
     link_delay:
         Artificial receive delay in seconds per task frame (0 disables) —
         an experiment knob simulating a slow link.
+    link_bandwidth:
+        Artificial bandwidth in bytes/s (0 disables): each task pays an
+        extra ``payload_bytes / link_bandwidth`` seconds on receive — the
+        experiment knob for a bandwidth-starved link (E17).
     capacity:
         Per-replica task-queue bound (matches the coordinator's in-flight
         cap, so puts never block in the receive loop).
@@ -154,21 +180,51 @@ class WorkerAgent:
         cores: int | None = None,
         name: str | None = None,
         link_delay: float = 0.0,
+        link_bandwidth: float = 0.0,
         capacity: int = 64,
     ) -> None:
         if link_delay < 0:
             raise ValueError(f"link_delay must be >= 0, got {link_delay}")
+        if link_bandwidth < 0:
+            raise ValueError(f"link_bandwidth must be >= 0, got {link_bandwidth}")
         self.host = host
         self.port = port
         self.cores = cores if cores is not None else (os.cpu_count() or 1)
         self.name = name if name is not None else f"{socket.gethostname()}:{os.getpid()}"
         self.link_delay = float(link_delay)
+        self.link_bandwidth = float(link_bandwidth)
         self.capacity = capacity
         self.worker_id: int | None = None
+        self.codec: Codec = _transport.get("pickle")  # until negotiation
+        self.shm_ok = False
         self._sock: socket.socket | None = None
         self._send_lock = threading.Lock()
         self._replicas: dict[tuple[int, int], _ReplicaRunner] = {}
         self._stop = threading.Event()
+
+    def _negotiate_transport(self, spec: dict) -> None:
+        """Adopt the coordinator's codec iff its shm probe checks out here."""
+        probe = spec.get("probe")
+        token = spec.get("token")
+        ok = False
+        if probe is not None:
+            try:
+                seg = shared_memory.SharedMemory(name=probe)
+                untrack(seg)  # the coordinator owns the probe's lifecycle
+                try:
+                    ok = bytes(seg.buf[: len(token)]) == token
+                finally:
+                    seg.close()
+            except (OSError, ValueError):
+                ok = False
+        self.shm_ok = ok
+        codec_spec = {k: v for k, v in spec.items() if k in ("name", "session", "threshold")}
+        if ok:
+            self.codec = _transport.from_spec(codec_spec)
+        else:
+            # Results must stay self-contained across host boundaries.
+            self.codec = _transport.get("pickle", session=spec.get("session"))
+        self._send(("shm_ok", ok))
 
     # -------------------------------------------------------------- plumbing
     def _send(self, message: tuple) -> None:
@@ -197,10 +253,11 @@ class WorkerAgent:
             welcome = recv_frame(sock)
             if not welcome or welcome[0] != "welcome":
                 raise ProtocolError(f"expected welcome, got {welcome!r}")
-            _, self.worker_id, heartbeat_interval, coord_capacity = welcome
+            _, self.worker_id, heartbeat_interval, coord_capacity, transport_spec = welcome
             # Replica queues must cover the coordinator's per-replica
             # in-flight cap so puts never block the receive loop.
             self.capacity = max(self.capacity, coord_capacity)
+            self._negotiate_transport(transport_spec)
             beat = threading.Thread(
                 target=self._heartbeat_loop,
                 args=(heartbeat_interval,),
@@ -227,8 +284,11 @@ class WorkerAgent:
             kind = frame[0]
             if kind == "task":
                 _, epoch, stage, slot, seq, payload, t_sent = frame
-                if self.link_delay:
-                    time.sleep(self.link_delay)
+                delay = self.link_delay
+                if self.link_bandwidth:
+                    delay += payload.nbytes / self.link_bandwidth
+                if delay:
+                    time.sleep(delay)
                 runner = self._replicas.get((stage, slot))
                 if runner is not None:
                     runner.queue.put(
@@ -284,6 +344,12 @@ def main(argv: list[str] | None = None) -> None:
         default=0.0,
         help="inject an artificial per-task receive delay in seconds",
     )
+    parser.add_argument(
+        "--link-bandwidth",
+        type=float,
+        default=0.0,
+        help="inject an artificial bandwidth limit in bytes/s (0 = unlimited)",
+    )
     args = parser.parse_args(argv)
     host, _, port = args.connect.rpartition(":")
     if not host or not port.isdigit():
@@ -294,6 +360,7 @@ def main(argv: list[str] | None = None) -> None:
         cores=args.cores,
         name=args.name,
         link_delay=args.link_delay,
+        link_bandwidth=args.link_bandwidth,
     ).run()
 
 

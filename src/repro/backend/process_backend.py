@@ -14,9 +14,13 @@ Topology (per stage ``i``)::
                   └──> worker i.R ──┘   (shared)      (parent)
 
 * Workers are OS processes running :func:`_worker_main`; items and results
-  cross process boundaries pickled (payloads are pre-pickled in the worker
+  cross process boundaries as :class:`~repro.transport.Frame` objects
+  produced by the backend's **transport codec** (``transport=``): inline
+  pickle streams by default, shared-memory descriptors for large payloads
+  under ``"auto"``/``"shm"``, so multi-megabyte numpy items never funnel
+  through the task/result pipes.  Payloads are pre-encoded in the worker
   so an unpicklable result surfaces as a :class:`StageError` instead of a
-  silent hang in ``multiprocessing``'s feeder thread).
+  silent hang in ``multiprocessing``'s feeder thread.
 * **Routers** are parent-side threads, one per stage: they collect that
   stage's results, record service-time/queue-depth samples, restore
   sequence order, and dispatch in order to the *least-loaded active* worker
@@ -41,10 +45,12 @@ import threading
 import time
 from typing import Any, Iterable
 
+from repro import transport as _transport
 from repro.backend.base import Backend, BackendResult, register_backend
 from repro.core.pipeline import PipelineSpec
 from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
 from repro.runtime.threads import StageError
+from repro.transport import Codec, Frame
 from repro.util.ordering import SequenceReorderer
 from repro.util.validation import check_positive
 
@@ -53,14 +59,24 @@ __all__ = ["ProcessPoolBackend"]
 _STOP = None  # poison pill: worker exits (sent only by close())
 
 
-def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq) -> None:
-    """Worker process body: apply ``fn`` to (seq, value) tasks forever."""
+def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq, codec_spec) -> None:
+    """Worker process body: apply ``fn`` to (seq, frame) tasks forever."""
+    codec = _transport.from_spec(codec_spec)
     while True:
         msg = taskq.get()
         if msg is _STOP:
             break
-        seq, payload = msg
-        value = pickle.loads(payload)
+        seq, frame = msg
+        try:
+            value = codec.decode(frame)
+        except Exception as err:
+            codec.release(frame)  # the parent aborts; nothing retries this frame
+            resq.put(("err", seq, worker_id, None, f"undecodable item: {err!r}"))
+            continue
+        # This worker is the frame's sole consumer and the process backend
+        # never re-dispatches (a worker death aborts the run), so the task
+        # frame's segments are released as soon as the value is copied out.
+        codec.release(frame)
         t0 = time.perf_counter()
         try:
             result = fn(value)
@@ -73,11 +89,11 @@ def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq) -> None:
             continue  # stay warm; the parent aborts the run
         dt = time.perf_counter() - t0
         try:
-            out_payload = pickle.dumps(result)
+            out_frame = codec.encode(result)
         except Exception as err:
-            resq.put(("err", seq, worker_id, None, f"unpicklable result: {err!r}"))
+            resq.put(("err", seq, worker_id, None, f"unencodable result: {err!r}"))
             continue
-        resq.put(("ok", seq, worker_id, out_payload, dt))
+        resq.put(("ok", seq, worker_id, out_frame, dt))
 
 
 class _WorkerHandle:
@@ -144,6 +160,12 @@ class ProcessPoolBackend(Backend):
         Per-worker task-queue bound (back-pressure granularity).
     start_method:
         ``multiprocessing`` start method; default ``fork`` when available.
+    transport:
+        Payload codec moving items between processes: a registered name
+        (``"auto"``/``"pickle"``/``"shm"``, see :mod:`repro.transport`) or
+        a configured :class:`~repro.transport.Codec` instance.  The
+        default ``"auto"`` keeps small items inline and routes large
+        numpy/bytes payloads through shared-memory segments.
     """
 
     name = "processes"
@@ -157,6 +179,7 @@ class ProcessPoolBackend(Backend):
         max_replicas: int = 4,
         capacity: int | None = None,
         start_method: str | None = None,
+        transport: str | Codec = "auto",
     ) -> None:
         super().__init__(pipeline)
         capacity = 8 if capacity is None else capacity
@@ -184,6 +207,7 @@ class ProcessPoolBackend(Backend):
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._ctx = mp.get_context(start_method)
+        self._codec = _transport.get(transport)
         self.capacity = capacity
         # A warm pool must at least cover the requested starting shape.
         self.max_replicas = max(max_replicas, *replicas)
@@ -219,11 +243,12 @@ class ProcessPoolBackend(Backend):
             resq = self._ctx.Queue(maxsize=self.capacity * pool_size)
             pool = _StagePool(resq, threading.Lock())
             fn = self.pipeline.stage(i).fn
+            codec_spec = _transport.spec_of(self._codec)
             for wid in range(pool_size):
                 taskq = self._ctx.Queue(maxsize=self.capacity)
                 proc = self._ctx.Process(
                     target=_worker_main,
-                    args=(i, wid, fn, taskq, resq),
+                    args=(i, wid, fn, taskq, resq, codec_spec),
                     name=f"{self.pipeline.stage(i).name}.{wid}",
                     daemon=True,
                 )
@@ -265,13 +290,13 @@ class ProcessPoolBackend(Backend):
             t.start()
         return self._n_items
 
-    def _dispatch(self, stage: int, seq: int, payload: bytes) -> bool:
-        """Send one pickled item to the least-loaded active worker of ``stage``."""
+    def _dispatch(self, stage: int, seq: int, frame: Frame) -> bool:
+        """Send one encoded item to the least-loaded active worker of ``stage``."""
         assert self._pools is not None
         handle = self._pools[stage].pick()
         while True:
             try:
-                handle.taskq.put((seq, payload), timeout=0.05)
+                handle.taskq.put((seq, frame), timeout=0.05)
                 return True
             except thread_queue.Full:
                 if self._abort.is_set():
@@ -279,12 +304,19 @@ class ProcessPoolBackend(Backend):
                         handle.inflight -= 1
                     return False
 
+    def _record_bytes_in(self, stage: int, nbytes: int) -> None:
+        assert self.instrumentation is not None
+        with self._stage_locks[stage]:
+            self.instrumentation.stages[stage].record_bytes_in(nbytes)
+
     def _feed(self, items: list[Any]) -> None:
         try:
             for seq, value in enumerate(items):
                 if self._abort.is_set():
                     return
-                if not self._dispatch(0, seq, pickle.dumps(value)):
+                frame = self._codec.encode(value)
+                self._record_bytes_in(0, frame.nbytes)
+                if not self._dispatch(0, seq, frame):
                     return
         except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
             self._errors.append(StageError(self.pipeline.stage(0).name, err))
@@ -354,16 +386,19 @@ class ProcessPoolBackend(Backend):
             with self._stage_locks[stage]:
                 metrics.record_service(extra, 1.0)
                 metrics.record_queue_length(pool.queued())
-            # Workers already produced pickled bytes and the next stage's
-            # workers expect exactly that format — forward the bytes
-            # untouched and deserialize only for final outputs.
-            for ready_seq, ready_payload in reorder.push(seq, payload):
+                metrics.record_bytes_out(payload.nbytes)
+            # Workers already produced encoded frames and the next stage's
+            # workers expect exactly that format — forward each frame
+            # untouched and decode only for final outputs.
+            for ready_seq, ready_frame in reorder.push(seq, payload):
                 if last:
-                    self._outputs.append(pickle.loads(ready_payload))
+                    self._outputs.append(self._codec.decode(ready_frame))
+                    self._codec.release(ready_frame)
                     with self._stage_locks[stage]:
                         self.instrumentation.record_completion(self.now())
                 else:
-                    if not self._dispatch(stage + 1, ready_seq, ready_payload):
+                    self._record_bytes_in(stage + 1, ready_frame.nbytes)
+                    if not self._dispatch(stage + 1, ready_seq, ready_frame):
                         return
 
     def join(self) -> BackendResult:
@@ -415,6 +450,10 @@ class ProcessPoolBackend(Backend):
             pool.resq.close()
         self._pools = None
         self._warm = False
+        # Every producer and consumer of this session's segments is now
+        # stopped: reclaim whatever frames were stranded in queues by an
+        # abort (a clean run leaves nothing — consumers release as they go).
+        self._codec.sweep()
 
     def close(self) -> None:
         """Stop every warm worker and release the pools (idempotent)."""

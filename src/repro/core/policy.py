@@ -31,7 +31,7 @@ from repro.core.pipeline import PipelineSpec
 from repro.model.cost import MigrationCostModel
 from repro.model.mapping import Mapping
 from repro.model.optimizer import local_search, propose_replication
-from repro.model.throughput import ModelContext, ResourceView, predict
+from repro.model.throughput import ModelContext, ResourceView, StageCost, predict
 from repro.monitor.instrument import StageSnapshot
 from repro.util.validation import check_non_negative, check_positive
 
@@ -98,13 +98,34 @@ class AdaptationPolicy:
         source_pid: int,
         sink_pid: int,
     ) -> ModelContext:
-        """Model context from measured work + forecast resources."""
+        """Model context from measured work + forecast resources.
+
+        Payload sizes follow the same measured-over-declared rule as work:
+        where a backend recorded real per-stage byte counts (the process
+        and distributed transports do), they override the spec's
+        ``out_bytes``/``input_bytes`` priors, so link pricing reflects the
+        payloads actually crossing the wire.
+        """
+        costs = list(self.pipeline.stage_costs(self.measured_works(snapshots)))
+        input_bytes = self.pipeline.input_bytes
+        for snap in snapshots:
+            i = snap.stage_index
+            if i == 0 and snap.bytes_in > 0:
+                input_bytes = snap.bytes_in
+            if 0 <= i < len(costs) and snap.bytes_out > 0:
+                cost = costs[i]
+                costs[i] = StageCost(
+                    work=cost.work,
+                    out_bytes=snap.bytes_out,
+                    replicable=cost.replicable,
+                    state_bytes=cost.state_bytes,
+                )
         return ModelContext(
-            stage_costs=self.pipeline.stage_costs(self.measured_works(snapshots)),
+            stage_costs=tuple(costs),
             view=view,
             source_pid=source_pid,
             sink_pid=sink_pid,
-            input_bytes=self.pipeline.input_bytes,
+            input_bytes=input_bytes,
         )
 
     # -- the decision ---------------------------------------------------------

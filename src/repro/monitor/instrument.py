@@ -10,6 +10,7 @@ re-mapping predictions possible on heterogeneous processors.
 from __future__ import annotations
 
 import math
+from collections import Counter
 from contextlib import AbstractContextManager
 from dataclasses import dataclass
 from typing import Sequence
@@ -27,6 +28,10 @@ class StageSnapshot:
     ``work_estimate`` is the inferred work per item in normalised units
     (service time × the effective speed the item actually saw), which is
     mapping-independent and lets the model predict service times elsewhere.
+    ``bytes_in``/``bytes_out`` are window-mean measured payload sizes (0.0
+    until a backend records them) — the same observations the distributed
+    link-bandwidth fit consumes, so model pricing and reports share one
+    data source.
     """
 
     stage_index: int
@@ -36,6 +41,8 @@ class StageSnapshot:
     transfer_time: float
     work_estimate: float
     queue_length: float
+    bytes_in: float = 0.0
+    bytes_out: float = 0.0
 
     @property
     def period(self) -> float:
@@ -53,6 +60,14 @@ class StageMetrics:
         self._transfer_win = SlidingWindow(window)
         self._work_win = SlidingWindow(window)
         self._queue_win = SlidingWindow(window)
+        self._bytes_in_win = SlidingWindow(window)
+        self._bytes_out_win = SlidingWindow(window)
+        # log2-bucketed payload-size histograms (bucket = nbytes.bit_length(),
+        # so bucket b covers [2^(b-1), 2^b)); cheap enough to keep unwindowed.
+        self.bytes_in_hist: Counter = Counter()
+        self.bytes_out_hist: Counter = Counter()
+        self.total_bytes_in = 0
+        self.total_bytes_out = 0
         self.items_processed = 0
 
     def record_service(self, seconds: float, effective_speed: float) -> None:
@@ -69,11 +84,27 @@ class StageMetrics:
     def record_queue_length(self, length: float) -> None:
         self._queue_win.push(length)
 
+    def record_bytes_in(self, nbytes: float) -> None:
+        """One item's measured payload size on arrival at this stage."""
+        n = max(0, int(nbytes))
+        self._bytes_in_win.push(n)
+        self.bytes_in_hist[n.bit_length()] += 1
+        self.total_bytes_in += n
+
+    def record_bytes_out(self, nbytes: float) -> None:
+        """One item's measured payload size leaving this stage."""
+        n = max(0, int(nbytes))
+        self._bytes_out_win.push(n)
+        self.bytes_out_hist[n.bit_length()] += 1
+        self.total_bytes_out += n
+
     def snapshot(self) -> StageSnapshot:
         service = self._service_win.mean
         std = self._service_win.std
         cv = std / service if service and not math.isnan(std) and service > 0 else 0.0
         transfer = self._transfer_win.mean
+        bytes_in = self._bytes_in_win.mean
+        bytes_out = self._bytes_out_win.mean
         return StageSnapshot(
             stage_index=self.stage_index,
             items_processed=self.items_processed,
@@ -82,6 +113,8 @@ class StageMetrics:
             transfer_time=0.0 if math.isnan(transfer) else transfer,
             work_estimate=self._work_win.mean,
             queue_length=0.0 if math.isnan(self._queue_win.mean) else self._queue_win.mean,
+            bytes_in=0.0 if math.isnan(bytes_in) else bytes_in,
+            bytes_out=0.0 if math.isnan(bytes_out) else bytes_out,
         )
 
 

@@ -120,7 +120,9 @@ def pipeline_1for1(
     ``adaptive=True`` (or an :class:`AdaptationConfig`) runs the
     observe→decide→act loop: live on backends with
     ``supports_live_reconfigure``, via the in-sim controller on
-    ``backend="sim"``.
+    ``backend="sim"``.  Backend-specific knobs pass through — e.g.
+    ``transport="shm"`` selects the payload codec on the process and
+    distributed backends (see ``docs/transport.md``).
 
     >>> pipeline_1for1([lambda x: x + 1, lambda x: x * 2], [1, 2, 3])
     [4, 6, 8]

@@ -1,0 +1,129 @@
+"""The shipped codecs: ``pickle``, ``shm`` and ``auto``.
+
+All three produce protocol-5 pickle streams; they differ only in *buffer
+placement*:
+
+* :class:`PickleCodec` — everything inline.  The baseline and the only
+  choice across host boundaries.
+* :class:`SharedMemoryCodec` — every out-of-band-capable buffer (numpy
+  arrays, and any pickle stream at least ``threshold`` bytes — which
+  covers large ``bytes``/``str`` payloads) goes to a shared-memory
+  segment; the frame carries descriptors.
+* ``auto`` — a :class:`SharedMemoryCodec` with a large threshold
+  (:data:`AUTO_THRESHOLD`): small items stay inline (a segment per tiny
+  item costs more than the copy it saves), large items go zero-copy.  The
+  per-item decision the adaptation story needs, without a second class.
+
+Placement rule, per encode: pickle with ``buffer_callback``; each
+contiguous out-of-band buffer of at least ``threshold`` bytes is written
+into its own segment, smaller ones are serialized in-band.  If the
+resulting stream itself reaches ``threshold`` (big ``bytes`` payloads,
+deeply nested objects), the stream moves to a segment too.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import pickle
+from multiprocessing import shared_memory
+
+from repro.transport.frames import (
+    SHM_PREFIX,
+    Codec,
+    Frame,
+    SegmentRef,
+    TransportError,
+    untrack,
+)
+
+__all__ = ["AUTO_THRESHOLD", "PickleCodec", "SharedMemoryCodec"]
+
+#: ``auto``'s placement threshold: below this, inline pickling (one extra
+#: copy through a queue/socket) is cheaper than a segment round trip.
+AUTO_THRESHOLD = 256 * 1024
+
+
+class PickleCodec(Codec):
+    """Everything inline: one protocol-5 pickle stream per item."""
+
+    name = "pickle"
+
+    def encode(self, obj: object) -> Frame:
+        try:
+            stream = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as err:
+            raise TransportError(f"unpicklable payload: {err!r}") from err
+        return Frame(codec=self.name, stream=stream, nbytes=len(stream))
+
+
+class SharedMemoryCodec(Codec):
+    """Large buffers travel by shared-memory descriptor, not by value.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum buffer (or stream) size in bytes to earn a segment; the
+        default of 1 sends everything eligible through shared memory.
+    session:
+        Segment-namespace token; every party of one pipeline run shares
+        it so one sweep covers them all.
+    """
+
+    name = "shm"
+
+    def __init__(self, *, threshold: int = 1, session: str | None = None) -> None:
+        super().__init__(session=session)
+        if threshold < 1:
+            raise ValueError(f"threshold must be >= 1, got {threshold}")
+        self.threshold = int(threshold)
+        # itertools.count: next() is atomic in CPython, and one codec is
+        # shared by all of a worker's replica threads encoding results.
+        self._counter = itertools.count(1)
+
+    def _new_segment(self, data) -> SegmentRef:
+        """Write one buffer into a fresh segment (closed at once; named)."""
+        name = f"{SHM_PREFIX}{self.session}-{os.getpid()}-{next(self._counter)}"
+        size = data.nbytes if hasattr(data, "nbytes") else len(data)
+        seg = shared_memory.SharedMemory(name=name, create=True, size=max(size, 1))
+        untrack(seg)  # this package owns cleanup: release() + session sweep
+        try:
+            seg.buf[:size] = data
+        finally:
+            seg.close()
+        self.track(name)
+        return SegmentRef(name=name, size=size)
+
+    def encode(self, obj: object) -> Frame:
+        refs: list[SegmentRef] = []
+        total = 0
+
+        def place(pb: pickle.PickleBuffer) -> bool:
+            # Return False -> out-of-band (we carried it); True -> in-band
+            # (it then lands in the stream and is counted there).
+            nonlocal total
+            try:
+                raw = pb.raw()
+            except BufferError:  # non-contiguous: let pickle copy it in-band
+                return True
+            if raw.nbytes < self.threshold:
+                return True
+            total += raw.nbytes
+            refs.append(self._new_segment(raw))
+            return False
+
+        head: bytes | SegmentRef
+        try:
+            stream = pickle.dumps(obj, protocol=5, buffer_callback=place)
+            nbytes = len(stream) + total
+            head = stream
+            if len(stream) >= self.threshold:
+                head = self._new_segment(stream)
+        except Exception as err:
+            # Abandon any segments written before the failure (an
+            # unpicklable payload, or shm exhaustion mid-placement).
+            self.release(Frame(codec=self.name, stream=b"", buffers=tuple(refs)))
+            if isinstance(err, TransportError):
+                raise
+            raise TransportError(f"unencodable payload: {err!r}") from err
+        return Frame(codec=self.name, stream=head, buffers=tuple(refs), nbytes=nbytes)

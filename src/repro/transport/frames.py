@@ -1,0 +1,299 @@
+"""The payload transport port: codecs that turn objects into frames.
+
+A :class:`Frame` is the unit every heavy backend moves between processes
+and hosts: a pickle-protocol-5 stream plus that stream's out-of-band
+buffers, each carried either **inline** (plain bytes, travels with the
+frame) or as a :class:`SegmentRef` — the name of a
+``multiprocessing.shared_memory`` segment holding the actual bytes, so
+only a descriptor crosses the queue or socket.
+
+A :class:`Codec` decides *placement* at encode time (which buffers go to
+shared memory); decoding is codec-agnostic because frames are
+self-describing — :func:`decode_frame` reconstructs the object from any
+frame, wherever it was encoded.  The lifecycle contract:
+
+* ``encode`` creates segments (the creator closes its handles at once —
+  segments survive by name, not by fd);
+* ``decode`` **copies** buffer contents out of segments and never unlinks
+  — decoding is side-effect-free, so an item can be re-dispatched after a
+  consumer crash;
+* ``release`` unlinks a frame's segments.  Exactly one party owns each
+  frame's release (the worker for process-pool task frames, the
+  coordinator for everything distributed); duplicate or concurrent
+  releases are no-ops;
+* :func:`sweep_session` is the safety net: it unlinks every surviving
+  segment of a session (abort paths, crashed workers that never reported
+  their segment names).
+
+Segment names share a per-session prefix (``repro-shm-<session>-``) so a
+sweep can find orphans by name alone, and so leak checks (tests, CI) can
+assert the namespace is empty.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import uuid
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+__all__ = [
+    "Codec",
+    "Frame",
+    "SegmentRef",
+    "SHM_PREFIX",
+    "TransportError",
+    "decode_frame",
+    "materialize",
+    "new_session",
+    "session_segments",
+    "sweep_session",
+    "untrack",
+]
+
+#: Common prefix of every shared-memory segment this package creates.
+SHM_PREFIX = "repro-shm-"
+
+#: Where POSIX shared memory is visible as files (Linux); sweeps and leak
+#: checks glob here.  On platforms without it, sweeps fall back to the
+#: per-codec created-name ledger.
+_SHM_DIR = "/dev/shm"
+
+
+class TransportError(RuntimeError):
+    """A frame could not be encoded, decoded or released."""
+
+
+def new_session() -> str:
+    """A fresh session token (the shared namespace of one backend's frames)."""
+    return uuid.uuid4().hex[:12]
+
+
+@dataclass(frozen=True)
+class SegmentRef:
+    """Descriptor of one shared-memory segment holding payload bytes.
+
+    ``size`` is the payload length; the segment itself may be larger (the
+    kernel rounds allocations up to page multiples).
+    """
+
+    name: str
+    size: int
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One encoded payload: a pickle stream plus its out-of-band buffers.
+
+    ``stream`` and each entry of ``buffers`` are either plain bytes
+    (inline) or a :class:`SegmentRef`.  ``nbytes`` is the total payload
+    size — stream plus all buffers, regardless of placement — which is
+    what transfer-time models and the monitor's byte accounting consume.
+    ``codec`` names the codec that chose the placement (reporting only;
+    decoding needs no codec).
+    """
+
+    codec: str
+    stream: bytes | SegmentRef
+    buffers: tuple[bytes | SegmentRef, ...] = ()
+    nbytes: int = 0
+
+    def segment_refs(self) -> list[SegmentRef]:
+        parts: list[bytes | SegmentRef] = [self.stream, *self.buffers]
+        return [p for p in parts if isinstance(p, SegmentRef)]
+
+    @property
+    def inline(self) -> bool:
+        """True when the frame is self-contained (no shared-memory refs)."""
+        return not self.segment_refs()
+
+
+# ------------------------------------------------------------------ segments
+def untrack(seg: shared_memory.SharedMemory) -> None:
+    """Opt one open segment out of ``multiprocessing.resource_tracker``.
+
+    On Python 3.8–3.12 the tracker registers segments on *attach* as well
+    as create (cpython#82300), and lazily-started per-process trackers
+    then warn about "leaked" segments another process legitimately
+    unlinked.  This package owns the full lifecycle — explicit
+    ``release`` plus the session sweep — so every create or attach that
+    will *not* end in a local ``unlink()`` (whose own unregister balances
+    the books) is untracked immediately.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        # The tracker stores the slash-prefixed OS name (``seg._name``).
+        resource_tracker.unregister(getattr(seg, "_name", seg.name), "shared_memory")
+    except Exception:  # noqa: BLE001 - tracking is best-effort everywhere
+        pass
+
+
+def _read_segment(ref: SegmentRef) -> bytearray:
+    """Copy a segment's payload out (writable, so numpy views stay mutable)."""
+    try:
+        seg = shared_memory.SharedMemory(name=ref.name)
+    except FileNotFoundError as err:
+        raise TransportError(
+            f"shared-memory segment {ref.name!r} is gone (released before "
+            "decode, or swept by an abort)"
+        ) from err
+    untrack(seg)  # attach registered it; decoding takes no ownership
+    try:
+        data = bytearray(seg.buf[: ref.size])
+    finally:
+        seg.close()
+    return data
+
+
+def _segment_exists(name: str) -> bool:
+    """Does a segment still exist?  Portable (probes by attach off-Linux)."""
+    if os.path.isdir(_SHM_DIR):
+        return os.path.exists(os.path.join(_SHM_DIR, name))
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except (OSError, ValueError):
+        return False
+    untrack(seg)
+    seg.close()
+    return True
+
+
+def _unlink_segment(name: str) -> bool:
+    """Unlink one segment by name; False when it was already gone."""
+    try:
+        seg = shared_memory.SharedMemory(name=name)
+    except FileNotFoundError:
+        return False
+    try:
+        seg.close()
+        seg.unlink()  # its unregister balances the attach-side register
+    except FileNotFoundError:  # raced another releaser between open and unlink
+        untrack(seg)  # unlink never ran, so balance the register ourselves
+        return False
+    return True
+
+
+def decode_frame(frame: Frame) -> object:
+    """Reconstruct the object from any frame (does **not** release it)."""
+    stream = (
+        bytes(_read_segment(frame.stream))
+        if isinstance(frame.stream, SegmentRef)
+        else frame.stream
+    )
+    buffers = [
+        _read_segment(b) if isinstance(b, SegmentRef) else b for b in frame.buffers
+    ]
+    try:
+        return pickle.loads(stream, buffers=buffers)
+    except TransportError:
+        raise
+    except Exception as err:
+        raise TransportError(f"undecodable frame ({frame.codec}): {err!r}") from err
+
+
+def materialize(frame: Frame, *, release: bool = True) -> Frame:
+    """An equivalent self-contained frame (segments copied inline).
+
+    Used when a frame must cross a boundary shared memory cannot (a remote
+    worker).  ``release`` (default) unlinks the source segments — the
+    materialized frame replaces the original.
+    """
+    if frame.inline:
+        return frame
+    stream = frame.stream
+    if isinstance(stream, SegmentRef):
+        stream = bytes(_read_segment(stream))
+    # Buffers stay bytearray: pickle rebuilds numpy arrays as views of the
+    # provided buffers, and a bytes buffer would make them read-only on
+    # the materialized path only (breaking in-place stages remotely).
+    buffers = tuple(
+        _read_segment(b) if isinstance(b, SegmentRef) else b for b in frame.buffers
+    )
+    if release:
+        for ref in frame.segment_refs():
+            _unlink_segment(ref.name)
+    return Frame(codec=frame.codec, stream=stream, buffers=buffers, nbytes=frame.nbytes)
+
+
+def session_segments(session: str) -> list[str]:
+    """Names of the session's segments still alive (Linux: globs /dev/shm)."""
+    prefix = f"{SHM_PREFIX}{session}-"
+    try:
+        entries = os.listdir(_SHM_DIR)
+    except OSError:
+        return []
+    return sorted(e for e in entries if e.startswith(prefix))
+
+
+def sweep_session(session: str, *, extra_names: set[str] | None = None) -> list[str]:
+    """Unlink every surviving segment of ``session``; returns removed names.
+
+    The abort/crash safety net: callers run it once the session's producers
+    and consumers are all stopped.  ``extra_names`` is the portable fallback
+    ledger (names a codec created) for platforms without a /dev/shm to glob.
+    """
+    names = set(session_segments(session))
+    if extra_names:
+        names |= extra_names
+    removed = [name for name in sorted(names) if _unlink_segment(name)]
+    return removed
+
+
+class Codec:
+    """Placement policy port: object -> :class:`Frame` and back.
+
+    Instances are cheap and process-local; what must be *shared* between
+    the parties of one pipeline run is only the session token (so sweeps
+    cover every process's segments) and the placement parameters (so both
+    sides agree on what travels by descriptor).
+    """
+
+    name: str = "abstract"
+
+    #: Ledger size that triggers a prune of already-consumed names.
+    _LEDGER_LIMIT = 4096
+
+    def __init__(self, *, session: str | None = None) -> None:
+        self.session = session if session is not None else new_session()
+        self._created: set[str] = set()
+
+    def track(self, name: str) -> None:
+        """Adopt a segment into this codec's sweep ledger.
+
+        The ledger is the portable sweep fallback (no /dev/shm to glob).
+        Frames this codec encodes are tracked automatically; callers that
+        create session segments directly (e.g. the distributed probe)
+        register them here.  Most frames are *released in a different
+        process* (the consumer), so a long-lived encoder prunes names
+        that no longer exist once the ledger passes ``_LEDGER_LIMIT`` —
+        membership is advisory, existence is what sweeps act on.
+        """
+        self._created.add(name)
+        if len(self._created) > self._LEDGER_LIMIT:
+            self._created = {n for n in self._created if _segment_exists(n)}
+
+    # ------------------------------------------------------------------ port
+    def encode(self, obj: object) -> Frame:
+        raise NotImplementedError
+
+    def decode(self, frame: Frame) -> object:
+        """Reconstruct the object (frames are self-describing; no unlink)."""
+        return decode_frame(frame)
+
+    def release(self, frame: Frame) -> None:
+        """Unlink the frame's segments; duplicate release is a no-op."""
+        for ref in frame.segment_refs():
+            _unlink_segment(ref.name)
+            self._created.discard(ref.name)
+
+    def sweep(self) -> list[str]:
+        """Unlink every surviving segment of this codec's session."""
+        removed = sweep_session(self.session, extra_names=self._created)
+        self._created.clear()
+        return removed
+
+    def close(self) -> None:
+        """Release whatever the codec still tracks (idempotent)."""
+        self.sweep()

@@ -8,7 +8,10 @@
   scripts, heterogeneity ladders, non-dedicated load mixes;
 * :mod:`repro.workloads.apps` — realistic application pipelines (numpy image
   processing, text analytics, k-mer counting) runnable on the thread runtime
-  and mirrored as simulated cost models.
+  and mirrored as simulated cost models;
+* :mod:`repro.workloads.payloads` — large-payload (megabytes/item) array
+  pipelines where transport cost dominates, for the transport/zero-copy
+  experiments (E17).
 """
 
 from repro.workloads.cost_models import (
@@ -29,6 +32,7 @@ from repro.workloads.scenarios import (
     node_churn,
     random_walk_load_factory,
 )
+from repro.workloads.payloads import array_pipeline, make_arrays
 from repro.workloads.synthetic import (
     balanced_pipeline,
     imbalanced_pipeline,
@@ -43,12 +47,14 @@ __all__ = [
     "ParetoWork",
     "PerturbationScenario",
     "UniformWork",
+    "array_pipeline",
     "balanced_pipeline",
     "diurnal_load_factory",
     "flash_crowd",
     "heterogeneity_ladder",
     "imbalanced_pipeline",
     "load_step",
+    "make_arrays",
     "markov_load_factory",
     "node_churn",
     "random_walk_load_factory",

@@ -22,6 +22,7 @@ from repro.backend.distributed.protocol import (
 from repro.core.pipeline import PipelineSpec
 from repro.core.stage import StageSpec
 from repro.skel.api import pipeline_1for1
+from repro.transport import PickleCodec
 
 
 def _inc(x):
@@ -354,8 +355,13 @@ def test_worker_rejects_task_for_unknown_slot():
         sock.settimeout(10.0)
         hello = recv_frame(sock)
         assert hello[0] == "hello" and hello[1] == "reject-test"
-        send_frame(sock, ("welcome", 0, 5.0, 8))
-        send_frame(sock, ("task", 1, 0, 7, 3, b"payload", 0.0))
+        send_frame(
+            sock, ("welcome", 0, 5.0, 8, {"name": "pickle", "session": "t", "probe": None})
+        )
+        shm_ok = recv_frame(sock)
+        assert shm_ok == ("shm_ok", False)  # no probe offered -> inline only
+        payload = PickleCodec().encode("payload")
+        send_frame(sock, ("task", 1, 0, 7, 3, payload, 0.0))
         frame = recv_frame(sock)
         assert frame == ("reject", 1, 0, 7, 3)
         send_frame(sock, ("shutdown",))
@@ -382,3 +388,94 @@ def test_concurrent_close_is_safe():
         t.start()
     for t in threads:
         t.join()
+
+
+def _mk_array(x):
+    import numpy as np
+
+    return np.full(150_000, float(x))
+
+
+def _scale_array(a):
+    return a * 2.0
+
+
+def _sum_array(a):
+    return float(a.sum())
+
+
+class TestNegotiatedTransport:
+    def test_local_workers_negotiate_shm_and_match_pickle(self):
+        pipe = PipelineSpec(
+            (
+                StageSpec(name="mk", work=0.001, fn=_mk_array),
+                StageSpec(name="sum", work=0.001, fn=_sum_array),
+            )
+        )
+        results = {}
+        for transport in ("pickle", "shm"):
+            with DistributedBackend(
+                pipe, spawn_workers=2, transport=transport
+            ) as b:
+                results[transport] = b.run(range(8)).outputs
+                workers = b.alive_workers()
+            if transport == "shm":
+                # Forked local workers share /dev/shm with the coordinator.
+                assert all(w["shm_ok"] for w in workers)
+            else:
+                assert not any(w["shm_ok"] for w in workers)
+        assert results["shm"] == results["pickle"] == [150_000.0 * x for x in range(8)]
+
+    def test_resource_view_links_carry_fitted_latency_bandwidth(self):
+        from repro.workloads.payloads import make_arrays
+
+        pipe = PipelineSpec(
+            (
+                StageSpec(name="scale", work=0.001, fn=_scale_array),
+                StageSpec(name="sum", work=0.001, fn=_sum_array),
+            )
+        )
+        # A mixed-size stream: the size-stratified estimator needs spread
+        # across buckets before it commits to a bandwidth (uniform sizes
+        # keep the honest latency-only fallback).
+        items = make_arrays(24, mix=[0.02, 1.0], seed=9)
+        with DistributedBackend(pipe, spawn_workers=2, transport="auto") as b:
+            b.run(items)
+            models = b.link_models()
+            view = b.resource_view(2)
+        assert models and all(m.n_samples > 0 for m in models.values())
+        assert any(m.fitted for m in models.values())
+        lat, bw = view.link(0, 1)
+        fits = list(models.values())
+        assert lat == pytest.approx(fits[0].latency_s + fits[1].latency_s)
+        assert bw == pytest.approx(min(f.bandwidth_Bps for f in fits))
+
+    def test_bandwidth_starved_worker_gets_low_fitted_bandwidth(self):
+        from repro.workloads.payloads import make_arrays
+
+        pipe = PipelineSpec(
+            (
+                StageSpec(name="scale", work=0.001, fn=_scale_array),
+                StageSpec(name="sum", work=0.001, fn=_sum_array),
+            )
+        )
+        with DistributedBackend(
+            pipe,
+            spawn_workers=2,
+            capacity=2,
+            transport="auto",
+            worker_link_bandwidths=[0.0, 3e7],
+        ) as b:
+            # Mixed sizes: the estimator only commits to a bandwidth once
+            # its buckets show size spread (uniform streams keep the
+            # latency-only fallback by design).
+            b.run(make_arrays(24, mix=[0.02, 1.0], seed=11))
+            rows = {w["name"]: w for w in b.alive_workers()}
+        healthy, starved = rows["local-0"], rows["local-1"]
+
+        def cost_1mb(w):
+            return w["link_s"] + 1e6 / w["bandwidth_Bps"]
+
+        # The injected 30 MB/s link must make 1 MB transfers visibly more
+        # expensive on the starved worker in the fitted model.
+        assert cost_1mb(starved) > 3 * cost_1mb(healthy), rows

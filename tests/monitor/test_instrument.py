@@ -95,3 +95,35 @@ class TestPipelineInstrumentation:
     def test_empty_throughput_zero(self):
         pi = PipelineInstrumentation(1)
         assert pi.overall_throughput() == 0.0
+
+
+class TestPayloadByteAccounting:
+    def test_snapshot_defaults_to_zero_bytes(self):
+        m = StageMetrics(0)
+        m.record_service(0.1, 1.0)
+        snap = m.snapshot()
+        assert snap.bytes_in == 0.0 and snap.bytes_out == 0.0
+
+    def test_window_means_and_totals(self):
+        m = StageMetrics(0)
+        for n in (100, 300):
+            m.record_bytes_in(n)
+            m.record_bytes_out(2 * n)
+        snap = m.snapshot()
+        assert snap.bytes_in == pytest.approx(200.0)
+        assert snap.bytes_out == pytest.approx(400.0)
+        assert m.total_bytes_in == 400 and m.total_bytes_out == 800
+
+    def test_log2_histograms(self):
+        m = StageMetrics(0)
+        for n in (1, 1, 3, 1024, 1_000_000):
+            m.record_bytes_in(n)
+        # bucket = bit_length: 1 -> 1, 3 -> 2, 1024 -> 11, 1e6 -> 20
+        assert m.bytes_in_hist == {1: 2, 2: 1, 11: 1, 20: 1}
+        assert m.bytes_out_hist == {}
+
+    def test_negative_sizes_clamped(self):
+        m = StageMetrics(0)
+        m.record_bytes_out(-5)
+        assert m.total_bytes_out == 0
+        assert m.bytes_out_hist == {0: 1}

@@ -1,0 +1,241 @@
+"""Codec/frame unit tests: roundtrips, placement policy, registry."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import transport
+from repro.transport import (
+    AUTO_THRESHOLD,
+    Frame,
+    PickleCodec,
+    SegmentRef,
+    SharedMemoryCodec,
+    TransportError,
+    decode_frame,
+    materialize,
+    session_segments,
+)
+
+PAYLOADS = [
+    42,
+    "plain string",
+    {"nested": [1, 2.5, None], "t": ("x", b"y")},
+    np.arange(10_000, dtype=np.float64),
+    b"\x00" * 300_000,
+    [np.ones((64, 64)), {"tail": np.zeros(5)}],
+]
+
+
+@pytest.mark.parametrize("name", ["pickle", "shm", "auto"])
+@pytest.mark.parametrize("payload", PAYLOADS, ids=[str(i) for i in range(len(PAYLOADS))])
+def test_roundtrip_equivalence(name, payload):
+    codec = transport.get(name)
+    try:
+        frame = codec.encode(payload)
+        out = codec.decode(frame)
+        codec.release(frame)
+        np.testing.assert_equal(out, payload)
+    finally:
+        codec.close()
+    assert session_segments(codec.session) == []
+
+
+def test_frame_nbytes_tracks_payload_size():
+    codec = transport.get("pickle")
+    small = codec.encode(1)
+    big = codec.encode(np.zeros(1_000_000))
+    assert big.nbytes > 8_000_000 > small.nbytes
+    # shm counts the same logical bytes even though they leave the frame.
+    shm = transport.get("shm")
+    try:
+        frame = shm.encode(np.zeros(1_000_000))
+        assert abs(frame.nbytes - big.nbytes) < 4096
+        shm.release(frame)
+    finally:
+        shm.close()
+
+
+def test_auto_threshold_places_per_item():
+    codec = transport.get("auto")
+    try:
+        inline = codec.encode(np.zeros(16))  # far below AUTO_THRESHOLD
+        assert inline.inline
+        large = codec.encode(np.zeros(AUTO_THRESHOLD))  # 8x the threshold
+        assert not large.inline
+        codec.release(inline)
+        codec.release(large)
+    finally:
+        codec.close()
+
+
+def test_shm_codec_forces_segments_and_decode_is_repeatable():
+    codec = SharedMemoryCodec()
+    try:
+        frame = codec.encode({"a": 1})
+        assert not frame.inline  # even tiny payloads: the stream moves out
+        # Decode takes no ownership: it can run any number of times.
+        assert codec.decode(frame) == {"a": 1}
+        assert codec.decode(frame) == {"a": 1}
+        codec.release(frame)
+    finally:
+        codec.close()
+
+
+def test_decoded_numpy_arrays_are_writable():
+    codec = SharedMemoryCodec()
+    try:
+        frame = codec.encode(np.arange(100_000, dtype=np.float64))
+        out = codec.decode(frame)
+        out[0] = -1.0  # a read-only view here would break in-place stages
+        codec.release(frame)
+    finally:
+        codec.close()
+
+
+def test_duplicate_release_is_noop_and_decode_after_release_raises():
+    codec = SharedMemoryCodec()
+    try:
+        frame = codec.encode(np.zeros(50_000))
+        assert not frame.inline
+        codec.release(frame)
+        codec.release(frame)  # second release: silently nothing to do
+        with pytest.raises(TransportError):
+            codec.decode(frame)
+    finally:
+        codec.close()
+
+
+def test_materialized_arrays_stay_writable():
+    # The remote-worker path: a descriptor frame materialized inline must
+    # still decode to mutable arrays (same contract as the segment path).
+    codec = SharedMemoryCodec()
+    try:
+        frame = codec.encode(np.arange(50_000, dtype=np.float64))
+        out = decode_frame(materialize(frame))
+        out *= 2.0
+    finally:
+        codec.close()
+
+
+def test_materialize_yields_equivalent_inline_frame():
+    codec = SharedMemoryCodec()
+    try:
+        payload = [np.arange(40_000), "tail"]
+        frame = codec.encode(payload)
+        inline = materialize(frame)
+        assert inline.inline and inline.nbytes == frame.nbytes
+        np.testing.assert_equal(decode_frame(inline), payload)
+        # materialize released the source segments.
+        assert session_segments(codec.session) == []
+    finally:
+        codec.close()
+
+
+def test_sweep_reclaims_unreleased_segments():
+    codec = SharedMemoryCodec()
+    frames = [codec.encode(np.zeros(10_000)) for _ in range(3)]
+    expected = sum(len(f.segment_refs()) for f in frames)
+    assert expected >= 3
+    assert len(session_segments(codec.session)) == expected
+    removed = codec.sweep()
+    assert len(removed) == expected
+    assert session_segments(codec.session) == []
+    for frame in frames:
+        codec.release(frame)  # after a sweep: still a no-op, not an error
+
+
+def test_unpicklable_payload_raises_transport_error_without_leaking():
+    codec = SharedMemoryCodec()
+    try:
+        with pytest.raises(TransportError):
+            codec.encode(lambda x: x)  # lambdas don't pickle
+        assert session_segments(codec.session) == []
+    finally:
+        codec.close()
+
+
+def test_frames_survive_pickling():
+    # Frames ride inside mp.Queue / socket messages, which pickle them.
+    codec = SharedMemoryCodec()
+    try:
+        frame = codec.encode(np.arange(30_000))
+        clone = pickle.loads(pickle.dumps(frame))
+        assert clone == frame
+        np.testing.assert_equal(decode_frame(clone), np.arange(30_000))
+        codec.release(frame)
+    finally:
+        codec.close()
+
+
+def test_concurrent_encode_on_shared_codec_is_safe():
+    # Distributed workers share one codec across replica threads: racing
+    # encodes must never collide on a segment name (FileExistsError).
+    import threading
+
+    codec = SharedMemoryCodec()
+    payload = np.arange(20_000)
+    errors = []
+    frames = []
+    lock = threading.Lock()
+
+    def encode_some():
+        try:
+            for _ in range(20):
+                frame = codec.encode(payload)
+                with lock:
+                    frames.append(frame)
+        except Exception as err:  # noqa: BLE001 - collected for the assert
+            errors.append(err)
+
+    threads = [threading.Thread(target=encode_some) for _ in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    try:
+        assert errors == []
+        names = [ref.name for f in frames for ref in f.segment_refs()]
+        assert len(names) == len(set(names))
+    finally:
+        codec.close()
+    assert session_segments(codec.session) == []
+
+
+def test_leakcheck_cli_reports_clean():
+    import subprocess
+    import sys
+
+    proc = subprocess.run(
+        [sys.executable, "-m", "repro.transport.leakcheck"],
+        capture_output=True,
+        text=True,
+    )
+    assert proc.returncode in (0, 1)  # 1 only if another suite leaked
+    assert "shared-memory" in proc.stdout + proc.stderr
+
+
+def test_registry_and_specs():
+    assert set(transport.available_codecs()) >= {"pickle", "shm", "auto"}
+    with pytest.raises(ValueError, match="unknown codec"):
+        transport.get("carrier-pigeon")
+    auto = transport.get("auto", threshold=123)
+    assert auto.name == "auto" and auto.threshold == 123
+    rebuilt = transport.from_spec(transport.spec_of(auto))
+    assert rebuilt.name == "auto"
+    assert rebuilt.threshold == 123 and rebuilt.session == auto.session
+    pickle_codec = transport.from_spec(transport.spec_of(PickleCodec()))
+    assert isinstance(pickle_codec, PickleCodec)
+    # Instances pass through get() unchanged; kwargs are then rejected.
+    assert transport.get(auto) is auto
+    with pytest.raises(ValueError, match="unexpected kwargs"):
+        transport.get(auto, threshold=5)
+
+
+def test_frame_segment_refs_and_inline_flag():
+    ref = SegmentRef(name="x", size=3)
+    frame = Frame(codec="shm", stream=b"s", buffers=(b"a", ref), nbytes=5)
+    assert frame.segment_refs() == [ref]
+    assert not frame.inline
+    assert Frame(codec="pickle", stream=b"s", nbytes=1).inline

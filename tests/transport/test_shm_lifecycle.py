@@ -1,0 +1,108 @@
+"""Shared-memory lifecycle through the backends: no segment outlives its run.
+
+The contract under test (ISSUE 4): after normal completion, after an
+abort mid-run, and after a killed distributed worker, `/dev/shm` holds no
+segment of the backend's transport session once the backend is closed —
+and releasing a frame twice is a no-op (covered in test_frames too).
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.backend import DistributedBackend, ProcessPoolBackend
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.transport import session_segments
+from repro.workloads.payloads import array_pipeline, checksum_array, make_arrays
+
+
+def _explode_on_big(a: np.ndarray) -> np.ndarray:
+    if a.size > 50_000:
+        raise ValueError("boom")
+    return a
+
+
+def _double(a: np.ndarray) -> np.ndarray:
+    return a * 2.0
+
+
+def _slow_checksum(a: np.ndarray) -> dict:
+    time.sleep(0.02)
+    return checksum_array(a)
+
+
+@pytest.mark.parametrize("transport", ["shm", "auto"])
+def test_process_backend_normal_completion_leaves_no_segments(transport):
+    pipe = array_pipeline(mbytes=0.5)
+    backend = ProcessPoolBackend(pipe, replicas=[1, 2, 1], transport=transport)
+    with backend:
+        res = backend.run(make_arrays(8, mbytes=0.5, seed=1))
+        session = backend._codec.session
+        assert res.items == 8
+        # A healthy warm backend holds no segments *between* runs either:
+        # every frame was consumed and released along the way.
+        assert session_segments(session) == []
+    assert session_segments(session) == []
+
+
+def test_process_backend_abort_mid_run_sweeps_segments():
+    pipe = PipelineSpec(
+        (
+            StageSpec(name="scale", fn=lambda a: a * 2.0),
+            StageSpec(name="explode", fn=_explode_on_big),
+            StageSpec(name="checksum", fn=checksum_array),
+        )
+    )
+    backend = ProcessPoolBackend(pipe, transport="shm")
+    session = backend._codec.session
+    items = make_arrays(6, mbytes=0.1, seed=2) + make_arrays(6, mbytes=1.0, seed=3)
+    with pytest.raises(Exception, match="boom"):
+        backend.run(items)
+    backend.close()
+    assert session_segments(session) == []
+
+
+def test_distributed_normal_completion_leaves_no_segments():
+    pipe = array_pipeline(mbytes=0.5)
+    backend = DistributedBackend(pipe, spawn_workers=2, transport="shm")
+    try:
+        res = backend.run(make_arrays(8, mbytes=0.5, seed=4))
+        session = backend._codec.session
+        assert res.items == 8
+        assert all(w["shm_ok"] for w in backend.alive_workers())
+        # Only the negotiation probe survives while the backend is warm.
+        left = session_segments(session)
+        assert all("probe" in name for name in left), left
+    finally:
+        backend.close()
+    assert session_segments(session) == []
+
+
+def test_distributed_killed_worker_leaves_no_segments_after_close():
+    pipe = PipelineSpec(
+        (
+            StageSpec(name="scale", fn=_double),
+            StageSpec(name="checksum", fn=_slow_checksum),
+        )
+    )
+    backend = DistributedBackend(
+        pipe, spawn_workers=3, replicas=[2, 2], max_replicas=3, transport="shm"
+    )
+    session = backend._codec.session
+    try:
+        n = 30
+        backend.start(make_arrays(n, mbytes=0.3, seed=5))
+        time.sleep(0.3)  # let frames spread across workers
+        assert backend.running()
+        backend.worker_processes[0].kill()
+        res = backend.join()
+        # The run survived the crash (re-dispatch) with nothing lost...
+        assert res.items == n
+        assert len(backend.alive_workers()) == 2
+    finally:
+        backend.close()
+    # ...and close reclaimed every segment, including whatever the killed
+    # worker created but never delivered.
+    assert session_segments(session) == []
