@@ -55,7 +55,13 @@ from repro.gridsim import (
 )
 from repro.model import Mapping, ModelContext, StageCost, predict
 from repro.runtime import AdaptiveThreadPipeline, ThreadPipeline
-from repro.skel import farm, pipeline_1for1, simulate_farm, simulate_pipeline
+from repro.skel import (
+    farm,
+    open_pipeline,
+    pipeline_1for1,
+    simulate_farm,
+    simulate_pipeline,
+)
 from repro.workloads import (
     balanced_pipeline,
     heterogeneity_ladder,
@@ -100,6 +106,7 @@ __all__ = [
     "load_step",
     "local_config",
     "make_backend",
+    "open_pipeline",
     "pipeline_1for1",
     "predict",
     "register_backend",

@@ -4,13 +4,19 @@ Threads and processes buy parallelism with OS-level concurrency; for
 I/O-bound stages (network fetches, storage calls) the waiting itself is the
 work, and an event loop multiplexes thousands of in-flight waits on a
 single thread.  This adapter runs the full :class:`~repro.backend.base.Backend`
-port on ``asyncio``:
+port — sessions included — on ``asyncio``:
 
-* The **event loop lives in a dedicated thread**, started lazily on the
-  first ``start()`` and kept warm across runs, so the port's synchronous
-  ``start``/``join``/``snapshots``/``reconfigure`` contract is preserved
+* The **event loop lives in a dedicated thread**, started lazily and kept
+  warm across sessions, so the port's synchronous
+  ``submit``/``drain``/``snapshots``/``reconfigure`` contract is preserved
   and :class:`~repro.backend.runner.RuntimeAdaptiveRunner` drives the
   observe→decide→act loop from its own thread, unchanged.
+* A **session is a resident coroutine graph** on that loop: per-stage
+  dispatchers and the collector run for the session's lifetime, items
+  enter through a thread-safe hop (``run_coroutine_threadsafe``) whose
+  ``fut.result()`` is the semaphore-bounded admission onto the resident
+  loop, and back-to-back streams flow through the same warm graph with
+  session-global sequence numbers keeping one ordering space.
 * Each stage is a **coroutine pool bounded by a resizable semaphore**: the
   stage's dispatcher admits items (in input order) only while fewer than
   ``limit`` are in flight, so the semaphore limit *is* the stage's replica
@@ -25,25 +31,31 @@ port on ``asyncio``:
   in input order and the collector emits in input order — the
   ``Pipeline1for1`` contract, replica races notwithstanding.
 * **Abort-safe shutdown** mirrors the thread runtime: a failing stage
-  records a :class:`~repro.runtime.threads.StageError`, sets the abort
-  flag, in-flight tasks are cancelled, queues drain via sentinels, and
-  ``join()`` re-raises with the stage named — no coroutine is left parked
-  on a full queue.
+  records a :class:`~repro.runtime.threads.StageError`, poisons the
+  session, in-flight tasks are cancelled, queues drain via sentinels, and
+  ``drain()``/``join()`` re-raise with the stage named — no coroutine is
+  left parked on a full queue.
 """
 
 from __future__ import annotations
 
 import asyncio
 import inspect
-import math
 import threading
 import time
+from collections import deque
 from concurrent.futures import ThreadPoolExecutor
-from typing import Any, Iterable
+from typing import Any
 
-from repro.backend.base import Backend, BackendResult, register_backend
+from repro.backend.base import (
+    Backend,
+    Session,
+    SessionClosed,
+    register_backend,
+    validate_pipeline_shape,
+)
 from repro.core.pipeline import PipelineSpec
-from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
+from repro.monitor.instrument import PipelineInstrumentation
 from repro.runtime.threads import StageError
 from repro.util.ordering import SequenceReorderer
 from repro.util.validation import check_positive
@@ -83,158 +95,88 @@ class _ResizableSemaphore:
         self._wake.set()
 
 
-class AsyncioBackend(Backend):
-    """Executes pipelines as bounded coroutine pools on a warm event loop.
+class _AsyncioSession(Session):
+    """A resident coroutine graph on the backend's warm loop."""
 
-    Parameters
-    ----------
-    pipeline:
-        Stage specs; every stage must define ``fn`` (``async def`` or a
-        plain callable — plain callables run on an offload thread pool).
-    replicas:
-        Initial concurrency limit per stage (default 1 each);
-        ``replicas[i] > 1`` requires ``pipeline.stage(i).replicable``.
-    capacity:
-        Bounded inter-stage queue capacity (back-pressure), default 8.
-    max_replicas:
-        Ceiling ``reconfigure`` can raise a replicable stage's limit to.
-
-    One instance is reusable: the loop thread stays warm between runs and
-    adapted concurrency limits carry over to the next run.
-    """
-
-    name = "asyncio"
-    supports_live_reconfigure = True
-
-    def __init__(
-        self,
-        pipeline: PipelineSpec,
-        *,
-        replicas: list[int] | None = None,
-        capacity: int | None = None,
-        max_replicas: int = 8,
-    ) -> None:
-        super().__init__(pipeline)
-        capacity = 8 if capacity is None else capacity
-        check_positive(capacity, "capacity")
-        check_positive(max_replicas, "max_replicas")
-        n = pipeline.n_stages
-        if replicas is None:
-            replicas = [1] * n
-        if len(replicas) != n:
-            raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
-        for i, r in enumerate(replicas):
-            if r < 1:
-                raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
-            if r > 1 and not pipeline.stage(i).replicable:
-                raise ValueError(
-                    f"stage {i} ({pipeline.stage(i).name!r}) is stateful and "
-                    "cannot be replicated"
-                )
-            if pipeline.stage(i).fn is None:
-                raise ValueError(
-                    f"stage {i} ({pipeline.stage(i).name!r}) has no fn; the "
-                    "asyncio runtime executes real callables"
-                )
-        self.capacity = capacity
-        self.max_replicas = max(max_replicas, *replicas)
-        self._is_async = [
-            inspect.iscoroutinefunction(pipeline.stage(i).fn) for i in range(n)
-        ]
-        self._target = list(replicas)
+    def __init__(self, backend: "AsyncioBackend", *, max_inflight: int | None = None) -> None:
+        super().__init__(backend, max_inflight=max_inflight)
+        n = backend.pipeline.n_stages
+        self.instrumentation = PipelineInstrumentation(n)
         self._stage_locks = [threading.Lock() for _ in range(n)]
-        # Warm resources (created lazily, persist across runs).
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self._loop_thread: threading.Thread | None = None
-        self._executor: ThreadPoolExecutor | None = None
-        self._closed = False
-        # Per-run state.
-        self._run_future = None
-        self._sems: list[_ResizableSemaphore] | None = None
-        self._abort: asyncio.Event | None = None
+        self._snapshot_locks = self._stage_locks
         self._errors: list[BaseException] = []
-        self._outputs: list[Any] = []
-        self._n_items = 0
-        self._t0 = 0.0
-        self._elapsed = 0.0
-        self.instrumentation: PipelineInstrumentation | None = None
+        self._loop = backend._ensure_loop()
+        self._sems: list[_ResizableSemaphore] | None = None
+        self._aabort: asyncio.Event | None = None
+        self._queues: list[asyncio.Queue] | None = None
+        # Submit-side ingress: a plain deque pumped onto the loop.  A
+        # run_coroutine_threadsafe round trip per item would serialise a
+        # blocking Future behind every submit — at E15-scale fan-out that
+        # dwarfs the event loop's own per-item cost.  Instead submits spend
+        # a semaphore credit (returned when the pump lands the item in
+        # stage 0's bounded queue — that is the backpressure), append, and
+        # fire a cheap one-way wake-up.
+        self._ingress: deque = deque()
+        self._credits = threading.Semaphore(backend.capacity)
+        self._pump_wake: asyncio.Event | None = None
+        self._ready = threading.Event()
+        self._main_future = asyncio.run_coroutine_threadsafe(self._main(), self._loop)
+        if not self._ready.wait(timeout=10.0):
+            raise RuntimeError("asyncio session failed to start on the loop")
 
-    # --------------------------------------------------------------- warm-up
-    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
-        """Start the dedicated loop thread (idempotent, warm across runs)."""
-        if self._loop is None:
-            self._loop = asyncio.new_event_loop()
-            self._loop_thread = threading.Thread(
-                target=self._loop.run_forever, name="asyncio-backend", daemon=True
-            )
-            self._loop_thread.start()
-        if self._executor is None and not all(self._is_async):
-            # Sized so every sync stage can run at its ceiling concurrently;
-            # ThreadPoolExecutor spawns threads on demand, so an unused
-            # ceiling costs nothing.
-            workers = sum(
-                self.replica_limit(i)
-                for i, is_async in enumerate(self._is_async)
-                if not is_async
-            )
-            self._executor = ThreadPoolExecutor(
-                max_workers=max(workers, 1), thread_name_prefix="asyncio-offload"
-            )
-        return self._loop
-
-    # ------------------------------------------------------------- lifecycle
-    def start(self, inputs: Iterable[Any]) -> int:
-        if self._closed:
-            raise RuntimeError("backend is closed")
-        if self.running():
-            raise RuntimeError("backend already running; join() it first")
-        loop = self._ensure_loop()
-        items = list(inputs)
-        self._n_items = len(items)
-        self._outputs = []
-        self._errors = []
-        self.instrumentation = PipelineInstrumentation(self.pipeline.n_stages)
-        self._sems = [_ResizableSemaphore(c) for c in self._target]
-        self._abort = asyncio.Event()
-        self._elapsed = 0.0
-        self._t0 = time.perf_counter()
-        self._run_future = asyncio.run_coroutine_threadsafe(
-            self._run_async(items), loop
-        )
-        return self._n_items
-
-    async def _run_async(self, items: list[Any]) -> None:
-        n = self.pipeline.n_stages
+    # ---------------------------------------------------------- loop side
+    async def _main(self) -> None:
+        backend: AsyncioBackend = self.backend  # type: ignore[assignment]
+        n = backend.pipeline.n_stages
         loop = asyncio.get_running_loop()
-        abort = self._abort
-        sems = self._sems
+        self._aabort = asyncio.Event()
+        abort = self._aabort
+        self._sems = [_ResizableSemaphore(c) for c in backend._target]
+        self._pump_wake = asyncio.Event()
+        # queues[i] feeds stage i's dispatcher; queues[n] feeds the
+        # collector.  Each has exactly one consumer and receives one
+        # sentinel, put by its single upstream owner at session close.
+        self._queues = [asyncio.Queue(maxsize=backend.capacity) for _ in range(n + 1)]
+        queues = self._queues
+        self._ready.set()
         instrumentation = self.instrumentation
-        assert abort is not None and sems is not None and instrumentation is not None
-        # queues[i] feeds stage i's dispatcher; queues[n] feeds the collector.
-        # Each has exactly one consumer and receives one sentinel, put by its
-        # single upstream owner after all of that owner's work has landed.
-        queues: list[asyncio.Queue] = [
-            asyncio.Queue(maxsize=self.capacity) for _ in range(n + 1)
-        ]
+
+        async def pump() -> None:
+            """Move submitted items from the ingress deque into stage 0."""
+            wake = self._pump_wake
+            try:
+                while True:
+                    while not self._ingress:
+                        wake.clear()
+                        await wake.wait()
+                    msg = self._ingress.popleft()
+                    if msg is _SENTINEL:
+                        return
+                    await queues[0].put(msg)  # bounded: the backpressure
+                    self._credits.release()
+            finally:
+                await queues[0].put(_SENTINEL)
 
         async def run_one(
             i: int, seq: int, value: Any, out_q: asyncio.Queue, sem: _ResizableSemaphore
         ) -> None:
-            spec = self.pipeline.stage(i)
+            spec = backend.pipeline.stage(i)
             try:
                 t0 = time.perf_counter()
                 try:
-                    if self._is_async[i]:
+                    if backend._is_async[i]:
                         result = await spec.fn(value)
                     else:
                         result = await loop.run_in_executor(
-                            self._executor, spec.fn, value
+                            backend._executor, spec.fn, value
                         )
                 except asyncio.CancelledError:
                     raise  # abort/close cancelled us: not a stage failure
-                except BaseException as err:  # noqa: BLE001 - reported via join()
-                    self._errors.append(StageError(spec.name, err))
+                except BaseException as err:  # noqa: BLE001 - reported upward
+                    failure = StageError(spec.name, err)
+                    self._errors.append(failure)
                     abort.set()
+                    self._deliver_error(failure)
                     return
                 dt = time.perf_counter() - t0
                 with self._stage_locks[i]:
@@ -246,7 +188,7 @@ class AsyncioBackend(Backend):
 
         async def dispatch(i: int) -> None:
             """Admit stage ``i``'s items in order, ``sems[i].limit`` at a time."""
-            in_q, out_q, sem = queues[i], queues[i + 1], sems[i]
+            in_q, out_q, sem = queues[i], queues[i + 1], self._sems[i]
             metrics = instrumentation.stages[i]
             reorder = SequenceReorderer()
             pending: set[asyncio.Task] = set()
@@ -278,15 +220,6 @@ class AsyncioBackend(Backend):
             finally:
                 await out_q.put(_SENTINEL)
 
-        async def feed() -> None:
-            try:
-                for seq, value in enumerate(items):
-                    if abort.is_set():
-                        break
-                    await queues[0].put((seq, value))
-            finally:
-                await queues[0].put(_SENTINEL)
-
         async def collect() -> None:
             reorder = SequenceReorderer()
             while True:
@@ -297,64 +230,148 @@ class AsyncioBackend(Backend):
                     continue
                 seq, value = got
                 for _ready_seq, ready in reorder.push(seq, value):
-                    self._outputs.append(ready)
                     instrumentation.record_completion(self.now())
+                    self._deliver(ready)
 
-        tasks = [loop.create_task(feed())]
+        tasks = [loop.create_task(pump())]
         tasks += [loop.create_task(dispatch(i)) for i in range(n)]
         tasks.append(loop.create_task(collect()))
-        try:
-            # return_exceptions keeps the sentinel cascade intact: a failing
-            # task's peers still run to completion (draining their queues),
-            # so nothing is left parked; the failure re-raises below.
-            results = await asyncio.gather(*tasks, return_exceptions=True)
-            for r in results:
-                if isinstance(r, BaseException):
-                    raise r
-        finally:
-            self._elapsed = time.perf_counter() - self._t0
+        # return_exceptions keeps the sentinel cascade intact: a failing
+        # task's peers still run to completion (draining their queues),
+        # so nothing is left parked; the failure surfaces via the session.
+        results = await asyncio.gather(*tasks, return_exceptions=True)
+        for r in results:
+            if isinstance(r, BaseException) and not isinstance(
+                r, asyncio.CancelledError
+            ):
+                self._deliver_error(r)
 
-    def join(self) -> BackendResult:
-        if self._run_future is None:
-            raise RuntimeError("backend not started")
-        try:
-            self._run_future.result()
-        except BaseException:
+    # ----------------------------------------------------------- port hooks
+    def _wake_pump(self) -> None:
+        if self._pump_wake is not None:
+            self._pump_wake.set()
+
+    def _submit_one(self, stream: int, seq: int, gseq: int, item: Any) -> None:
+        while not self._credits.acquire(timeout=0.05):
             if self._errors:
-                raise self._errors[0] from None
-            raise
+                raise self._errors[0]
+            if self.closed:
+                raise SessionClosed("session closed while submitting")
+        self._ingress.append((gseq, item))
+        try:
+            self._loop.call_soon_threadsafe(self._wake_pump)
+        except RuntimeError as err:  # loop torn down under us
+            raise SessionClosed("backend event loop is closed") from err
         if self._errors:
             raise self._errors[0]
-        assert self.instrumentation is not None
-        return BackendResult(
-            backend=self.name,
-            outputs=self._outputs,
-            items=len(self._outputs),
-            elapsed=self._elapsed,
-            service_means=[
-                s.total.mean if s.total.n else math.nan
-                for s in self.instrumentation.stages
-            ],
-            replica_counts=self.replica_counts(),
-        )
 
-    def running(self) -> bool:
-        return self._run_future is not None and not self._run_future.done()
+    def _shutdown(self) -> None:
+        loop = self._loop
+        if loop.is_closed():  # backend already tore the loop down
+            return
+        if self.broken or self._submitted > self._delivered:
+            if self._aabort is not None:
+                loop.call_soon_threadsafe(self._aabort.set)
+        self._ingress.append(_SENTINEL)
+        try:
+            loop.call_soon_threadsafe(self._wake_pump)
+        except RuntimeError:
+            return
+        try:
+            self._main_future.result(timeout=5.0)
+        except BaseException:  # noqa: BLE001 - closing, not reporting
+            pass
+
+    # -------------------------------------------------------------- reshaping
+    def set_limit(self, stage: int, n_replicas: int) -> None:
+        if self._sems is not None and not self._loop.is_closed():
+            sem = self._sems[stage]
+            self._loop.call_soon_threadsafe(sem.set_limit, n_replicas)
+
+
+class AsyncioBackend(Backend):
+    """Executes pipelines as bounded coroutine pools on a warm event loop.
+
+    Parameters
+    ----------
+    pipeline:
+        Stage specs; every stage must define ``fn`` (``async def`` or a
+        plain callable — plain callables run on an offload thread pool).
+    replicas:
+        Initial concurrency limit per stage (default 1 each);
+        ``replicas[i] > 1`` requires ``pipeline.stage(i).replicable``.
+    capacity:
+        Bounded inter-stage queue capacity (back-pressure), default 8.
+    max_replicas:
+        Ceiling ``reconfigure`` can raise a replicable stage's limit to.
+
+    One instance is reusable: the loop thread stays warm between sessions
+    and adapted concurrency limits carry over to the next stream.
+    """
+
+    name = "asyncio"
+    supports_live_reconfigure = True
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        *,
+        replicas: list[int] | None = None,
+        capacity: int | None = None,
+        max_replicas: int = 8,
+    ) -> None:
+        super().__init__(pipeline)
+        capacity = 8 if capacity is None else capacity
+        check_positive(capacity, "capacity")
+        check_positive(max_replicas, "max_replicas")
+        self._target = validate_pipeline_shape(pipeline, replicas, "asyncio runtime")
+        n = pipeline.n_stages
+        self.capacity = capacity
+        self.max_replicas = max(max_replicas, *self._target)
+        self._is_async = [
+            inspect.iscoroutinefunction(pipeline.stage(i).fn) for i in range(n)
+        ]
+        # Warm resources (created lazily, persist across sessions).
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._loop_thread: threading.Thread | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._closed = False
+
+    # --------------------------------------------------------------- warm-up
+    def _ensure_loop(self) -> asyncio.AbstractEventLoop:
+        """Start the dedicated loop thread (idempotent, warm across runs)."""
+        if self._loop is None:
+            self._loop = asyncio.new_event_loop()
+            self._loop_thread = threading.Thread(
+                target=self._loop.run_forever, name="asyncio-backend", daemon=True
+            )
+            self._loop_thread.start()
+        if self._executor is None and not all(self._is_async):
+            # Sized so every sync stage can run at its ceiling concurrently;
+            # ThreadPoolExecutor spawns threads on demand, so an unused
+            # ceiling costs nothing.
+            workers = sum(
+                self.replica_limit(i)
+                for i, is_async in enumerate(self._is_async)
+                if not is_async
+            )
+            self._executor = ThreadPoolExecutor(
+                max_workers=max(workers, 1), thread_name_prefix="asyncio-offload"
+            )
+        return self._loop
+
+    # ------------------------------------------------------------- sessions
+    def _open_session(self, *, max_inflight: int | None = None) -> Session:
+        return _AsyncioSession(self, max_inflight=max_inflight)
 
     def close(self) -> None:
-        """Abort any in-flight run and stop the loop thread (idempotent)."""
+        """Abort any in-flight session and stop the loop thread (idempotent)."""
         if self._closed:
             return
         self._closed = True
+        super().close()  # session shutdown needs the loop: close it first
         loop = self._loop
         if loop is not None:
-            if self._abort is not None:
-                loop.call_soon_threadsafe(self._abort.set)
-            if self._run_future is not None:
-                try:
-                    self._run_future.result(timeout=5.0)
-                except BaseException:  # noqa: BLE001 - closing, not reporting
-                    pass
             loop.call_soon_threadsafe(loop.stop)
             assert self._loop_thread is not None
             self._loop_thread.join(timeout=5.0)
@@ -365,23 +382,6 @@ class AsyncioBackend(Backend):
         if self._executor is not None:
             self._executor.shutdown(wait=False, cancel_futures=True)
             self._executor = None
-
-    # ----------------------------------------------------------- observation
-    def now(self) -> float:
-        return time.perf_counter() - self._t0
-
-    def snapshots(self) -> list[StageSnapshot]:
-        if self.instrumentation is None:
-            return []
-        return self.instrumentation.snapshots(self._stage_locks)
-
-    def items_completed(self) -> int:
-        return self.instrumentation.items_completed if self.instrumentation else 0
-
-    def recent_throughput(self, horizon: float) -> float:
-        if self.instrumentation is None:
-            return math.nan
-        return self.instrumentation.recent_throughput(self.now(), horizon)
 
     # ----------------------------------------------------------------- shape
     def replica_counts(self) -> list[int]:
@@ -402,9 +402,9 @@ class AsyncioBackend(Backend):
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         n_replicas = min(n_replicas, self.replica_limit(stage))
         self._target[stage] = n_replicas
-        if self.running() and self._sems is not None and self._loop is not None:
-            sem = self._sems[stage]
-            self._loop.call_soon_threadsafe(sem.set_limit, n_replicas)
+        session = self._session
+        if isinstance(session, _AsyncioSession) and not session.closed:
+            session.set_limit(stage, n_replicas)
 
 
 register_backend("asyncio", AsyncioBackend)

@@ -1,46 +1,78 @@
-"""The execution-backend port.
+"""The execution-backend port: long-lived streaming sessions over executors.
 
-A :class:`Backend` runs one :class:`~repro.core.pipeline.PipelineSpec` over
-a sequence of inputs under the eSkel ``Pipeline1for1`` contract (equal
-length, input order preserved) and exposes the three hooks the adaptation
-loop needs:
+A :class:`Backend` runs one :class:`~repro.core.pipeline.PipelineSpec` under
+the eSkel ``Pipeline1for1`` contract (equal length, input order preserved).
+Since the streaming refactor the primitive is no longer a one-shot batch
+but a **session**: ``backend.open() -> Session`` hands out a resident
+pipeline that accepts work as it arrives and emits results as a stream —
+the Naiad/FastFlow view that the executor is a service and a "batch" is
+just a bounded stream:
 
-* **observe** — ``snapshots()`` reports per-stage service-time and
-  queue-depth samples as :class:`~repro.monitor.instrument.StageSnapshot`
-  objects (the same currency the simulator's instrumentation uses), and
-  ``recent_throughput()``/``items_completed()`` report sink-side progress;
-* **act** — ``reconfigure(stage, n_replicas)`` changes a replicable stage's
-  degree of parallelism, live when ``supports_live_reconfigure`` is true;
-* **lifecycle** — ``start``/``join`` split a run so a controller thread can
-  observe and act mid-flight; ``run`` is the blocking convenience form and
-  ``close`` releases warm resources (worker pools).
+* ``session.submit(item) -> Ticket`` admits one item into the current
+  stream (opening one lazily), blocking only when ``max_inflight`` items
+  are already admitted but not yet completed — backpressure by bounded
+  admission, layered on top of the executor's own bounded queues (pass
+  ``max_inflight=None``, the default, to rely on those alone);
+* ``session.results()`` iterates the current stream's outputs **in input
+  order, as items complete** — the first result is available long before
+  the stream drains;
+* ``session.drain()`` ends the current stream, waits for every admitted
+  item, and returns whatever outputs no ``results()`` consumer took; the
+  next ``submit`` then starts a fresh stream on the same warm executor;
+* ``session.close()`` releases the session's executor resources.
+
+``run``/``start``/``join`` survive as thin wrappers over that path
+(open → submit\\* → drain) so every existing caller keeps working — there
+is exactly one execution code path per backend, the streaming one.
+
+The port also keeps the three hooks the adaptation loop needs:
+
+* **observe** — ``snapshots()``/``items_completed()``/
+  ``recent_throughput()`` delegate to the live session's instrumentation
+  (:class:`~repro.monitor.instrument.StageSnapshot` currency, counters
+  cumulative across streams);
+* **act** — ``reconfigure(stage, n_replicas)`` changes a replicable
+  stage's degree of parallelism, live when ``supports_live_reconfigure``;
+* **lifecycle** — ``close`` releases warm resources (worker pools,
+  sockets, event loops).
 
 Adapters register themselves in a name → factory registry so user-facing
-entry points (:func:`repro.skel.api.pipeline_1for1`) and benchmarks can
-select a backend by string, and downstream code can plug in new ones
-(``register_backend``) without touching this package.
+entry points (:func:`repro.skel.api.pipeline_1for1`,
+:func:`repro.skel.api.open_pipeline`) and benchmarks can select a backend
+by string, and downstream code can plug in new ones (``register_backend``)
+without touching this package.
 """
 
 from __future__ import annotations
 
 import math
+import threading
+import time
 from abc import ABC, abstractmethod
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Iterable
+from typing import Any, Callable, Iterable, Iterator
 
 from repro.core.pipeline import PipelineSpec
 from repro.model.throughput import ResourceView
 from repro.monitor.instrument import StageSnapshot
+from repro.util.validation import check_positive
 
 __all__ = [
     "Backend",
     "BackendCapabilityError",
     "BackendResult",
+    "Session",
+    "SessionClosed",
+    "SessionStats",
+    "Ticket",
     "available_backends",
     "capability_error",
     "make_backend",
     "register_backend",
+    "validate_pipeline_shape",
 ]
+
 
 
 class BackendCapabilityError(RuntimeError):
@@ -52,15 +84,41 @@ class BackendCapabilityError(RuntimeError):
     """
 
 
+class SessionClosed(RuntimeError):
+    """The session was closed; it accepts no further submits or drains."""
+
+
 def capability_error(backend: "Backend | str", operation: str) -> BackendCapabilityError:
     """A :class:`BackendCapabilityError` naming the refusing backend."""
     name = backend if isinstance(backend, str) else backend.name
     return BackendCapabilityError(f"backend {name!r} does not support {operation}")
 
 
+@dataclass(frozen=True)
+class Ticket:
+    """Receipt for one submitted item: which stream, and where in it."""
+
+    stream: int
+    seq: int
+
+
+@dataclass(frozen=True)
+class SessionStats:
+    """Progress counters of a session (per-stream vs session-cumulative)."""
+
+    streams_completed: int
+    items_total: int
+    stream_submitted: int
+    stream_delivered: int
+
+    @property
+    def backlog(self) -> int:
+        return self.stream_submitted - self.stream_delivered
+
+
 @dataclass
 class BackendResult:
-    """What one backend run produced.
+    """What one backend run (a bounded stream) produced.
 
     ``outputs`` is ``None`` when the backend measures but does not compute
     (a simulator run over stages without callables).  ``elapsed`` is in the
@@ -80,6 +138,371 @@ class BackendResult:
         return self.items / self.elapsed if self.elapsed > 0 else 0.0
 
 
+class Session:
+    """A long-lived submit/stream pipeline on one backend (see module doc).
+
+    Subclasses wire the four executor hooks (``_begin_stream``,
+    ``_submit_one``, ``_end_stream``, ``_shutdown``) and call back into
+    ``_deliver``/``_deliver_error`` from their collector threads; this base
+    owns every piece of stream accounting — admission windows, ordered
+    delivery buffering, stream ids, drain barriers and error stickiness —
+    so the five executors cannot drift apart on lifecycle semantics.
+
+    Streams are strictly sequential: ``drain()`` is the boundary, and the
+    executor pipeline is empty of stream *s* before stream *s+1* admits its
+    first item.  An executor error poisons the session (``broken``); every
+    subsequent ``submit``/``results``/``drain`` re-raises it, and the
+    owning backend opens a fresh session on the next run.
+    """
+
+    #: False on measure-only sessions (simulator without stage callables).
+    produces_outputs = True
+
+    def __init__(self, backend: "Backend", *, max_inflight: int | None = None) -> None:
+        if max_inflight is not None:
+            check_positive(max_inflight, "max_inflight")
+        self.backend = backend
+        # The admission window: items admitted but not yet completed.
+        # None (the default) leaves admission to the executor's own bounded
+        # queues — a deliberately *additional* control, so a wide pipeline
+        # (E15's 1024-replica fan-out) is never strangled by a constant.
+        self.max_inflight = max_inflight
+        self._cv = threading.Condition()
+        # RLock: close callbacks (e.g. "close the owning backend") re-enter
+        # close(), which must no-op instead of deadlocking; a concurrent
+        # closer from another thread still waits for shutdown to finish.
+        self._close_lock = threading.RLock()
+        self._out: deque = deque()
+        self._stream = -1
+        self._streaming = False
+        self._eos = False
+        self._begun = threading.Event()
+        self._submitted = 0
+        self._delivered = 0
+        self._gseq = 0
+        self._items_total = 0
+        self._streams_completed = 0
+        self._error: BaseException | None = None
+        self._closed = False
+        self._on_close: list[Callable[[], None]] = []
+        self._opened_t0 = time.perf_counter()
+        self._stream_t0 = 0.0
+        #: Duration of the last drained stream (executor clock; wall for
+        #: real executors, simulated seconds for the simulator shim).
+        self.last_stream_elapsed: float | None = None
+        self.last_stream_items = 0
+        #: Subclasses set a PipelineInstrumentation (and, optionally,
+        #: ``_snapshot_locks``) to expose observation through the port.
+        self.instrumentation = None
+        self._snapshot_locks = None
+
+    # ------------------------------------------------------------- properties
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True once an executor error poisoned the session."""
+        return self._error is not None
+
+    @property
+    def stream(self) -> int:
+        """Id of the current (or most recent) stream; -1 before the first."""
+        return self._stream
+
+    @property
+    def backlog(self) -> int:
+        """Items admitted to the current stream but not yet completed."""
+        with self._cv:
+            return self._submitted - self._delivered
+
+    def stats(self) -> SessionStats:
+        with self._cv:
+            return SessionStats(
+                streams_completed=self._streams_completed,
+                items_total=self._items_total,
+                stream_submitted=self._submitted,
+                stream_delivered=self._delivered,
+            )
+
+    def now(self) -> float:
+        """Seconds since the session opened (the instrumentation clock)."""
+        return time.perf_counter() - self._opened_t0
+
+    # ------------------------------------------------------------- public API
+    def submit(self, item: Any) -> Ticket:
+        """Admit one item into the current stream (opening one lazily).
+
+        Blocks while ``max_inflight`` items are admitted-but-incomplete
+        (the bounded-admission backpressure; with the ``None`` default the
+        executor's bounded queues alone apply) and raises the executor's
+        error if the session broke meanwhile.  Thread-safe: concurrent
+        producers interleave safely (every executor restores sequence
+        order downstream).
+        """
+        begin = False
+        with self._cv:
+            while True:
+                self._raise_if_unusable()
+                if self._streaming and self._eos:
+                    raise RuntimeError(
+                        "stream is draining; wait for drain() to return before "
+                        "submitting to the next stream"
+                    )
+                if not self._streaming:
+                    self._stream += 1
+                    self._streaming = True
+                    self._eos = False
+                    self._submitted = 0
+                    self._delivered = 0
+                    self._out.clear()
+                    self._begun = threading.Event()
+                    self._stream_t0 = time.perf_counter()
+                    begin = True
+                if (
+                    self.max_inflight is None
+                    or self._submitted - self._delivered < self.max_inflight
+                ):
+                    stream = self._stream
+                    seq = self._submitted
+                    self._submitted += 1
+                    gseq = self._gseq
+                    self._gseq += 1
+                    begun = self._begun
+                    break
+                # Window full: wait, then re-evaluate the stream state from
+                # scratch — drain() may have ended (or finished) the stream
+                # while we were parked, and an admission granted against the
+                # old stream would slip past its end-of-stream barrier and
+                # corrupt the next stream's ordering.
+                self._cv.wait(0.05)
+        if begin:
+            try:
+                if self.instrumentation is not None:
+                    self.instrumentation.begin_stream()
+                self._begin_stream(stream)
+            finally:
+                begun.set()
+        else:
+            begun.wait()
+        try:
+            self._submit_one(stream, seq, gseq, item)
+        except BaseException as err:
+            self._deliver_error(err)
+            raise
+        return Ticket(stream, seq)
+
+    def results(self) -> Iterator[Any]:
+        """Yield the current stream's outputs in order, as they complete.
+
+        Binds to the stream active at the call (or the next one to open)
+        and ends once that stream has drained and every output was taken —
+        by this iterator or by :meth:`drain`, whichever gets there first.
+        Safe to consume from one thread while another submits.
+        """
+        with self._cv:
+            target = self._stream if self._streaming else self._stream + 1
+        while True:
+            with self._cv:
+                while True:
+                    if self._error is not None:
+                        raise self._error
+                    if self._closed:
+                        return
+                    if self._stream > target:
+                        return  # the target stream came and went entirely
+                    if self._stream == target:
+                        if self._out:
+                            value = self._out.popleft()
+                            self._cv.notify_all()
+                            break
+                        if not self._streaming:
+                            return  # drained; drain() took the leftovers
+                        if self._eos and self._delivered >= self._submitted:
+                            return  # complete and fully consumed
+                    self._cv.wait(0.2)
+            yield value
+
+    def drain(self) -> list[Any]:
+        """End the current stream, wait for it, return unconsumed outputs.
+
+        The returned list is ordered and holds exactly the outputs no
+        ``results()`` consumer already took (the whole stream for the
+        plain open → submit\\* → drain batch pattern, usually empty when a
+        consumer thread is active).  ``[]`` when no stream is open.
+        """
+        with self._cv:
+            self._raise_if_unusable()
+            if not self._streaming:
+                return []
+            if self._eos:
+                raise RuntimeError("drain() already in progress for this stream")
+            self._eos = True
+            stream, n = self._stream, self._submitted
+        self._end_stream(stream, n)
+        with self._cv:
+            while self._delivered < n:
+                if self._error is not None:
+                    raise self._error
+                if self._closed:
+                    raise SessionClosed("session closed while draining")
+                self._cv.wait(0.05)
+            leftovers = list(self._out)
+            self._out.clear()
+            self._streaming = False
+            self._eos = False
+            self._streams_completed += 1
+            self.last_stream_items = n
+            wall = time.perf_counter() - self._stream_t0
+            self._cv.notify_all()
+        self.last_stream_elapsed = self._finalize_stream(wall)
+        return leftovers
+
+    def close(self) -> None:
+        """Release the session's executor resources (idempotent).
+
+        A mid-stream close aborts: admitted-but-incomplete items are
+        dropped, exactly as a one-shot run's abort dropped them.
+        """
+        with self._close_lock:
+            with self._cv:
+                if self._closed:
+                    return
+                self._closed = True
+                self._cv.notify_all()
+            first_err: BaseException | None = None
+            try:
+                self._shutdown()
+            except BaseException as err:  # noqa: BLE001 - still run callbacks
+                first_err = err
+            for cb in self._on_close:
+                try:
+                    cb()
+                except BaseException as err:  # noqa: BLE001
+                    if first_err is None:
+                        first_err = err
+            if first_err is not None:
+                raise first_err
+
+    def add_close_callback(self, cb: Callable[[], None]) -> None:
+        """Run ``cb`` after this session's executor shutdown (in order)."""
+        self._on_close.append(cb)
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ---------------------------------------------------------- observation
+    def snapshots(self) -> list[StageSnapshot]:
+        if self.instrumentation is None:
+            return []
+        return self.instrumentation.snapshots(self._snapshot_locks)
+
+    def service_means(self) -> list[float]:
+        if self.instrumentation is None:
+            return []
+        return [
+            s.total.mean if s.total.n else math.nan
+            for s in self.instrumentation.stages
+        ]
+
+    # ------------------------------------------------- executor-side callbacks
+    def _deliver(self, value: Any) -> None:
+        """Executor collectors hand over the next in-order output here."""
+        with self._cv:
+            self._out.append(value)
+            self._delivered += 1
+            self._items_total += 1
+            self._cv.notify_all()
+
+    def _deliver_error(self, err: BaseException) -> None:
+        """Poison the session with the executor's (first) error."""
+        with self._cv:
+            if self._error is None:
+                self._error = err
+            self._cv.notify_all()
+
+    def _raise_if_unusable(self) -> None:
+        if self._error is not None:
+            raise self._error
+        if self._closed:
+            raise SessionClosed(
+                f"session on backend {self.backend.name!r} is closed"
+            )
+
+    # ------------------------------------------------------- executor hooks
+    def _begin_stream(self, stream: int) -> None:
+        """A new stream opens (called before its first ``_submit_one``)."""
+
+    def _submit_one(self, stream: int, seq: int, gseq: int, item: Any) -> None:
+        """Hand one admitted item to the executor (may block on its queues).
+
+        ``seq`` is the position within ``stream``; ``gseq`` is a
+        session-global monotone sequence for executors that keep one
+        ordering space across streams.
+        """
+        raise NotImplementedError
+
+    def _end_stream(self, stream: int, n_items: int) -> None:
+        """End-of-stream declared after ``n_items`` admissions (flush hook)."""
+
+    def _finalize_stream(self, wall_elapsed: float) -> float:
+        """Map the drained stream's wall time onto the executor's clock."""
+        return wall_elapsed
+
+    def _shutdown(self) -> None:
+        """Stop the session's executor machinery (called once, from close)."""
+
+
+class _BatchDriver:
+    """Feeds one bounded stream through a session on a thread.
+
+    ``start()`` must return immediately (controllers observe mid-flight)
+    while ``submit`` may block on the admission window, so the classic
+    batch path runs the open → submit\\* → drain sequence here.
+    """
+
+    def __init__(self, backend: "Backend", session: Session, items: list[Any]) -> None:
+        self.session = session
+        self.n_items = len(items)
+        self.outputs: list[Any] | None = None
+        self.error: BaseException | None = None
+        self.elapsed = 0.0
+        self.items = 0
+        self._done = threading.Event()
+        self._t0 = time.perf_counter()
+        self._thread = threading.Thread(
+            target=self._drive, args=(items,), name=f"{backend.name}-batch", daemon=True
+        )
+        self._thread.start()
+
+    def _drive(self, items: list[Any]) -> None:
+        try:
+            for item in items:
+                self.session.submit(item)
+            outputs = self.session.drain()
+        except BaseException as err:  # noqa: BLE001 - re-raised from join()
+            self.error = err
+        else:
+            self.outputs = outputs
+            self.items = self.session.last_stream_items
+            elapsed = self.session.last_stream_elapsed
+            self.elapsed = (
+                elapsed if elapsed is not None else time.perf_counter() - self._t0
+            )
+        finally:
+            self._done.set()
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self) -> None:
+        self._thread.join()
+
+
 class Backend(ABC):
     """Port through which pipelines execute (see module docstring)."""
 
@@ -88,26 +511,92 @@ class Backend(ABC):
 
     def __init__(self, pipeline: PipelineSpec) -> None:
         self.pipeline = pipeline
+        self._session: Session | None = None
+        self._driver: _BatchDriver | None = None
+
+    # ------------------------------------------------------------- sessions
+    @property
+    def closed(self) -> bool:
+        return getattr(self, "_closed", False)
+
+    def open(self, **config) -> Session:
+        """Open a long-lived streaming session on this backend's executor.
+
+        One session at a time: the executors share warm state (pools,
+        sockets, the event loop), so a second concurrent session would
+        interleave streams.  Close (or drain and reuse) the current one.
+        """
+        if self.closed:
+            raise RuntimeError("backend is closed")
+        if self._session is not None and not self._session.closed:
+            raise RuntimeError(
+                "a session is already open on this backend; close it first"
+            )
+        session = self._open_session(**config)
+        self._session = session
+        return session
+
+    @abstractmethod
+    def _open_session(self, *, max_inflight: int | None = None) -> Session:
+        """Build this executor's native :class:`Session`."""
+
+    def _current_session(self) -> Session:
+        """The open session, replacing a closed or poisoned one."""
+        session = self._session
+        if session is not None and session.broken and not session.closed:
+            session.close()
+        if session is None or session.closed or session.broken:
+            session = self.open()
+        return session
 
     # ------------------------------------------------------------- lifecycle
-    @abstractmethod
     def start(self, inputs: Iterable[Any]) -> int:
-        """Begin a run; returns the number of items accepted."""
+        """Begin a bounded run over the session path; returns the item count."""
+        if self.closed:
+            raise RuntimeError("backend is closed")
+        if self._driver is not None and not self._driver.done():
+            raise RuntimeError("backend already running; join() it first")
+        session = self._current_session()
+        self._driver = _BatchDriver(self, session, list(inputs))
+        return self._driver.n_items
 
-    @abstractmethod
     def join(self) -> BackendResult:
         """Block until the current run completes and return its result."""
+        if self._driver is None:
+            raise RuntimeError("backend not started")
+        driver = self._driver
+        driver.wait()
+        self._driver = None
+        session = driver.session
+        if driver.error is not None:
+            # A poisoned session's executor state is unknown: reap it now so
+            # the next start() opens a clean one on the warm backend.
+            if not session.closed:
+                session.close()
+            raise driver.error
+        assert driver.outputs is not None
+        return BackendResult(
+            backend=self.name,
+            outputs=driver.outputs if session.produces_outputs else None,
+            items=driver.items,
+            elapsed=driver.elapsed,
+            service_means=session.service_means(),
+            replica_counts=self.replica_counts(),
+        )
 
     def run(self, inputs: Iterable[Any]) -> BackendResult:
-        """``start`` + ``join``."""
+        """``start`` + ``join`` — a bounded stream through the session path."""
         self.start(inputs)
         return self.join()
 
     def running(self) -> bool:
-        return False
+        return self._driver is not None and not self._driver.done()
 
     def close(self) -> None:
         """Release warm resources; the backend may not be reused after."""
+        self._closed = True
+        if self._session is not None:
+            self._session.close()
 
     def __enter__(self) -> "Backend":
         return self
@@ -117,15 +606,23 @@ class Backend(ABC):
 
     # ----------------------------------------------------------- observation
     def snapshots(self) -> list[StageSnapshot]:
-        """Windowed per-stage service/queue measurements of the current run."""
-        return []
+        """Windowed per-stage service/queue measurements (session-cumulative)."""
+        if self._session is None:
+            return []
+        return self._session.snapshots()
 
     def items_completed(self) -> int:
-        return 0
+        if self._session is None or self._session.instrumentation is None:
+            return 0
+        return self._session.instrumentation.items_completed
 
     def recent_throughput(self, horizon: float) -> float:
         """Sink completions/s over the trailing ``horizon`` (NaN = no data)."""
-        return math.nan
+        if self._session is None or self._session.instrumentation is None:
+            return math.nan
+        return self._session.instrumentation.recent_throughput(
+            self._session.now(), horizon
+        )
 
     def resource_view(self, n_procs: int) -> ResourceView | None:
         """Measured view of the substrate as a virtual grid of ``n_procs``.
@@ -149,6 +646,36 @@ class Backend(ABC):
     def reconfigure(self, stage: int, n_replicas: int) -> None:
         """Set ``stage``'s degree of parallelism (live when supported)."""
         raise capability_error(self, "reconfigure()")
+
+
+def validate_pipeline_shape(
+    pipeline: PipelineSpec, replicas: "list[int] | None", runtime_name: str
+) -> list[int]:
+    """Validate a replica shape against the pipeline; returns the counts.
+
+    Shared by the real executors so their rejection messages stay uniform:
+    length mismatch, sub-1 counts, replicated stateful stages, and stages
+    without callables all raise ``ValueError`` here.
+    """
+    n = pipeline.n_stages
+    if replicas is None:
+        replicas = [1] * n
+    if len(replicas) != n:
+        raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
+    for i, r in enumerate(replicas):
+        spec = pipeline.stage(i)
+        if r < 1:
+            raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
+        if r > 1 and not spec.replicable:
+            raise ValueError(
+                f"stage {i} ({spec.name!r}) is stateful and cannot be replicated"
+            )
+        if spec.fn is None:
+            raise ValueError(
+                f"stage {i} ({spec.name!r}) has no fn; the {runtime_name} "
+                "executes real callables"
+            )
+    return list(replicas)
 
 
 # --------------------------------------------------------------------- registry

@@ -4,44 +4,52 @@ Topology (a star — every transfer crosses the coordinator)::
 
                          TCP                            TCP
     feeder ──> replica set[0] ──> router[0] ──> replica set[1] ──> ...
-    (local)    (on workers)       (local)       (on workers)
+    (session)  (on workers)       (session)     (on workers)
 
 * The coordinator listens on a TCP socket; :class:`WorkerAgent` processes
   connect and register, advertising cores and load average.  Workers can be
   auto-spawned locally (``spawn_workers=``, the tests/CI path) or started
   on remote hosts with ``python -m repro.backend.distributed.worker``.
+* **Sessions over streams**: worker links, negotiated transports and
+  replica placement belong to the *backend* and stay warm for as long as
+  it lives; the feeder and router threads belong to a *session*
+  (``backend.open()``) and serve back-to-back streams without tearing any
+  of that down.  Each stream gets its own **epoch**: tasks and results
+  carry the stream's epoch, a result is only accepted while its (epoch,
+  seq) assignment is still live, and sequence numbers are stream-scoped
+  (the routers' :class:`~repro.util.ordering.SequenceReorderer` instances
+  rebase via ``begin_stream`` at each boundary) — so crash re-dispatch
+  stays exactly-once within a stream and a stale duplicate from any
+  earlier stream is dropped on arrival.
 * Each stage owns a **replica set** spread across workers.  Dispatch picks
   the least-loaded active replica (in-flight count normalised by the
   worker's effective speed), bounded by ``capacity`` in-flight items per
   replica for end-to-end back-pressure.
 * One **router thread per stage** collects that stage's results, records
   service/transfer/queue/payload-size measurements, restores sequence
-  order through the shared :class:`~repro.util.ordering.SequenceReorderer`,
-  and forwards each item's encoded :class:`~repro.transport.Frame` to the
-  next stage untouched.  Items travel through the **negotiated transport**
-  (``transport=``): frames carry shared-memory descriptors to workers that
-  verified the session's shm probe (same host), and are materialized
-  inline for workers that did not.  The coordinator owns every frame's
-  lifecycle — a task frame is released only when its result is accepted
-  (so a worker death can always re-dispatch), and ``close()`` sweeps the
-  session's surviving segments.
+  order, and forwards each item's encoded :class:`~repro.transport.Frame`
+  to the next stage untouched.  Items travel through the **negotiated
+  transport** (``transport=``): the session's feeder **encodes after
+  worker selection**, so an item routed to a worker that verified the
+  session's shm probe gets descriptor frames while one routed to a
+  non-shm (remote) worker is pickled inline from the start — mixed pools
+  no longer pay segment-write + materialize-copy + unlink for items that
+  never needed a segment.  ``"auto"``'s placement threshold is calibrated
+  at warm-up from a quick encode/decode probe.  The coordinator owns every
+  frame's lifecycle — a task frame is released only when its result is
+  accepted (so a worker death can always re-dispatch), and ``close()``
+  sweeps the session's surviving segments.
 * **Link cost is measured, not assumed**: a result echoes the dispatch
   timestamp plus the worker-side service and queue-wait durations, so
   ``rtt - service - wait`` is pure wire time.  Each observation is paired
   with the bytes that crossed (task frame out + result frame back) and fed
   to a per-worker :class:`~repro.transport.SizeStratifiedLinkEstimator`,
-  whose fitted ``latency + bytes/bandwidth`` model replaces the old
-  constant-bandwidth assumption in both placement scoring and the
-  planner's :meth:`~DistributedBackend.resource_view` — large payloads are
-  priced per link, so the adaptation loop steers them away from
-  bandwidth-starved workers.
+  whose fitted ``latency + bytes/bandwidth`` model prices placement and
+  the planner's :meth:`~DistributedBackend.resource_view` per link.
 * **Failure handling**: connection EOF or a missed-heartbeat timeout marks
   a worker dead; its replicas leave every stage's set (a stage left empty
   is re-placed on a survivor), its in-flight items are re-dispatched, and
-  the shrunken local view is what the adaptation loop sees next.  Items are
-  delivered exactly once: a result is only accepted while its sequence
-  number is still assigned to the replica that produced it, so a
-  re-dispatched item's late duplicate is dropped on arrival.
+  the shrunken local view is what the adaptation loop sees next.
 * ``reconfigure(stage, n)`` places or retires replicas across workers live.
   Retired replicas finish what they were dealt (nothing is drained); growth
   targets the worker with the best speed/link score.
@@ -49,7 +57,6 @@ Topology (a star — every transfer crosses the coordinator)::
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
 import pickle
 import queue as thread_queue
@@ -57,15 +64,15 @@ import socket
 import threading
 import time
 from multiprocessing import shared_memory
-from typing import Any, Iterable
+from typing import Any
 
 from repro import transport as _transport
-from repro.backend.base import Backend, BackendResult, register_backend
+from repro.backend.base import Backend, Session, register_backend
 from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_frame
 from repro.backend.distributed.worker import WorkerAgent
 from repro.core.pipeline import PipelineSpec
 from repro.model.throughput import ResourceView, fn_view
-from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
+from repro.monitor.instrument import PipelineInstrumentation
 from repro.monitor.resource_monitor import load_to_speed
 from repro.runtime.threads import StageError
 from repro.transport import (
@@ -88,6 +95,8 @@ _LOCAL_LINK = (1e-7, 1e9)
 _WIRE_BANDWIDTH = 1e8
 #: Default one-way link estimate before any measurement exists.
 _DEFAULT_LINK_S = 1e-4
+
+_CLOSE = object()  # session-side feeder shutdown marker
 
 
 def _spawn_agent(
@@ -164,6 +173,193 @@ class _Replica:
         self.retired = False
 
 
+class _DistributedSession(Session):
+    """Session-owned feeder/router threads over the warm worker pool."""
+
+    def __init__(
+        self, backend: "DistributedBackend", *, max_inflight: int | None = None
+    ) -> None:
+        super().__init__(backend, max_inflight=max_inflight)
+        backend.warm()
+        backend._ensure_placements()
+        if backend._config_errors:
+            raise backend._config_errors[0]
+        n = backend.pipeline.n_stages
+        self.instrumentation = PipelineInstrumentation(n)
+        self._metrics_locks = [threading.Lock() for _ in range(n)]
+        self._snapshot_locks = self._metrics_locks
+        self._abort = threading.Event()
+        self._stopping = threading.Event()
+        self._reorder = [SequenceReorderer() for _ in range(n)]
+        self._resq = [thread_queue.Queue() for _ in range(n)]
+        self._feedq: thread_queue.Queue = thread_queue.Queue()
+        # Adopt this session as the backend's live plumbing: the recv loops
+        # and death handlers feed these very queues/flags.
+        backend._errors = []
+        backend._abort = self._abort
+        backend._resq = self._resq
+        backend._running = True
+        backend._t0 = time.perf_counter()
+        self._threads = [
+            threading.Thread(target=self._feed, name="dist-feeder", daemon=True)
+        ]
+        for i in range(n):
+            self._threads.append(
+                threading.Thread(
+                    target=self._route, args=(i,), name=f"dist-router[{i}]", daemon=True
+                )
+            )
+        for t in self._threads:
+            t.start()
+
+    # ----------------------------------------------------------- port hooks
+    def _begin_stream(self, stream: int) -> None:
+        backend: DistributedBackend = self.backend  # type: ignore[assignment]
+        # The epoch *is* the stream id: results are only accepted while
+        # their (epoch, seq) assignment is live, so a late duplicate from
+        # any earlier stream (or an aborted one) is dropped on arrival.
+        backend._epoch += 1
+        for i, cond in enumerate(backend._conds):
+            with cond:
+                # Frames stranded in flight by an aborted earlier stream
+                # will never be decoded: reclaim their segments first.
+                for _replica, stale_frame in backend._inflight[i].values():
+                    backend._codec.release(stale_frame)
+                backend._inflight[i].clear()
+        # drain() emptied the pipeline, so the routers' reorderers are
+        # idle: rebase them onto the new stream's sequence space.
+        for reorder in self._reorder:
+            reorder.begin_stream(0)
+
+    def _submit_one(self, stream: int, seq: int, gseq: int, item: Any) -> None:
+        self._feedq.put((seq, item))
+
+    def _shutdown(self) -> None:
+        backend: DistributedBackend = self.backend  # type: ignore[assignment]
+        broken = self.broken or self._submitted > self._delivered
+        if broken:
+            self._abort.set()
+            for cond in backend._conds:
+                with cond:
+                    cond.notify_all()
+        self._stopping.set()
+        self._feedq.put(_CLOSE)
+        for t in self._threads:
+            t.join(timeout=5.0)
+        backend._running = False
+        # Reclaim whatever an aborted stream stranded in flight (a clean
+        # close finds nothing — drain() is the boundary).
+        for i, cond in enumerate(backend._conds):
+            with cond:
+                for _replica, stale_frame in backend._inflight[i].values():
+                    backend._codec.release(stale_frame)
+                backend._inflight[i].clear()
+
+    # --------------------------------------------------------------- plumbing
+    def _feed(self) -> None:
+        backend: DistributedBackend = self.backend  # type: ignore[assignment]
+        try:
+            while True:
+                msg = self._feedq.get()
+                if msg is _CLOSE:
+                    return
+                if self._abort.is_set():
+                    continue  # drain the feed queue without dispatching
+                seq, value = msg
+                if not backend._dispatch_value(seq, value):
+                    continue
+        except BaseException as err:  # noqa: BLE001 - e.g. unencodable input
+            backend._fail(0, err)
+
+    def _route(self, stage: int) -> None:
+        backend: DistributedBackend = self.backend  # type: ignore[assignment]
+        try:
+            self._route_inner(stage)
+        except BaseException as err:  # noqa: BLE001 - reported via the session
+            backend._fail(stage, err)
+
+    def _route_inner(self, stage: int) -> None:
+        backend: DistributedBackend = self.backend  # type: ignore[assignment]
+        metrics = self.instrumentation.stages[stage]
+        cond = backend._conds[stage]
+        last = stage + 1 >= backend.pipeline.n_stages
+        reorder = self._reorder[stage]
+        resq = self._resq[stage]
+        while True:
+            if self._abort.is_set():
+                return
+            try:
+                msg = resq.get(timeout=0.1)
+            except thread_queue.Empty:
+                if self._stopping.is_set():
+                    return
+                continue
+            (w, slot, seq, ok, payload, service_s, wait_s, t_sent,
+             err_repr, recv_t) = msg
+            with cond:
+                entry = backend._inflight[stage].get(seq)
+                if (
+                    entry is None
+                    or entry[0].worker is not w
+                    or entry[0].slot != slot
+                ):
+                    # Stale: this item was re-dispatched after its worker was
+                    # declared dead; exactly one assignment may deliver it.
+                    # The duplicate's result frame will never be read.
+                    if isinstance(payload, Frame):
+                        backend._codec.release(payload)
+                    continue
+                replica, entry_payload = entry
+                del backend._inflight[stage][seq]
+                replica.inflight -= 1
+                if (
+                    replica.retired
+                    and replica.inflight == 0
+                    and replica in backend._replicas[stage]
+                ):
+                    backend._replicas[stage].remove(replica)
+                queued = sum(r.inflight for r in backend._replicas[stage])
+                cond.notify_all()
+            if ok == "reject":
+                # Task raced a retire on the worker: send it elsewhere.
+                if not backend._dispatch(stage, seq, entry_payload):
+                    return
+                continue
+            if not ok:
+                backend._codec.release(entry_payload)
+                backend._fail(stage, RuntimeError(err_repr))
+                return
+            # The task frame was consumed on the worker; nothing can
+            # re-dispatch it now, so its segments can go.
+            backend._codec.release(entry_payload)
+            # rtt minus worker-side service and queue wait is wire time both
+            # ways; halve it for the one-way transfer estimate, and pair the
+            # full overhead with the bytes that crossed (task out + result
+            # back) to feed the size-stratified latency/bandwidth fit.
+            overhead = max(0.0, (recv_t - t_sent) - service_s - wait_s)
+            crossed = entry_payload.nbytes + payload.nbytes
+            w.observe_transfer(crossed, overhead)
+            backend._ref_bytes += 0.1 * (entry_payload.nbytes - backend._ref_bytes)
+            with self._metrics_locks[stage]:
+                # work_estimate = service x effective speed, so a loaded
+                # worker's slow service still yields the true per-item work.
+                metrics.record_service(service_s, w.speed)
+                metrics.record_transfer(overhead / 2.0)
+                metrics.record_queue_length(queued)
+                metrics.record_bytes_in(entry_payload.nbytes)
+                metrics.record_bytes_out(payload.nbytes)
+            for ready_seq, ready_payload in reorder.push(seq, payload):
+                if last:
+                    value = backend._codec.decode(ready_payload)
+                    backend._codec.release(ready_payload)
+                    with self._metrics_locks[stage]:
+                        self.instrumentation.record_completion(self.now())
+                    self._deliver(value)
+                else:
+                    if not backend._dispatch(stage + 1, ready_seq, ready_payload):
+                        return
+
+
 class DistributedBackend(Backend):
     """Executes pipelines on socket-connected workers (multi-host capable).
 
@@ -197,7 +393,11 @@ class DistributedBackend(Backend):
         Payload codec (``"auto"``/``"pickle"``/``"shm"`` or a configured
         :class:`~repro.transport.Codec`).  ``"auto"`` (default) ships
         large payloads as shared-memory descriptors to workers that share
-        this host, negotiated per worker at registration.
+        this host, negotiated per worker at registration; its placement
+        threshold is calibrated at warm-up.
+    calibrate_transport:
+        Probe the host's inline-vs-segment crossover at warm-up and use it
+        as ``"auto"``'s threshold (default True; only affects ``"auto"``).
     host, port:
         Bind address of the coordinator socket (port 0 = ephemeral).
     heartbeat_interval, heartbeat_timeout:
@@ -222,6 +422,7 @@ class DistributedBackend(Backend):
         worker_link_delays: list[float] | None = None,
         worker_link_bandwidths: list[float] | None = None,
         transport: str | Codec = "auto",
+        calibrate_transport: bool = True,
         host: str = "127.0.0.1",
         port: int = 0,
         heartbeat_interval: float = 0.5,
@@ -270,6 +471,15 @@ class DistributedBackend(Backend):
         self.worker_link_delays = list(worker_link_delays or [])
         self.worker_link_bandwidths = list(worker_link_bandwidths or [])
         self._codec = _transport.get(transport)
+        self._calibrate_transport = calibrate_transport
+        # Items entering the pipeline are encoded *after* worker selection:
+        # descriptor frames for shm-verified workers, self-contained pickle
+        # for the rest (same session token, one sweep covers both).
+        self._pickle_codec = (
+            self._codec
+            if self._codec.name == "pickle"
+            else _transport.get("pickle", session=self._codec.session)
+        )
         self._probe_name: str | None = None
         self._probe_token = b""
         # Mean payload size seen recently (EWMA): the reference point at
@@ -293,7 +503,7 @@ class DistributedBackend(Backend):
         self._next_worker_id = 0
         self._spawned: dict[str, mp.process.BaseProcess] = {}
         # Placement failures are configuration errors (e.g. a stage fn that
-        # does not resolve on a worker): they outlive per-run error state.
+        # does not resolve on a worker): they outlive per-stream error state.
         self._config_errors: list[BaseException] = []
 
         # Per-stage replica sets + in-flight assignments (guarded by _conds[i]).
@@ -311,19 +521,14 @@ class DistributedBackend(Backend):
         self._closed = False
         self._closing = False
 
-        # Per-run state.
+        # Live-session plumbing (adopted by each session; the epoch is the
+        # stream id and survives sessions so stale results never collide).
         self._epoch = 0
         self._running = False
-        self._run_threads: list[threading.Thread] = []
         self._resq: list[thread_queue.Queue] = []
-        self._outputs: list[Any] = []
         self._errors: list[BaseException] = []
         self._abort = threading.Event()
         self._t0 = 0.0
-        self._elapsed = 0.0
-        self._n_items = 0
-        self.instrumentation: PipelineInstrumentation | None = None
-        self._metrics_locks = [threading.Lock() for _ in range(n)]
 
     # ------------------------------------------------------------------ props
     @property
@@ -385,6 +590,10 @@ class DistributedBackend(Backend):
             raise RuntimeError("backend is closed")
         if self._warm:
             return
+        if self._calibrate_transport and self._codec.name == "auto":
+            fitted = _transport.calibrated_auto_threshold()
+            if fitted is not None:
+                self._codec.threshold = fitted
         server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         server.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
         server.bind((self._bind_host, self._bind_port))
@@ -422,7 +631,7 @@ class DistributedBackend(Backend):
         self._monitor_thread.start()
         self._warm = True
         # With external workers (spawn_workers=0) none may have connected
-        # yet: placement waits until start(), after wait_for_workers().
+        # yet: placement waits until a session opens, after wait_for_workers().
         if self.spawn_workers:
             self.wait_for_workers(self.spawn_workers, timeout=self.register_timeout)
             self._ensure_placements()
@@ -550,7 +759,7 @@ class DistributedBackend(Backend):
                     (_, epoch, stage, slot, seq, ok, payload, service_s,
                      wait_s, t_sent, err_repr) = frame
                     if epoch != self._epoch:
-                        continue  # stale result from an aborted run
+                        continue  # stale result from an earlier/aborted stream
                     self._resq[stage].put(
                         (w, slot, seq, ok, payload, service_s, wait_s,
                          t_sent, err_repr, time.perf_counter())
@@ -593,11 +802,19 @@ class DistributedBackend(Backend):
 
     # --------------------------------------------------------------- failure
     def _fail(self, stage: int, err: BaseException) -> None:
-        self._errors.append(StageError(self.pipeline.stage(stage).name, err))
+        failure = (
+            err
+            if isinstance(err, StageError)
+            else StageError(self.pipeline.stage(stage).name, err)
+        )
+        self._errors.append(failure)
         self._abort.set()
         for cond in self._conds:
             with cond:
                 cond.notify_all()
+        session = self._session
+        if session is not None and not session.closed:
+            session._deliver_error(failure)
 
     def _on_worker_death(self, w: _WorkerConn) -> None:
         """Remove a dead worker; re-home its replicas and in-flight items."""
@@ -661,7 +878,7 @@ class DistributedBackend(Backend):
                 for seq, payload in lost:
                     if not self._dispatch(i, seq, payload):
                         return
-        except BaseException as err:  # noqa: BLE001 - reported via join()
+        except BaseException as err:  # noqa: BLE001 - reported via the session
             self._fail(0, err)
 
     # ------------------------------------------------------------- placement
@@ -779,78 +996,13 @@ class DistributedBackend(Backend):
             raise RuntimeError(f"failed to place stage {stage} on worker {to_worker}")
         self._retire_replica(stage, victims[0])
 
-    # ------------------------------------------------------------- lifecycle
-    def start(self, inputs: Iterable[Any]) -> int:
-        if self._closed:
-            raise RuntimeError("backend is closed")
-        if self._running:
-            raise RuntimeError("backend already running; join() it first")
-        self.warm()
-        self._ensure_placements()
-        if self._config_errors:
-            raise self._config_errors[0]
-        items = list(inputs)
-        self._n_items = len(items)
-        self._outputs = []
-        self._errors = []
-        self._abort = threading.Event()
-        self._epoch += 1
-        n = self.pipeline.n_stages
-        self._resq = [thread_queue.Queue() for _ in range(n)]
-        for i in range(n):
-            # Frames stranded in flight by an aborted previous run will
-            # never be decoded: reclaim their segments before forgetting.
-            for _replica, stale_frame in self._inflight[i].values():
-                self._codec.release(stale_frame)
-            self._inflight[i].clear()
-        self.instrumentation = PipelineInstrumentation(n)
-        self._run_threads = []
-        self._t0 = time.perf_counter()
-        self._running = True
-        self._run_threads.append(
-            threading.Thread(
-                target=self._feed, args=(items,), name="dist-feeder", daemon=True
-            )
-        )
-        for i in range(n):
-            self._run_threads.append(
-                threading.Thread(
-                    target=self._route, args=(i,), name=f"dist-router[{i}]", daemon=True
-                )
-            )
-        for t in self._run_threads:
-            t.start()
-        return self._n_items
+    # ------------------------------------------------------------- sessions
+    def _open_session(self, *, max_inflight: int | None = None) -> Session:
+        return _DistributedSession(self, max_inflight=max_inflight)
 
-    def _feed(self, items: list[Any]) -> None:
-        try:
-            # With every worker *confirmed* shm-incapable, descriptor
-            # frames would be materialized right back at dispatch — encode
-            # inline from the start instead.  A worker whose negotiation
-            # reply is still in flight keeps the descriptor path (dispatch
-            # materializes per item if it ends up answering no).
-            with self._registry:
-                all_inline = all(
-                    w.shm_replied and not w.shm_ok
-                    for w in self._workers.values()
-                    if w.alive
-                )
-            codec = (
-                _transport.get("pickle", session=self._codec.session)
-                if all_inline
-                else self._codec
-            )
-            for seq, value in enumerate(items):
-                if self._abort.is_set():
-                    return
-                frame = codec.encode(value)
-                if not self._dispatch(0, seq, frame):
-                    return
-        except BaseException as err:  # noqa: BLE001 - e.g. unencodable input
-            self._fail(0, err)
-
-    def _acquire_slot(self, stage: int, seq: int, payload: Frame) -> _Replica | None:
-        """Assign ``seq`` to the best replica with capacity (blocks); None on abort."""
+    # --------------------------------------------------------------- dispatch
+    def _reserve_slot(self, stage: int) -> _Replica | None:
+        """Claim capacity on the best live replica (blocks); None on abort."""
         cond = self._conds[stage]
         with cond:
             while True:
@@ -867,12 +1019,58 @@ class DistributedBackend(Backend):
                         key=lambda r: (r.inflight + 1) / max(r.worker.speed, 1e-3),
                     )
                     best.inflight += 1
-                    self._inflight[stage][seq] = (best, payload)
                     return best
                 cond.wait(timeout=0.1)
 
+    def _acquire_slot(self, stage: int, seq: int, payload: Frame) -> _Replica | None:
+        """Assign ``seq`` to the best replica with capacity; None on abort."""
+        replica = self._reserve_slot(stage)
+        if replica is None:
+            return None
+        with self._conds[stage]:
+            self._inflight[stage][seq] = (replica, payload)
+        return replica
+
+    def _dispatch_value(self, seq: int, value: Any) -> bool:
+        """Admit one raw item: select the worker *first*, then encode for it.
+
+        Items bound for a shm-verified worker get descriptor frames; items
+        bound for a remote (or not-yet-negotiated) worker are pickled
+        inline from the start — no segment-write + materialize + unlink
+        churn in mixed pools.  Survives worker death mid-send like
+        :meth:`_dispatch`.
+        """
+        while True:
+            replica = self._reserve_slot(0)
+            if replica is None:
+                return False
+            codec = self._codec if replica.worker.shm_ok else self._pickle_codec
+            frame = codec.encode(value)
+            with self._conds[0]:
+                self._inflight[0][seq] = (replica, frame)
+            sent = replica.worker.send(
+                ("task", self._epoch, 0, replica.slot, seq, frame,
+                 time.perf_counter())
+            )
+            if sent:
+                return True
+            # Send failed: reclaim the assignment (unless the death handler
+            # got there first and already re-homed it — with this very
+            # frame), then mark the worker dead and retry with a fresh
+            # encode for the next target.
+            with self._conds[0]:
+                entry = self._inflight[0].get(seq)
+                reclaimed = entry is not None and entry[0] is replica
+                if reclaimed:
+                    del self._inflight[0][seq]
+                    replica.inflight -= 1
+            self._on_worker_death(replica.worker)
+            if not reclaimed:
+                return True
+            self._codec.release(frame)
+
     def _dispatch(self, stage: int, seq: int, payload: Frame) -> bool:
-        """Send one item to ``stage``; survives worker death mid-send."""
+        """Send one encoded item to ``stage``; survives worker death mid-send."""
         while True:
             replica = self._acquire_slot(stage, seq, payload)
             if replica is None:
@@ -912,117 +1110,7 @@ class DistributedBackend(Backend):
             if not reclaimed:
                 return True
 
-    def _route(self, stage: int) -> None:
-        try:
-            self._route_inner(stage)
-        except BaseException as err:  # noqa: BLE001 - reported via join()
-            self._fail(stage, err)
-
-    def _route_inner(self, stage: int) -> None:
-        assert self.instrumentation is not None
-        metrics = self.instrumentation.stages[stage]
-        cond = self._conds[stage]
-        last = stage + 1 >= self.pipeline.n_stages
-        reorder = SequenceReorderer()
-        accepted = 0
-        while accepted < self._n_items:
-            if self._abort.is_set():
-                return
-            try:
-                msg = self._resq[stage].get(timeout=0.1)
-            except thread_queue.Empty:
-                continue
-            (w, slot, seq, ok, payload, service_s, wait_s, t_sent,
-             err_repr, recv_t) = msg
-            with cond:
-                entry = self._inflight[stage].get(seq)
-                if (
-                    entry is None
-                    or entry[0].worker is not w
-                    or entry[0].slot != slot
-                ):
-                    # Stale: this item was re-dispatched after its worker was
-                    # declared dead; exactly one assignment may deliver it.
-                    # The duplicate's result frame will never be read.
-                    if isinstance(payload, Frame):
-                        self._codec.release(payload)
-                    continue
-                replica, entry_payload = entry
-                del self._inflight[stage][seq]
-                replica.inflight -= 1
-                if (
-                    replica.retired
-                    and replica.inflight == 0
-                    and replica in self._replicas[stage]
-                ):
-                    self._replicas[stage].remove(replica)
-                queued = sum(r.inflight for r in self._replicas[stage])
-                cond.notify_all()
-            if ok == "reject":
-                # Task raced a retire on the worker: send it elsewhere.
-                if not self._dispatch(stage, seq, entry_payload):
-                    return
-                continue
-            if not ok:
-                self._codec.release(entry_payload)
-                self._fail(stage, RuntimeError(err_repr))
-                return
-            # The task frame was consumed on the worker; nothing can
-            # re-dispatch it now, so its segments can go.
-            self._codec.release(entry_payload)
-            # rtt minus worker-side service and queue wait is wire time both
-            # ways; halve it for the one-way transfer estimate, and pair the
-            # full overhead with the bytes that crossed (task out + result
-            # back) to feed the size-stratified latency/bandwidth fit.
-            overhead = max(0.0, (recv_t - t_sent) - service_s - wait_s)
-            crossed = entry_payload.nbytes + payload.nbytes
-            w.observe_transfer(crossed, overhead)
-            self._ref_bytes += 0.1 * (entry_payload.nbytes - self._ref_bytes)
-            with self._metrics_locks[stage]:
-                # work_estimate = service x effective speed, so a loaded
-                # worker's slow service still yields the true per-item work.
-                metrics.record_service(service_s, w.speed)
-                metrics.record_transfer(overhead / 2.0)
-                metrics.record_queue_length(queued)
-                metrics.record_bytes_in(entry_payload.nbytes)
-                metrics.record_bytes_out(payload.nbytes)
-            accepted += 1
-            for ready_seq, ready_payload in reorder.push(seq, payload):
-                if last:
-                    self._outputs.append(self._codec.decode(ready_payload))
-                    self._codec.release(ready_payload)
-                    with self._metrics_locks[stage]:
-                        self.instrumentation.record_completion(self.now())
-                else:
-                    if not self._dispatch(stage + 1, ready_seq, ready_payload):
-                        return
-
-    def join(self) -> BackendResult:
-        if not self._run_threads:
-            raise RuntimeError("backend not started")
-        for t in self._run_threads:
-            t.join()
-        self._elapsed = time.perf_counter() - self._t0
-        self._running = False
-        self._run_threads = []
-        if self._errors:
-            raise self._errors[0]
-        assert self.instrumentation is not None
-        return BackendResult(
-            backend=self.name,
-            outputs=self._outputs,
-            items=len(self._outputs),
-            elapsed=self._elapsed,
-            service_means=[
-                s.total.mean if s.total.n else math.nan
-                for s in self.instrumentation.stages
-            ],
-            replica_counts=self.replica_counts(),
-        )
-
-    def running(self) -> bool:
-        return self._running and any(t.is_alive() for t in self._run_threads)
-
+    # ------------------------------------------------------------- lifecycle
     def close(self) -> None:
         """Shut workers down and release every socket/thread (idempotent)."""
         with self._close_lock:
@@ -1034,9 +1122,11 @@ class DistributedBackend(Backend):
         for cond in self._conds:
             with cond:
                 cond.notify_all()
-        for t in self._run_threads:
-            t.join(timeout=2.0)
-        self._run_threads = []
+        if self._session is not None:
+            try:
+                self._session.close()
+            except BaseException:  # noqa: BLE001 - closing, not reporting
+                pass
         self._running = False
         with self._registry:
             workers = list(self._workers.values())
@@ -1072,22 +1162,6 @@ class DistributedBackend(Backend):
         self._codec.sweep()
 
     # ----------------------------------------------------------- observation
-    def now(self) -> float:
-        return time.perf_counter() - self._t0
-
-    def snapshots(self) -> list[StageSnapshot]:
-        if self.instrumentation is None:
-            return []
-        return self.instrumentation.snapshots(self._metrics_locks)
-
-    def items_completed(self) -> int:
-        return self.instrumentation.items_completed if self.instrumentation else 0
-
-    def recent_throughput(self, horizon: float) -> float:
-        if self.instrumentation is None:
-            return math.nan
-        return self.instrumentation.recent_throughput(self.now(), horizon)
-
     def resource_view(self, n_procs: int) -> ResourceView | None:
         """The measured worker pool as a virtual grid of ``n_procs`` slots.
 

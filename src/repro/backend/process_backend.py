@@ -2,33 +2,43 @@
 
 Each stage owns a pool of **pre-forked worker processes** (the ModelOps
 warm-pool idea: pay process start-up once, before the first item, and keep
-workers resident between runs).  Only ``replicas[i]`` of a stage's pool are
-*active*; ``reconfigure(stage, n)`` activates or deactivates warm workers
-instantly — no fork on the adaptation path.
+workers resident between streams).  Only ``replicas[i]`` of a stage's pool
+are *active*; ``reconfigure(stage, n)`` activates or deactivates warm
+workers instantly — no fork on the adaptation path.
 
 Topology (per stage ``i``)::
 
                       taskq (per worker, bounded)
-    router[i-1] ──┬──> worker i.0 ──┐
-       (parent)   ├──> worker i.1 ──┼──> resq[i] ──> router[i] ──> ...
-                  └──> worker i.R ──┘   (shared)      (parent)
+    feeder ───────┬──> worker i.0 ──┐
+    (session)     ├──> worker i.1 ──┼──> resq[i] ──> router[i] ──> ...
+                  └──> worker i.R ──┘   (shared)     (session)
 
+* The **pools belong to the backend** and survive across sessions and
+  streams; the **feeder and router threads belong to the session** and run
+  for its whole lifetime, so back-to-back streams reuse the same resident
+  worker processes with no teardown in between.  Sequence numbers are
+  stream-scoped: each router's :class:`~repro.util.ordering.SequenceReorderer`
+  rebases via ``begin_stream`` at every stream boundary (legal because
+  ``drain()`` empties the pipeline before the next stream admits).
 * Workers are OS processes running :func:`_worker_main`; items and results
   cross process boundaries as :class:`~repro.transport.Frame` objects
   produced by the backend's **transport codec** (``transport=``): inline
   pickle streams by default, shared-memory descriptors for large payloads
-  under ``"auto"``/``"shm"``, so multi-megabyte numpy items never funnel
-  through the task/result pipes.  Payloads are pre-encoded in the worker
-  so an unpicklable result surfaces as a :class:`StageError` instead of a
-  silent hang in ``multiprocessing``'s feeder thread.
-* **Routers** are parent-side threads, one per stage: they collect that
-  stage's results, record service-time/queue-depth samples, restore
-  sequence order, and dispatch in order to the *least-loaded active* worker
-  of the next stage.  Because every stage starts items in input order and
-  the final router emits in order, the ``Pipeline1for1`` contract holds
-  across processes exactly as it does in the thread runtime.
-* Bounded per-worker task queues and a bounded result queue give end-to-end
-  back-pressure.
+  under ``"auto"``/``"shm"``.  ``"auto"``'s placement threshold is
+  **calibrated at warm-up** from a quick encode/decode probe
+  (:func:`repro.transport.calibrated_auto_threshold`) instead of trusting
+  the static default — E17 showed the crossover varies by host.  Frame
+  segments are released per item as results retire (task frames in the
+  worker that consumed them, result frames in the router), never held to a
+  batch end.
+* **Routers** collect a stage's results, record service-time/queue-depth/
+  payload-size samples, restore sequence order, and dispatch in order to
+  the *least-loaded active* worker of the next stage.  Because every stage
+  starts items in input order and the final router delivers in order, the
+  ``Pipeline1for1`` contract holds across processes exactly as it does in
+  the thread runtime.
+* Bounded per-worker task queues, a bounded result queue and the session's
+  bounded admission window give end-to-end back-pressure.
 
 The default start method is ``fork`` where available (warm semantics, and
 closures/lambdas need no pickling); pass ``start_method="spawn"`` with
@@ -37,18 +47,22 @@ importable module-level stage functions on platforms without fork.
 
 from __future__ import annotations
 
-import math
 import multiprocessing as mp
 import pickle
 import queue as thread_queue
 import threading
 import time
-from typing import Any, Iterable
+from typing import Any
 
 from repro import transport as _transport
-from repro.backend.base import Backend, BackendResult, register_backend
+from repro.backend.base import (
+    Backend,
+    Session,
+    register_backend,
+    validate_pipeline_shape,
+)
 from repro.core.pipeline import PipelineSpec
-from repro.monitor.instrument import PipelineInstrumentation, StageSnapshot
+from repro.monitor.instrument import PipelineInstrumentation
 from repro.runtime.threads import StageError
 from repro.transport import Codec, Frame
 from repro.util.ordering import SequenceReorderer
@@ -57,6 +71,7 @@ from repro.util.validation import check_positive
 __all__ = ["ProcessPoolBackend"]
 
 _STOP = None  # poison pill: worker exits (sent only by close())
+_CLOSE = object()  # session-side feeder shutdown marker
 
 
 def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq, codec_spec) -> None:
@@ -74,8 +89,9 @@ def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq, codec_spec) 
             resq.put(("err", seq, worker_id, None, f"undecodable item: {err!r}"))
             continue
         # This worker is the frame's sole consumer and the process backend
-        # never re-dispatches (a worker death aborts the run), so the task
-        # frame's segments are released as soon as the value is copied out.
+        # never re-dispatches (a worker death aborts the stream), so the
+        # task frame's segments are released as soon as the value is copied
+        # out — per item, not at any batch boundary.
         codec.release(frame)
         t0 = time.perf_counter()
         try:
@@ -86,7 +102,7 @@ def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq, codec_spec) 
             except Exception:
                 err_payload = None
             resq.put(("err", seq, worker_id, err_payload, repr(err)))
-            continue  # stay warm; the parent aborts the run
+            continue  # stay warm; the parent aborts the stream
         dt = time.perf_counter() - t0
         try:
             out_frame = codec.encode(result)
@@ -144,6 +160,187 @@ class _StagePool:
             ]
 
 
+class _ProcessSession(Session):
+    """Session-owned feeder/router threads over the backend's warm pools."""
+
+    def __init__(
+        self, backend: "ProcessPoolBackend", *, max_inflight: int | None = None
+    ) -> None:
+        super().__init__(backend, max_inflight=max_inflight)
+        backend.warm()
+        n = backend.pipeline.n_stages
+        self.instrumentation = PipelineInstrumentation(n)
+        self._stage_locks = [threading.Lock() for _ in range(n)]
+        self._snapshot_locks = self._stage_locks
+        self._errors: list[BaseException] = []
+        self._abort = threading.Event()
+        self._stopping = threading.Event()
+        self._reorder = [SequenceReorderer() for _ in range(n)]
+        self._feedq: thread_queue.Queue = thread_queue.Queue()
+        self._threads = [
+            threading.Thread(target=self._feed, name="pp-feeder", daemon=True)
+        ]
+        for i in range(n):
+            self._threads.append(
+                threading.Thread(
+                    target=self._route, args=(i,), name=f"pp-router[{i}]", daemon=True
+                )
+            )
+        for t in self._threads:
+            t.start()
+
+    # ----------------------------------------------------------- port hooks
+    def _begin_stream(self, stream: int) -> None:
+        # drain() emptied the pipeline, so every router reorderer is idle:
+        # rebase them onto the new stream's sequence space.
+        for reorder in self._reorder:
+            reorder.begin_stream(0)
+
+    def _submit_one(self, stream: int, seq: int, gseq: int, item: Any) -> None:
+        self._feedq.put((seq, item))
+
+    def _shutdown(self) -> None:
+        backend: ProcessPoolBackend = self.backend  # type: ignore[assignment]
+        broken = self.broken or self._submitted > self._delivered
+        if broken:
+            self._abort.set()
+        self._stopping.set()
+        self._feedq.put(_CLOSE)
+        for t in self._threads:
+            t.join(timeout=5.0)
+        if broken:
+            # An aborted stream leaves worker queues in an unknown state: go
+            # cold so the next session re-forks clean pools.
+            backend._shutdown_pools(graceful=False)
+
+    # --------------------------------------------------------------- failure
+    def _fail(self, stage: int, err: BaseException) -> None:
+        backend: ProcessPoolBackend = self.backend  # type: ignore[assignment]
+        failure = (
+            err
+            if isinstance(err, StageError)
+            else StageError(backend.pipeline.stage(stage).name, err)
+        )
+        self._errors.append(failure)
+        self._abort.set()
+        self._deliver_error(failure)
+
+    # --------------------------------------------------------------- plumbing
+    def _record_bytes_in(self, stage: int, nbytes: int) -> None:
+        with self._stage_locks[stage]:
+            self.instrumentation.stages[stage].record_bytes_in(nbytes)
+
+    def _dispatch(self, stage: int, seq: int, frame: Frame) -> bool:
+        """Send one encoded item to the least-loaded active worker of ``stage``."""
+        backend: ProcessPoolBackend = self.backend  # type: ignore[assignment]
+        assert backend._pools is not None
+        pool = backend._pools[stage]
+        handle = pool.pick()
+        while True:
+            try:
+                handle.taskq.put((seq, frame), timeout=0.05)
+                return True
+            except thread_queue.Full:
+                if self._abort.is_set():
+                    with pool.lock:
+                        handle.inflight -= 1
+                    return False
+
+    def _feed(self) -> None:
+        backend: ProcessPoolBackend = self.backend  # type: ignore[assignment]
+        try:
+            while True:
+                msg = self._feedq.get()
+                if msg is _CLOSE:
+                    return
+                if self._abort.is_set():
+                    continue  # drain the feed queue without dispatching
+                seq, value = msg
+                frame = backend._codec.encode(value)
+                self._record_bytes_in(0, frame.nbytes)
+                if not self._dispatch(0, seq, frame):
+                    continue
+        except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
+            self._fail(0, err)
+
+    def _route(self, stage: int) -> None:
+        """Collect stage results, restore order, dispatch to the next stage.
+
+        Any unexpected failure here (unpicklable payloads, a result whose
+        class explodes on unpickle) must poison the session rather than
+        leave ``drain()`` waiting forever for items that will never arrive.
+        """
+        try:
+            self._route_inner(stage)
+        except BaseException as err:  # noqa: BLE001 - reported via the session
+            self._fail(stage, err)
+
+    def _route_inner(self, stage: int) -> None:
+        backend: ProcessPoolBackend = self.backend  # type: ignore[assignment]
+        assert backend._pools is not None
+        pool = backend._pools[stage]
+        metrics = self.instrumentation.stages[stage]
+        last = stage + 1 >= backend.pipeline.n_stages
+        reorder = self._reorder[stage]
+        while True:
+            if self._abort.is_set():
+                return
+            try:
+                msg = pool.resq.get(timeout=0.1)
+            except thread_queue.Empty:
+                if self._stopping.is_set():
+                    return
+                # No worker should die mid-stream (close() is the only
+                # sender of stop pills); a dead one with items in flight
+                # means those items are lost and the drain barrier would
+                # never clear — fail, don't hang.  Idle pools are left in
+                # peace between streams.
+                if pool.queued():
+                    dead = pool.dead_workers()
+                    if dead:
+                        wid, code = dead[0]
+                        self._fail(
+                            stage,
+                            RuntimeError(
+                                f"worker {wid} died mid-run (exitcode {code}); "
+                                "its in-flight items are lost"
+                            ),
+                        )
+                        return
+                continue
+            kind, seq, worker_id, payload, extra = msg
+            pool.note_done(worker_id)
+            if kind == "err":
+                original: BaseException
+                if payload is not None:
+                    try:
+                        original = pickle.loads(payload)
+                    except Exception:
+                        original = RuntimeError(extra)
+                else:
+                    original = RuntimeError(extra)
+                self._fail(stage, original)
+                return
+            with self._stage_locks[stage]:
+                metrics.record_service(extra, 1.0)
+                metrics.record_queue_length(pool.queued())
+                metrics.record_bytes_out(payload.nbytes)
+            # Workers already produced encoded frames and the next stage's
+            # workers expect exactly that format — forward each frame
+            # untouched and decode only for final outputs.
+            for ready_seq, ready_frame in reorder.push(seq, payload):
+                if last:
+                    value = backend._codec.decode(ready_frame)
+                    backend._codec.release(ready_frame)
+                    with self._stage_locks[stage]:
+                        self.instrumentation.record_completion(self.now())
+                    self._deliver(value)
+                else:
+                    self._record_bytes_in(stage + 1, ready_frame.nbytes)
+                    if not self._dispatch(stage + 1, ready_seq, ready_frame):
+                        return
+
+
 class ProcessPoolBackend(Backend):
     """Executes pipelines on warm, pre-forked per-stage process pools.
 
@@ -165,7 +362,11 @@ class ProcessPoolBackend(Backend):
         (``"auto"``/``"pickle"``/``"shm"``, see :mod:`repro.transport`) or
         a configured :class:`~repro.transport.Codec` instance.  The
         default ``"auto"`` keeps small items inline and routes large
-        numpy/bytes payloads through shared-memory segments.
+        numpy/bytes payloads through shared-memory segments, with the
+        placement threshold calibrated at warm-up.
+    calibrate_transport:
+        Probe the host's inline-vs-segment crossover at warm-up and use it
+        as ``"auto"``'s threshold (default True; only affects ``"auto"``).
     """
 
     name = "processes"
@@ -180,52 +381,28 @@ class ProcessPoolBackend(Backend):
         capacity: int | None = None,
         start_method: str | None = None,
         transport: str | Codec = "auto",
+        calibrate_transport: bool = True,
     ) -> None:
         super().__init__(pipeline)
         capacity = 8 if capacity is None else capacity
         check_positive(capacity, "capacity")
         check_positive(max_replicas, "max_replicas")
-        n = pipeline.n_stages
-        if replicas is None:
-            replicas = [1] * n
-        if len(replicas) != n:
-            raise ValueError(f"replicas must list {n} counts, got {len(replicas)}")
-        for i, r in enumerate(replicas):
-            if r < 1:
-                raise ValueError(f"stage {i} replica count must be >= 1, got {r}")
-            if r > 1 and not pipeline.stage(i).replicable:
-                raise ValueError(
-                    f"stage {i} ({pipeline.stage(i).name!r}) is stateful and "
-                    "cannot be replicated"
-                )
-            if pipeline.stage(i).fn is None:
-                raise ValueError(
-                    f"stage {i} ({pipeline.stage(i).name!r}) has no fn; the "
-                    "process runtime executes real callables"
-                )
+        replica_list = validate_pipeline_shape(pipeline, replicas, "process runtime")
         if start_method is None:
             methods = mp.get_all_start_methods()
             start_method = "fork" if "fork" in methods else methods[0]
         self._ctx = mp.get_context(start_method)
         self._codec = _transport.get(transport)
+        self._calibrate_transport = calibrate_transport
         self.capacity = capacity
         # A warm pool must at least cover the requested starting shape.
-        self.max_replicas = max(max_replicas, *replicas)
-        self._target = [min(r, self.replica_limit(i)) for i, r in enumerate(replicas)]
+        self.max_replicas = max(max_replicas, *replica_list)
+        self._target = [
+            min(r, self.replica_limit(i)) for i, r in enumerate(replica_list)
+        ]
         self._pools: list[_StagePool] | None = None
         self._warm = False
         self._closed = False
-        # Per-run state
-        self._running = False
-        self._threads: list[threading.Thread] = []
-        self._outputs: list[Any] = []
-        self._errors: list[BaseException] = []
-        self._abort = threading.Event()
-        self._t0 = 0.0
-        self._elapsed = 0.0
-        self._n_items = 0
-        self.instrumentation: PipelineInstrumentation | None = None
-        self._stage_locks = [threading.Lock() for _ in range(n)]
 
     # --------------------------------------------------------------- warm-up
     def replica_limit(self, stage: int) -> int:
@@ -237,6 +414,10 @@ class ProcessPoolBackend(Backend):
             raise RuntimeError("backend is closed")
         if self._warm:
             return
+        if self._calibrate_transport and self._codec.name == "auto":
+            fitted = _transport.calibrated_auto_threshold()
+            if fitted is not None:
+                self._codec.threshold = fitted
         pools = []
         for i in range(self.pipeline.n_stages):
             pool_size = self.replica_limit(i)
@@ -258,177 +439,9 @@ class ProcessPoolBackend(Backend):
         self._pools = pools
         self._warm = True
 
-    # ------------------------------------------------------------- lifecycle
-    def start(self, inputs: Iterable[Any]) -> int:
-        if self._closed:
-            raise RuntimeError("backend is closed")
-        if self._running:
-            raise RuntimeError("backend already running; join() it first")
-        self.warm()
-        assert self._pools is not None
-        items = list(inputs)
-        self._n_items = len(items)
-        self._outputs = []
-        self._errors = []
-        self._abort = threading.Event()
-        self.instrumentation = PipelineInstrumentation(self.pipeline.n_stages)
-        self._threads = []
-        self._t0 = time.perf_counter()
-        self._running = True
-
-        feeder = threading.Thread(
-            target=self._feed, args=(items,), name="pp-feeder", daemon=True
-        )
-        self._threads.append(feeder)
-        for i in range(self.pipeline.n_stages):
-            self._threads.append(
-                threading.Thread(
-                    target=self._route, args=(i,), name=f"pp-router[{i}]", daemon=True
-                )
-            )
-        for t in self._threads:
-            t.start()
-        return self._n_items
-
-    def _dispatch(self, stage: int, seq: int, frame: Frame) -> bool:
-        """Send one encoded item to the least-loaded active worker of ``stage``."""
-        assert self._pools is not None
-        handle = self._pools[stage].pick()
-        while True:
-            try:
-                handle.taskq.put((seq, frame), timeout=0.05)
-                return True
-            except thread_queue.Full:
-                if self._abort.is_set():
-                    with self._pools[stage].lock:
-                        handle.inflight -= 1
-                    return False
-
-    def _record_bytes_in(self, stage: int, nbytes: int) -> None:
-        assert self.instrumentation is not None
-        with self._stage_locks[stage]:
-            self.instrumentation.stages[stage].record_bytes_in(nbytes)
-
-    def _feed(self, items: list[Any]) -> None:
-        try:
-            for seq, value in enumerate(items):
-                if self._abort.is_set():
-                    return
-                frame = self._codec.encode(value)
-                self._record_bytes_in(0, frame.nbytes)
-                if not self._dispatch(0, seq, frame):
-                    return
-        except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
-            self._errors.append(StageError(self.pipeline.stage(0).name, err))
-            self._abort.set()
-
-    def _route(self, stage: int) -> None:
-        """Collect stage results, restore order, dispatch to the next stage.
-
-        Any unexpected failure here (unpicklable payloads, a result whose
-        class explodes on unpickle) must abort the run rather than leave
-        ``join()`` waiting forever for items that will never arrive.
-        """
-        try:
-            self._route_inner(stage)
-        except BaseException as err:  # noqa: BLE001 - reported via join()
-            self._errors.append(StageError(self.pipeline.stage(stage).name, err))
-            self._abort.set()
-
-    def _route_inner(self, stage: int) -> None:
-        assert self._pools is not None and self.instrumentation is not None
-        pool = self._pools[stage]
-        metrics = self.instrumentation.stages[stage]
-        last = stage + 1 >= self.pipeline.n_stages
-        reorder = SequenceReorderer()
-        received = 0
-        while received < self._n_items:
-            if self._abort.is_set():
-                return
-            try:
-                msg = pool.resq.get(timeout=0.1)
-            except thread_queue.Empty:
-                # No worker should die mid-run (close() is the only sender of
-                # stop pills); a dead one means its queued items are lost and
-                # `received` would never reach n_items — fail, don't hang.
-                dead = pool.dead_workers()
-                if dead:
-                    wid, code = dead[0]
-                    self._errors.append(
-                        StageError(
-                            self.pipeline.stage(stage).name,
-                            RuntimeError(
-                                f"worker {wid} died mid-run (exitcode {code}); "
-                                "its in-flight items are lost"
-                            ),
-                        )
-                    )
-                    self._abort.set()
-                    return
-                continue
-            kind, seq, worker_id, payload, extra = msg
-            pool.note_done(worker_id)
-            if kind == "err":
-                original: BaseException
-                if payload is not None:
-                    try:
-                        original = pickle.loads(payload)
-                    except Exception:
-                        original = RuntimeError(extra)
-                else:
-                    original = RuntimeError(extra)
-                self._errors.append(
-                    StageError(self.pipeline.stage(stage).name, original)
-                )
-                self._abort.set()
-                return
-            received += 1
-            with self._stage_locks[stage]:
-                metrics.record_service(extra, 1.0)
-                metrics.record_queue_length(pool.queued())
-                metrics.record_bytes_out(payload.nbytes)
-            # Workers already produced encoded frames and the next stage's
-            # workers expect exactly that format — forward each frame
-            # untouched and decode only for final outputs.
-            for ready_seq, ready_frame in reorder.push(seq, payload):
-                if last:
-                    self._outputs.append(self._codec.decode(ready_frame))
-                    self._codec.release(ready_frame)
-                    with self._stage_locks[stage]:
-                        self.instrumentation.record_completion(self.now())
-                else:
-                    self._record_bytes_in(stage + 1, ready_frame.nbytes)
-                    if not self._dispatch(stage + 1, ready_seq, ready_frame):
-                        return
-
-    def join(self) -> BackendResult:
-        if not self._threads:
-            raise RuntimeError("backend not started")
-        for t in self._threads:
-            t.join()
-        self._elapsed = time.perf_counter() - self._t0
-        self._running = False
-        self._threads = []
-        if self._errors:
-            # A failed run leaves queues in an unknown state: go cold so the
-            # next start() re-forks clean pools.
-            self._shutdown_pools(graceful=False)
-            raise self._errors[0]
-        assert self.instrumentation is not None
-        return BackendResult(
-            backend=self.name,
-            outputs=self._outputs,
-            items=len(self._outputs),
-            elapsed=self._elapsed,
-            service_means=[
-                s.total.mean if s.total.n else math.nan
-                for s in self.instrumentation.stages
-            ],
-            replica_counts=self.replica_counts(),
-        )
-
-    def running(self) -> bool:
-        return self._running and any(t.is_alive() for t in self._threads)
+    # ------------------------------------------------------------- sessions
+    def _open_session(self, *, max_inflight: int | None = None) -> Session:
+        return _ProcessSession(self, max_inflight=max_inflight)
 
     def _shutdown_pools(self, *, graceful: bool) -> None:
         if self._pools is None:
@@ -459,30 +472,9 @@ class ProcessPoolBackend(Backend):
         """Stop every warm worker and release the pools (idempotent)."""
         if self._closed:
             return
-        self._abort.set()
-        for t in self._threads:
-            t.join(timeout=1.0)
-        self._threads = []
-        self._running = False
-        self._shutdown_pools(graceful=not self._errors)
         self._closed = True
-
-    # ----------------------------------------------------------- observation
-    def now(self) -> float:
-        return time.perf_counter() - self._t0
-
-    def snapshots(self) -> list[StageSnapshot]:
-        if self.instrumentation is None:
-            return []
-        return self.instrumentation.snapshots(self._stage_locks)
-
-    def items_completed(self) -> int:
-        return self.instrumentation.items_completed if self.instrumentation else 0
-
-    def recent_throughput(self, horizon: float) -> float:
-        if self.instrumentation is None:
-            return math.nan
-        return self.instrumentation.recent_throughput(self.now(), horizon)
+        super().close()  # closes the session (a broken one goes cold itself)
+        self._shutdown_pools(graceful=True)
 
     # ----------------------------------------------------------------- shape
     def replica_counts(self) -> list[int]:

@@ -2,17 +2,24 @@
 
 :class:`RuntimeAdaptiveRunner` closes the loop the simulator's controller
 runs in simulated time (:mod:`repro.core.adaptive`), but against a live
-:class:`~repro.backend.base.Backend`:
+:class:`~repro.backend.base.Backend` — and, since the streaming refactor,
+against a live **session**: :meth:`~RuntimeAdaptiveRunner.attach` binds a
+controller thread to a :class:`~repro.backend.base.Session`, and that one
+controller keeps observing and acting across every stream the session
+serves.  The measurement window, cooldown state and current mapping are
+continuous across stream boundaries instead of restarting per ``run()`` —
+exactly what a resident service needs.
 
 * **observe** — the backend's per-stage :class:`StageSnapshot` samples
   (wall-clock service times and queue depths collected through
-  :mod:`repro.monitor.instrument`);
+  :mod:`repro.monitor.instrument`, cumulative across streams);
 * **decide** — any policy with the ``decide(...)`` signature of
-  :class:`~repro.core.policy.AdaptationPolicy` (the model-driven default)
-  or :class:`~repro.core.policies_alt.ReactivePolicy`.  The policy reasons
-  over a **virtual local grid**: one uniform unit-speed processor per
-  available slot, so "replicate the bottleneck stage onto an idle
-  processor" translates to "activate another warm worker";
+  :class:`~repro.core.policy.AdaptationPolicy` (the model-driven default),
+  :class:`~repro.core.policies_alt.ReactivePolicy`, or the
+  :class:`BottleneckGrowthPolicy` heuristic.  The policy reasons over a
+  **virtual local grid**: one uniform unit-speed processor per available
+  slot, so "replicate the bottleneck stage onto an idle processor"
+  translates to "activate another warm worker";
 * **act** — mapping deltas become ``backend.reconfigure(stage, n)`` calls,
   clamped to the backend's warm-pool limits;
 * **validate** — after ``settle_time`` the measured sink throughput is
@@ -26,26 +33,39 @@ a view carrying load-derived effective speeds (thread backend) or
 per-worker speeds plus measured link costs (distributed backend), falling
 back to uniform unit-speed processors — where ``work_estimate`` *is* the
 measured wall-clock service time.
+
+``run(inputs)`` remains the bounded-stream convenience: it attaches (once,
+lazily), feeds the items through ``session.submit`` under backpressure,
+drains, and reports the events of that stream — repeated calls stream
+back-to-back over the same warm session with the controller never
+detaching in between.
 """
 
 from __future__ import annotations
 
 import math
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Iterable
 
-from repro.backend.base import Backend, make_backend
-from repro.core.events import AdaptationEvent
+from repro.backend.base import Backend, Session, make_backend
+from repro.core.events import AdaptationEvent, Decision
 from repro.core.pipeline import PipelineSpec
 from repro.core.policy import AdaptationConfig, AdaptationPolicy
 from repro.gridsim.spec import uniform_grid
 from repro.model.cost import MigrationCostModel
 from repro.model.mapping import Mapping
 from repro.model.throughput import ResourceView, snapshot_view
+from repro.runtime.threads import propose_growth
 
-__all__ = ["RuntimeAdaptiveRunner", "RuntimeRunResult", "local_config"]
+__all__ = [
+    "BottleneckGrowthPolicy",
+    "RuntimeAdaptiveRunner",
+    "RuntimeRunResult",
+    "local_config",
+]
 
 
 def local_config(**overrides) -> AdaptationConfig:
@@ -70,7 +90,7 @@ def local_config(**overrides) -> AdaptationConfig:
 
 @dataclass
 class RuntimeRunResult:
-    """Outcome of one adaptively-controlled run on a real backend."""
+    """Outcome of one adaptively-controlled stream on a real backend."""
 
     backend: str
     outputs: list[Any] | None
@@ -84,6 +104,88 @@ class RuntimeRunResult:
     @property
     def throughput(self) -> float:
         return self.items / self.elapsed if self.elapsed > 0 else 0.0
+
+
+class BottleneckGrowthPolicy:
+    """The classic batch growth heuristic as a live policy.
+
+    Wraps :func:`repro.runtime.threads.propose_growth` — grow the stage
+    with the largest windowed service time per worker, when it dominates
+    the runner-up by ``imbalance_threshold`` and is replicable and under
+    ``max_workers`` — in the runner's ``decide`` signature, replacing the
+    bespoke rebuild-between-batches controller
+    :class:`~repro.runtime.threads.AdaptiveThreadPipeline` used to run.
+    Grow-only and model-free: useful where the model-driven default is too
+    eager, or for parity with the legacy batch-mode behaviour.
+    """
+
+    def __init__(
+        self,
+        pipeline: PipelineSpec,
+        config: AdaptationConfig | None = None,
+        *,
+        max_workers: int = 4,
+        imbalance_threshold: float = 1.5,
+    ) -> None:
+        self.pipeline = pipeline
+        self.config = config if config is not None else local_config()
+        self.max_workers = max_workers
+        self.imbalance_threshold = imbalance_threshold
+
+    def decide(
+        self,
+        *,
+        now: float,
+        current: Mapping,
+        snapshots,
+        view: ResourceView,
+        source_pid: int,
+        sink_pid: int,
+        remaining_items: int,
+        last_action_time: float = -math.inf,
+    ) -> Decision:
+        cfg = self.config
+        if now - last_action_time < cfg.cooldown:
+            return Decision(None, reason="cooldown")
+        if remaining_items <= 0:
+            return Decision(None, reason="no-remaining-work")
+        n = self.pipeline.n_stages
+        per_worker, counts, replicable = [], [], []
+        for i in range(n):
+            snap = snapshots[i] if i < len(snapshots) else None
+            n_reps = len(current.replicas(i))
+            service = 0.0
+            if (
+                snap is not None
+                and snap.items_processed >= cfg.min_samples
+                and not math.isnan(snap.service_time)
+            ):
+                service = snap.service_time
+            per_worker.append(service / n_reps)
+            counts.append(n_reps)
+            replicable.append(self.pipeline.stage(i).replicable)
+        stage = propose_growth(
+            per_worker,
+            counts,
+            replicable,
+            max_workers=self.max_workers,
+            imbalance_threshold=self.imbalance_threshold,
+        )
+        if stage is None:
+            return Decision(None, reason="balanced-or-capped")
+        used = {p for i in range(n) for p in current.replicas(i)}
+        free = [p for p in view.pids() if p not in used]
+        if not free:
+            return Decision(None, reason="no-free-processor")
+        new = current.with_stage(stage, list(current.replicas(stage)) + [free[0]])
+        return Decision(
+            new,
+            reason=(
+                f"grow bottleneck stage {stage} to {counts[stage] + 1} workers "
+                f"({per_worker[stage] * 1e3:.1f} ms/item/worker)"
+            ),
+            predicted_gain=1.0,
+        )
 
 
 class RuntimeAdaptiveRunner:
@@ -124,9 +226,9 @@ class RuntimeAdaptiveRunner:
         **backend_kwargs,
     ) -> None:
         self.pipeline = pipeline
-        # run() keeps the backend's pools warm so the runner can be reused;
-        # close() (or the context manager) reaps them, whether the backend
-        # was built here from a name or passed in pre-configured.
+        # run() keeps the backend's session warm so the runner can be
+        # reused; close() (or the context manager) reaps it, whether the
+        # backend was built here from a name or passed in pre-configured.
         self.backend = make_backend(backend, pipeline, **backend_kwargs)
         if not self.backend.supports_live_reconfigure:
             raise ValueError(
@@ -152,10 +254,57 @@ class RuntimeAdaptiveRunner:
         self._view: ResourceView = snapshot_view(
             uniform_grid(n_virtual_procs).snapshot(0.0)
         )
+        # Controller state (guarded by _lock; persists across streams).
+        self._lock = threading.Lock()
+        self._controller: threading.Thread | None = None
+        self._stop = threading.Event()
+        self._attached: Session | None = None
+        self._attach_t0 = 0.0
+        self._run_t0: float | None = None
+        self._controller_error: BaseException | None = None
+        self.events: list[AdaptationEvent] = []
+        self.replica_history: list[tuple[float, tuple[int, ...]]] = []
 
     # ------------------------------------------------------------- lifecycle
+    def attach(self, session: Session | None = None) -> Session:
+        """Bind the control loop to ``session`` (opening one if needed).
+
+        The controller thread observes, decides and acts for as long as the
+        session lives — across every stream it serves — keeping cooldowns
+        and the measurement window continuous over stream boundaries.
+        Returns the attached session.
+        """
+        if self._controller is not None and self._controller.is_alive():
+            raise RuntimeError("controller already attached; detach() it first")
+        if session is None:
+            # Reuse the backend's live session (replacing a broken one)
+            # rather than demanding a fresh open: attaching to whatever is
+            # already streaming is the common case.
+            session = self.backend._current_session()
+        self._attached = session
+        self._stop = threading.Event()
+        self._attach_t0 = time.perf_counter()
+        self._controller_error = None
+        self._controller = threading.Thread(
+            target=self._controller_main,
+            args=(session, self._stop),
+            name="adaptive-controller",
+            daemon=True,
+        )
+        self._controller.start()
+        return session
+
+    def detach(self) -> None:
+        """Stop the control loop (the session keeps streaming unadapted)."""
+        self._stop.set()
+        if self._controller is not None:
+            self._controller.join(timeout=5.0)
+            self._controller = None
+        self._attached = None
+
     def close(self) -> None:
-        """Release the backend's warm resources (always delegates)."""
+        """Detach and release the backend's warm resources."""
+        self.detach()
         self.backend.close()
 
     def __enter__(self) -> "RuntimeAdaptiveRunner":
@@ -165,6 +314,66 @@ class RuntimeAdaptiveRunner:
         self.close()
 
     # ------------------------------------------------------------------ run
+    def run(self, inputs: Iterable[Any]) -> RuntimeRunResult:
+        """Process ``inputs`` as one adaptively-controlled bounded stream.
+
+        Attaches on first use and stays attached, so repeated ``run`` calls
+        stream back-to-back over one warm session with the controller
+        adapting continuously across the boundaries.  The result carries
+        the events and replica timeline of *this* stream.
+        """
+        items = list(inputs)
+        session = self._attached
+        if session is None or session.closed or session.broken:
+            if self._controller is not None:
+                self.detach()
+            session = self.attach()
+        with self._lock:
+            events_mark = len(self.events)
+            self._run_t0 = time.perf_counter()
+            run_start_counts = tuple(self.backend.replica_counts())
+        t0 = time.perf_counter()
+        try:
+            for item in items:
+                session.submit(item)
+            outputs = session.drain()
+        except BaseException:
+            # The stream failed (or was interrupted): the controller has
+            # nothing live left to adapt — detach so state is not smeared
+            # into a future session.
+            self.detach()
+            raise
+        finally:
+            with self._lock:
+                self._run_t0 = None
+        if self._controller_error is not None:
+            # A crashing decide step must not be silently swallowed: reap
+            # the backend (mirroring the one-shot runner) and re-raise.
+            err = self._controller_error
+            self.close()
+            raise err
+        elapsed = session.last_stream_elapsed
+        with self._lock:
+            run_events = list(self.events[events_mark:])
+        history = [(0.0, run_start_counts)]
+        history += [(e.time, self._counts_of(e.mapping_after)) for e in run_events]
+        return RuntimeRunResult(
+            backend=self.backend.name,
+            outputs=outputs if session.produces_outputs else None,
+            items=session.last_stream_items,
+            elapsed=elapsed if elapsed is not None else time.perf_counter() - t0,
+            adaptation_events=run_events,
+            replica_history=history,
+            final_replicas=list(self.backend.replica_counts()),
+            service_means=session.service_means(),
+        )
+
+    def _counts_of(self, mapping: Mapping) -> tuple[int, ...]:
+        return tuple(
+            len(mapping.replicas(i)) for i in range(self.pipeline.n_stages)
+        )
+
+    # ------------------------------------------------------------ controller
     def _initial_mapping(self) -> Mapping:
         """Spread stages over virtual processors, honouring start replicas."""
         counts = self.backend.replica_counts()
@@ -180,57 +389,44 @@ class RuntimeAdaptiveRunner:
             stages.append(tuple(reps))
         return Mapping(tuple(stages))
 
-    def _sleep_until(self, deadline: float, n_items: int) -> bool:
-        """Sleep in short slices; False when the run finished meanwhile."""
+    def _now(self) -> float:
+        """Controller clock: stream-relative while a run() is active."""
+        with self._lock:
+            t0 = self._run_t0 if self._run_t0 is not None else self._attach_t0
+        return time.perf_counter() - t0
+
+    def _session_live(self, session: Session, stop: threading.Event) -> bool:
+        return not stop.is_set() and not session.closed and not session.broken
+
+    def _wait_active(
+        self, session: Session, stop: threading.Event, duration: float
+    ) -> bool:
+        """Sleep ``duration`` in slices; False once nothing is left flowing."""
+        deadline = time.perf_counter() + duration
         while time.perf_counter() < deadline:
-            if not self.backend.running() or self.backend.items_completed() >= n_items:
+            if not self._session_live(session, stop):
                 return False
             time.sleep(0.02)
-        return self.backend.running() and self.backend.items_completed() < n_items
+        return self._session_live(session, stop) and session.backlog > 0
 
-    def run(self, inputs: Iterable[Any]) -> RuntimeRunResult:
-        """Process ``inputs`` adaptively; returns outputs plus the timeline."""
-        cfg = self.config
-        n_items = self.backend.start(inputs)
-        t0 = time.perf_counter()
-        mapping = self._initial_mapping()
-        events: list[AdaptationEvent] = []
-        replica_history: list[tuple[float, tuple[int, ...]]] = [
-            (0.0, tuple(self.backend.replica_counts()))
-        ]
-        last_action = -math.inf
-
+    def _controller_main(self, session: Session, stop: threading.Event) -> None:
         try:
-            self._control_loop(cfg, n_items, t0, mapping, events, replica_history, last_action)
-        except BaseException:
-            # A crashing decide step (or an interrupt) must not orphan the
-            # started run: reap it so the backend is reusable/inspectable.
-            self.backend.close()
-            raise
-        result = self.backend.join()
-        return RuntimeRunResult(
-            backend=result.backend,
-            outputs=result.outputs,
-            items=result.items,
-            elapsed=result.elapsed,
-            adaptation_events=events,
-            replica_history=replica_history,
-            final_replicas=list(result.replica_counts),
-            service_means=list(result.service_means),
-        )
+            self._control_loop(session, stop)
+        except BaseException as err:  # noqa: BLE001 - re-raised from run()
+            self._controller_error = err
 
-    def _control_loop(
-        self,
-        cfg: AdaptationConfig,
-        n_items: int,
-        t0: float,
-        mapping: Mapping,
-        events: list[AdaptationEvent],
-        replica_history: list[tuple[float, tuple[int, ...]]],
-        last_action: float,
-    ) -> None:
-        while self._sleep_until(time.perf_counter() + cfg.interval, n_items):
-            now = time.perf_counter() - t0
+    def _control_loop(self, session: Session, stop: threading.Event) -> None:
+        cfg = self.config
+        mapping = self._initial_mapping()
+        last_action = -math.inf
+        while self._session_live(session, stop):
+            stop.wait(cfg.interval)
+            if not self._session_live(session, stop):
+                return
+            backlog = session.backlog
+            if backlog <= 0:
+                continue  # idle between streams: nothing to measure or move
+            now = self._now()
             # Ground the virtual grid in the backend's measured reality when
             # it has one (host load, per-worker speeds, link costs); the
             # uniform unit-speed view remains the fallback.
@@ -242,7 +438,7 @@ class RuntimeAdaptiveRunner:
                 view=measured_view if measured_view is not None else self._view,
                 source_pid=0,
                 sink_pid=0,
-                remaining_items=n_items - self.backend.items_completed(),
+                remaining_items=backlog,
                 last_action_time=last_action,
             )
             if not decision.acts:
@@ -270,8 +466,8 @@ class RuntimeAdaptiveRunner:
                 if old_n != new_n:
                     self.backend.reconfigure(i, new_n)
             # Record what the backend *achieved*, not what was proposed — a
-            # live grow can no-op (e.g. the stage already drained), and the
-            # timeline must not claim replicas that never existed.
+            # live grow can no-op, and the timeline must not claim replicas
+            # that never existed.
             realized = self.backend.replica_counts()
             if realized == old_counts:
                 continue
@@ -281,28 +477,26 @@ class RuntimeAdaptiveRunner:
                     new_mapping = new_mapping.with_stage(i, list(reps)[:cnt])
             old_mapping = mapping
             mapping = new_mapping
-            last_action = time.perf_counter() - t0
+            last_action = self._now()
             kind = "replicate" if new_mapping.is_replicated() else "remap"
-            events.append(
-                AdaptationEvent(
-                    time=last_action,
-                    kind=kind,
-                    mapping_before=old_mapping,
-                    mapping_after=new_mapping,
-                    reason=decision.reason,
-                    predicted_gain=decision.predicted_gain,
-                    throughput_before=before_tp,
-                )
+            event = AdaptationEvent(
+                time=last_action,
+                kind=kind,
+                mapping_before=old_mapping,
+                mapping_after=new_mapping,
+                reason=decision.reason,
+                predicted_gain=decision.predicted_gain,
+                throughput_before=before_tp,
             )
-            replica_history.append((last_action, tuple(realized)))
+            with self._lock:
+                self.events.append(event)
+                self.replica_history.append((last_action, tuple(realized)))
             if not self.rollback:
                 continue
             # Post-action validation mirrors the simulator controller: let
             # in-flight items drain for one settle window, measure a second.
-            if not self._sleep_until(
-                time.perf_counter() + 2 * cfg.settle_time, n_items
-            ):
-                break
+            if not self._wait_active(session, stop, 2 * cfg.settle_time):
+                continue
             after_tp = self.backend.recent_throughput(cfg.settle_time)
             if (
                 not math.isnan(before_tp)
@@ -312,21 +506,21 @@ class RuntimeAdaptiveRunner:
                 for i, (old_n, new_n) in enumerate(zip(old_counts, realized)):
                     if old_n != new_n:
                         self.backend.reconfigure(i, old_n)
-                now = time.perf_counter() - t0
-                events.append(
-                    AdaptationEvent(
-                        time=now,
-                        kind="rollback",
-                        mapping_before=new_mapping,
-                        mapping_after=old_mapping,
-                        reason=(
-                            f"measured {after_tp:.3f}/s < "
-                            f"{cfg.rollback_tolerance:.2f} x {before_tp:.3f}/s"
-                        ),
-                        predicted_gain=1.0,
-                        throughput_before=after_tp,
-                    )
+                now = self._now()
+                rollback_event = AdaptationEvent(
+                    time=now,
+                    kind="rollback",
+                    mapping_before=new_mapping,
+                    mapping_after=old_mapping,
+                    reason=(
+                        f"measured {after_tp:.3f}/s < "
+                        f"{cfg.rollback_tolerance:.2f} x {before_tp:.3f}/s"
+                    ),
+                    predicted_gain=1.0,
+                    throughput_before=after_tp,
                 )
+                with self._lock:
+                    self.events.append(rollback_event)
+                    self.replica_history.append((now, tuple(old_counts)))
                 mapping = old_mapping
-                replica_history.append((now, tuple(old_counts)))
                 last_action = now + cfg.cooldown  # demand stronger evidence

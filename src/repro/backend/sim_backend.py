@@ -16,9 +16,9 @@ simulated time.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any
 
-from repro.backend.base import Backend, BackendResult, register_backend
+from repro.backend.base import Backend, Session, register_backend
 from repro.core.adaptive import AdaptivePipeline
 from repro.core.events import RunResult
 from repro.core.pipeline import PipelineSpec
@@ -28,6 +28,45 @@ from repro.gridsim.spec import uniform_grid
 from repro.model.mapping import Mapping
 
 __all__ = ["SimBackend"]
+
+
+class _SimSession(Session):
+    """Batch-emulation shim: buffer submits, simulate the stream at drain.
+
+    The discrete-event engine has no wall-clock midpoint to stream results
+    at, so the session buffers the whole stream and runs one simulation
+    when the stream ends — the inverse of the real executors, where the
+    batch path wraps the streaming one.  Several sequential streams on one
+    session emulate back-to-back bounded streams (each is its own sim run).
+    """
+
+    def __init__(self, backend: "SimBackend", *, max_inflight: int | None = None) -> None:
+        super().__init__(backend, max_inflight=max_inflight)
+        self._items: list[Any] = []
+        self._sim_elapsed = 0.0
+
+    def _begin_stream(self, stream: int) -> None:
+        self._items = []
+
+    def _submit_one(self, stream: int, seq: int, gseq: int, item: Any) -> None:
+        self._items.append(item)
+
+    def _end_stream(self, stream: int, n_items: int) -> None:
+        backend: SimBackend = self.backend  # type: ignore[assignment]
+        outputs = backend._simulate(self._items)
+        self.produces_outputs = outputs is not None
+        self._sim_elapsed = (
+            backend.last_run.end_time if backend.last_run is not None else 0.0
+        )
+        for i in range(n_items):
+            self._deliver(outputs[i] if outputs is not None else None)
+
+    def _finalize_stream(self, wall_elapsed: float) -> float:
+        return self._sim_elapsed  # the simulator's clock, not the wall's
+
+    def service_means(self) -> list[float]:
+        backend: SimBackend = self.backend  # type: ignore[assignment]
+        return backend.service_means_from_spec()
 
 
 class SimBackend(Backend):
@@ -83,12 +122,12 @@ class SimBackend(Backend):
         self.mapping = mapping
         self.seed = seed
         self.last_run: RunResult | None = None
-        self._outputs: list[Any] | None = None
-        self._n_items = 0
 
-    def start(self, inputs: Iterable[Any]) -> int:
-        items = list(inputs)
-        self._n_items = len(items)
+    def _open_session(self, *, max_inflight: int | None = None) -> Session:
+        return _SimSession(self, max_inflight=max_inflight)
+
+    def _simulate(self, items: list[Any]) -> list[Any] | None:
+        """One simulated stream; returns computed outputs when fns exist."""
         if all(s.fn is not None for s in self.pipeline.stages):
             outputs = []
             for item in items:
@@ -96,9 +135,8 @@ class SimBackend(Backend):
                     assert spec.fn is not None
                     item = spec.fn(item)
                 outputs.append(item)
-            self._outputs = outputs
         else:
-            self._outputs = None
+            outputs = None
         runner = AdaptivePipeline(
             self.pipeline,
             self.grid,
@@ -107,24 +145,11 @@ class SimBackend(Backend):
             buffer_capacity=self.buffer_capacity,
             seed=self.seed,
         )
-        self.last_run = runner.run(self._n_items)
-        return self._n_items
+        self.last_run = runner.run(len(items))
+        return outputs
 
-    def join(self) -> BackendResult:
-        if self.last_run is None:
-            raise RuntimeError("backend not started")
-        run = self.last_run
-        return BackendResult(
-            backend=self.name,
-            outputs=self._outputs,
-            items=run.items_completed,
-            elapsed=run.end_time,
-            service_means=[c.work for c in self.pipeline.stage_costs()],
-            replica_counts=[
-                len(run.final_mapping.replicas(i))
-                for i in range(self.pipeline.n_stages)
-            ],
-        )
+    def service_means_from_spec(self) -> list[float]:
+        return [c.work for c in self.pipeline.stage_costs()]
 
     def items_completed(self) -> int:
         return self.last_run.items_completed if self.last_run else 0

@@ -1,34 +1,207 @@
-"""Thread adapter: the existing :class:`ThreadPipeline` behind the port.
+"""Thread adapter: a native streaming session on the thread runtime.
 
 Threads share the interpreter, so this backend suits I/O-bound stages and
 GIL-releasing (numpy) kernels; pure-Python CPU-bound stages should use the
-process backend instead.  Live reconfiguration maps directly onto the
-thread pipeline's ``add_replica``/``remove_replica`` — growth spawns a
-worker into the running stage, shrink retires one lazily.
+process backend instead.
+
+The session owns the whole thread fabric for its lifetime — per-stage
+dispatchers, worker pools, the output collector — wired exactly like
+:class:`~repro.runtime.threads.ThreadPipeline` (whose queue/dispatcher/
+worker building blocks it reuses) but **open-ended**: the submit side is
+the first queue's only producer and finishes only at ``close()``, so the
+sentinel shutdown cascade never fires between streams and back-to-back
+streams reuse the same warm worker threads.  Sequence numbers are
+session-global (``gseq``), which lets the per-stage
+:class:`~repro.util.ordering.SequenceReorderer` instances keep one ordering
+space across stream boundaries.
+
+Live reconfiguration maps onto the same wiring as the pipeline runtime's
+``add_replica``/``remove_replica``: growth spawns a worker into the running
+stage (always possible — a session's stage never drains before close),
+shrink retires one lazily via the ``_RETIRE`` pill.
 """
 
 from __future__ import annotations
 
-import math
-from typing import Any, Iterable
+import threading
+from typing import Any
 
-from repro.backend.base import Backend, BackendResult, register_backend
+from repro.backend.base import (
+    Backend,
+    Session,
+    register_backend,
+    validate_pipeline_shape,
+)
 from repro.core.pipeline import PipelineSpec
 from repro.model.throughput import ResourceView, fn_view
-from repro.monitor.instrument import StageSnapshot
+from repro.monitor.instrument import PipelineInstrumentation
 from repro.monitor.resource_monitor import HostLoadSampler
-from repro.runtime.threads import ThreadPipeline
+from repro.runtime.threads import (
+    _RETIRE,
+    _SENTINEL,
+    _CountedQueue,
+    _Dispatcher,
+    _Worker,
+)
 from repro.util.validation import check_positive
 
 __all__ = ["ThreadBackend"]
 
 
-class ThreadBackend(Backend):
-    """Runs pipelines on :class:`~repro.runtime.threads.ThreadPipeline`.
+class _ThreadSession(Session):
+    """Session-owned thread fabric (see module docstring)."""
 
-    One instance is reusable: replica counts adapted during a run carry
-    over to the next (warm in shape, if not in threads — workers are cheap
-    to start, so pools are rebuilt per run).
+    def __init__(self, backend: "ThreadBackend", *, max_inflight: int | None = None) -> None:
+        super().__init__(backend, max_inflight=max_inflight)
+        pipeline = backend.pipeline
+        n = pipeline.n_stages
+        self.replicas = list(backend._target)
+        self.capacity = backend.capacity
+        self.instrumentation = PipelineInstrumentation(n)
+        self._locks = [threading.Lock() for _ in range(n)]
+        self._snapshot_locks = self._locks
+        self._abort = threading.Event()
+        self._errors: list[BaseException] = []
+        self._mutate_lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+
+        # Wiring: in_q[i] -> dispatcher -> work_q[i] -> workers -> in_q[i+1];
+        # the session's submit side is in_q[0]'s single producer, finishing
+        # only at close — the cascade stays armed across streams.
+        self._in_q: list[_CountedQueue] = []
+        self._work_q: list[_CountedQueue] = []
+        producers_of_next = 1
+        for i in range(n):
+            self._in_q.append(
+                _CountedQueue(self.capacity, producers=producers_of_next, consumers=1)
+            )
+            self._work_q.append(
+                _CountedQueue(self.capacity, producers=1, consumers=self.replicas[i])
+            )
+            producers_of_next = self.replicas[i]
+        self._collect_q = _CountedQueue(
+            self.capacity, producers=producers_of_next, consumers=1
+        )
+        self._final_q = _CountedQueue(self.capacity, producers=1, consumers=1)
+
+        for i in range(n):
+            self._threads.append(
+                _Dispatcher(
+                    self._in_q[i],
+                    self._work_q[i],
+                    name=f"session-dispatch[{i}]",
+                    abort=self._abort,
+                    metrics=self.instrumentation.stages[i],
+                    metrics_lock=self._locks[i],
+                )
+            )
+            for r in range(self.replicas[i]):
+                self._threads.append(self._make_worker(i, r))
+        self._threads.append(
+            _Dispatcher(
+                self._collect_q, self._final_q, name="session-dispatch[out]",
+                abort=self._abort,
+            )
+        )
+        self._collector = threading.Thread(
+            target=self._collect, name="session-collector", daemon=True
+        )
+        self._watcher = threading.Thread(
+            target=self._watch_abort, name="session-abort-watch", daemon=True
+        )
+        for t in self._threads:
+            t.start()
+        self._collector.start()
+        self._watcher.start()
+
+    # ---------------------------------------------------------------- fabric
+    def _worker_out_queue(self, stage: int) -> _CountedQueue:
+        n = self.backend.pipeline.n_stages
+        return self._in_q[stage + 1] if stage + 1 < n else self._collect_q
+
+    def _make_worker(self, stage: int, replica_idx: int) -> _Worker:
+        spec = self.backend.pipeline.stage(stage)
+        return _Worker(
+            stage,
+            spec.name,
+            spec.fn,
+            self._work_q[stage],
+            self._worker_out_queue(stage),
+            self.instrumentation.stages[stage],
+            self._locks[stage],
+            self._errors,
+            self._abort,
+            name=f"session-stage[{stage}].{replica_idx}",
+            speed_fn=self.backend._load.effective_speed,
+        )
+
+    def _collect(self) -> None:
+        while True:
+            got = self._final_q.get()
+            if got is _SENTINEL:
+                break
+            _seq, value = got
+            self.instrumentation.record_completion(self.now())
+            self._deliver(value)
+
+    def _watch_abort(self) -> None:
+        # Workers record a StageError and set the abort flag; the session
+        # must learn of it so submit/results/drain raise instead of hanging
+        # on items the draining threads dropped.
+        self._abort.wait()
+        if self._errors:
+            self._deliver_error(self._errors[0])
+
+    # ----------------------------------------------------------- port hooks
+    def _submit_one(self, stream: int, seq: int, gseq: int, item: Any) -> None:
+        if not self._in_q[0].put((gseq, item), abort=self._abort):
+            raise (
+                self._errors[0]
+                if self._errors
+                else RuntimeError("session aborted while submitting")
+            )
+
+    def _shutdown(self) -> None:
+        if self.broken or self._submitted > self._delivered:
+            self._abort.set()  # drop in-flight items instead of finishing them
+        self._in_q[0].producer_done()
+        while True:
+            with self._mutate_lock:
+                alive = [t for t in self._threads if t.is_alive()]
+            if not alive:
+                break
+            for t in alive:
+                t.join(timeout=0.5)
+        self._collector.join(timeout=5.0)
+        self._abort.set()  # release the watcher on a clean close
+        self._watcher.join(timeout=1.0)
+
+    # -------------------------------------------------------------- reshaping
+    def reconfigure(self, stage: int, n_replicas: int) -> None:
+        """Grow or shrink ``stage``'s warm worker pool, live."""
+        with self._mutate_lock:
+            if self.closed:
+                return
+            while self.replicas[stage] < n_replicas:
+                out_q = self._worker_out_queue(stage)
+                out_q.add_producer()  # never drained before close: always legal
+                self._work_q[stage].add_consumer()
+                worker = self._make_worker(stage, self.replicas[stage])
+                self.replicas[stage] += 1
+                self._threads.append(worker)
+                worker.start()
+            while self.replicas[stage] > max(n_replicas, 1):
+                self.replicas[stage] -= 1
+                self._work_q[stage].put(_RETIRE, abort=self._abort)
+
+
+class ThreadBackend(Backend):
+    """Runs pipelines on a session-owned thread fabric.
+
+    One instance is reusable: a session's warm worker threads serve
+    back-to-back runs, and replica counts adapted during one stream carry
+    over to the next (and to the next session, via the backend's target
+    shape).
     """
 
     name = "threads"
@@ -44,63 +217,20 @@ class ThreadBackend(Backend):
     ) -> None:
         super().__init__(pipeline)
         check_positive(max_replicas, "max_replicas")
-        self._load = HostLoadSampler()
+        self._target = validate_pipeline_shape(pipeline, replicas, "thread runtime")
+        self.capacity = 8 if capacity is None else capacity
+        check_positive(self.capacity, "capacity")
         # Workers record service at the sampled effective speed, so
         # work_estimate stays load-normalised — consistent with the
         # load-degraded speeds resource_view reports to the planner.
-        self._tp = ThreadPipeline(
-            pipeline,
-            replicas=replicas,
-            capacity=8 if capacity is None else capacity,
-            speed_fn=self._load.effective_speed,
-        )
-        self.max_replicas = max(max_replicas, *self._tp.replicas)
+        self._load = HostLoadSampler()
+        self.max_replicas = max(max_replicas, *self._target)
 
-    # ------------------------------------------------------------- lifecycle
-    def start(self, inputs: Iterable[Any]) -> int:
-        return self._tp.start(inputs)
-
-    def join(self) -> BackendResult:
-        outputs = self._tp.join()
-        stats = self._tp.last_stats
-        assert stats is not None
-        return BackendResult(
-            backend=self.name,
-            outputs=outputs,
-            items=stats.items,
-            elapsed=stats.elapsed,
-            # NaN for unsampled stages, matching the process adapter.
-            service_means=[
-                s.mean if s.n else math.nan for s in stats.stage_service
-            ],
-            replica_counts=list(self._tp.replicas),
-        )
-
-    def running(self) -> bool:
-        return self._tp.running
-
-    def close(self) -> None:
-        """Abort and reap any in-flight run (workers are per-run otherwise)."""
-        if self._tp.running:
-            self._tp.abort()
-            try:
-                self._tp.join()
-            except BaseException:  # noqa: BLE001 - closing, not reporting
-                pass
+    # ------------------------------------------------------------- sessions
+    def _open_session(self, *, max_inflight: int | None = None) -> Session:
+        return _ThreadSession(self, max_inflight=max_inflight)
 
     # ----------------------------------------------------------- observation
-    def snapshots(self) -> list[StageSnapshot]:
-        return self._tp.snapshots()
-
-    def items_completed(self) -> int:
-        return self._tp.items_completed()
-
-    def recent_throughput(self, horizon: float) -> float:
-        instr = self._tp.instrumentation
-        if instr is None:
-            return math.nan
-        return instr.recent_throughput(self._tp.now(), horizon)
-
     def resource_view(self, n_procs: int) -> ResourceView:
         """Availability-aware local view: every slot shares this host.
 
@@ -118,13 +248,22 @@ class ThreadBackend(Backend):
 
     # ----------------------------------------------------------------- shape
     def replica_counts(self) -> list[int]:
-        return list(self._tp.replicas)
+        session = self._session
+        if isinstance(session, _ThreadSession) and not session.closed:
+            return list(session.replicas)
+        return list(self._target)
 
     def replica_limit(self, stage: int) -> int:
         return self.max_replicas if self.pipeline.stage(stage).replicable else 1
 
     def reconfigure(self, stage: int, n_replicas: int) -> None:
-        self._tp.reconfigure(stage, min(n_replicas, self.replica_limit(stage)))
+        if n_replicas < 1:
+            raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        n_replicas = min(n_replicas, self.replica_limit(stage))
+        self._target[stage] = n_replicas
+        session = self._session
+        if isinstance(session, _ThreadSession) and not session.closed:
+            session.reconfigure(stage, n_replicas)
 
 
 register_backend("threads", ThreadBackend)

@@ -119,7 +119,17 @@ class StageMetrics:
 
 
 class PipelineInstrumentation:
-    """Instrumentation for a whole pipeline plus completion accounting."""
+    """Instrumentation for a whole pipeline plus completion accounting.
+
+    Counters are **session-cumulative**: a long-lived streaming session
+    keeps one instrumentation across every stream it serves, so windowed
+    views (and the adaptation loop reading them) never reset at a stream
+    boundary.  :meth:`begin_stream` additionally scopes a per-stream
+    completion counter (``stream_items_completed``) so callers can tell
+    "items of the current stream" apart from "items since the session
+    opened" — the batch accounting that used to be implicit in one-shot
+    runs.
+    """
 
     def __init__(self, n_stages: int, window: int = 32) -> None:
         if n_stages < 1:
@@ -127,6 +137,13 @@ class PipelineInstrumentation:
         self.stages = [StageMetrics(i, window=window) for i in range(n_stages)]
         self.completion_times: list[float] = []
         self._window = window
+        self.stream_index = 0
+        self._stream_start = 0
+
+    def begin_stream(self) -> None:
+        """Open a new stream scope for the per-stream completion counter."""
+        self.stream_index += 1
+        self._stream_start = len(self.completion_times)
 
     def record_completion(self, t: float) -> None:
         """An item left the last stage at simulated time ``t``."""
@@ -135,6 +152,11 @@ class PipelineInstrumentation:
     @property
     def items_completed(self) -> int:
         return len(self.completion_times)
+
+    @property
+    def stream_items_completed(self) -> int:
+        """Completions since the last :meth:`begin_stream` (all, before one)."""
+        return len(self.completion_times) - self._stream_start
 
     def snapshots(self, locks: "Sequence[AbstractContextManager] | None" = None) -> list[StageSnapshot]:
         """Per-stage snapshots; ``locks[i]`` (if given) guards stage ``i``.

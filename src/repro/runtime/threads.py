@@ -558,16 +558,20 @@ def propose_growth(
 class AdaptiveThreadPipeline:
     """Thread pipeline that grows the bottleneck stage's worker pool.
 
-    A lightweight local analogue of the grid pattern: between *batches*, the
-    controller inspects measured mean service times, identifies the stage
-    with the largest service-per-worker, and adds a worker there (up to
-    ``max_workers``) when it dominates the next contender by
-    ``imbalance_threshold``.  Rebuilding between batches keeps the threading
-    model simple while exercising the same observe-decide-act loop.
+    A lightweight local analogue of the grid pattern: the controller
+    inspects measured service times, identifies the stage with the largest
+    service-per-worker, and adds a worker there (up to ``max_workers``)
+    when it dominates the next contender by ``imbalance_threshold``.
 
-    This is the legacy *batch-mode* loop; for live in-run adaptation driven
-    by the model-based policies, use
-    :class:`repro.backend.runner.RuntimeAdaptiveRunner` on any backend.
+    .. deprecated:: the bespoke rebuild-between-batches controller loop is
+       gone.  This class is now a thin veneer over the session-driven
+       :class:`repro.backend.runner.RuntimeAdaptiveRunner` running
+       :class:`repro.backend.runner.BottleneckGrowthPolicy` (the same
+       :func:`propose_growth` decision, live): batches stream back-to-back
+       over one warm :class:`~repro.backend.thread_backend.ThreadBackend`
+       session, workers grow *while items flow*, and the measurement
+       window is continuous across batch boundaries.  New code should use
+       ``RuntimeAdaptiveRunner`` directly.
     """
 
     def __init__(
@@ -587,33 +591,76 @@ class AdaptiveThreadPipeline:
         self.max_workers = max_workers
         self.imbalance_threshold = imbalance_threshold
         self.capacity = capacity
-        self.replicas = [1] * pipeline.n_stages
         self.adaptations: list[tuple[int, int]] = []  # (stage, new count)
+        self._runner = None
+
+    @property
+    def replicas(self) -> list[int]:
+        """Current per-stage worker counts (live view of the warm session)."""
+        if self._runner is None:
+            return [1] * self.pipeline.n_stages
+        return self._runner.backend.replica_counts()
+
+    def _ensure_runner(self):
+        if self._runner is not None:
+            return self._runner
+        # Imported lazily: repro.backend imports this module for the
+        # executor building blocks, so a top-level import would cycle.
+        from repro.backend.runner import (
+            BottleneckGrowthPolicy,
+            RuntimeAdaptiveRunner,
+            local_config,
+        )
+        from repro.backend.thread_backend import ThreadBackend
+
+        config = local_config(
+            interval=0.05, cooldown=0.05, min_samples=2, settle_time=0.05
+        )
+        self._runner = RuntimeAdaptiveRunner(
+            self.pipeline,
+            ThreadBackend(
+                self.pipeline, capacity=self.capacity, max_replicas=self.max_workers
+            ),
+            policy=BottleneckGrowthPolicy(
+                self.pipeline,
+                config,
+                max_workers=self.max_workers,
+                imbalance_threshold=self.imbalance_threshold,
+            ),
+            rollback=False,
+        )
+        return self._runner
 
     def run_batches(self, batches: Sequence[Iterable[Any]]) -> list[list[Any]]:
-        """Run several batches, adapting worker counts between them."""
+        """Stream several batches back-to-back, adapting worker counts live.
+
+        The warm session (and the continuously-adapting controller) spans
+        the batches of one call; on return every worker and controller
+        thread is released — pre-dating callers never had to clean up
+        after this class, and still don't.  Adapted replica counts persist
+        on the backend, so a later call resumes from the adapted shape.
+        """
+        runner = self._ensure_runner()
         results = []
-        for batch in batches:
-            tp = ThreadPipeline(
-                self.pipeline, replicas=self.replicas, capacity=self.capacity
-            )
-            results.append(tp.run(batch))
-            assert tp.last_stats is not None
-            self._adapt(tp.last_stats)
+        try:
+            for batch in batches:
+                res = runner.run(batch)
+                results.append(res.outputs)
+                for event in res.adaptation_events:
+                    for i in range(self.pipeline.n_stages):
+                        before = len(event.mapping_before.replicas(i))
+                        after = len(event.mapping_after.replicas(i))
+                        if after != before:
+                            self.adaptations.append((i, after))
+        finally:
+            runner.detach()
+            session = runner.backend._session
+            if session is not None and not session.closed:
+                session.close()
         return results
 
-    def _adapt(self, stats: ThreadRunStats) -> None:
-        per_worker = []
-        for i, s in enumerate(stats.stage_service):
-            mean = s.mean if s.n else 0.0
-            per_worker.append(mean / self.replicas[i])
-        stage = propose_growth(
-            per_worker,
-            self.replicas,
-            [self.pipeline.stage(i).replicable for i in range(self.pipeline.n_stages)],
-            max_workers=self.max_workers,
-            imbalance_threshold=self.imbalance_threshold,
-        )
-        if stage is not None:
-            self.replicas[stage] += 1
-            self.adaptations.append((stage, self.replicas[stage]))
+    def close(self) -> None:
+        """Release the backend entirely (run_batches already reaps threads)."""
+        if self._runner is not None:
+            self._runner.close()
+            self._runner = None

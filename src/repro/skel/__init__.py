@@ -5,6 +5,9 @@ Edinburgh Skeleton Library's ``Pipeline1for1``:
 
 * :func:`repro.skel.api.pipeline_1for1` — run callables through a local
   threaded pipeline, outputs in input order;
+* :func:`repro.skel.api.open_pipeline` — the streaming form: a resident
+  session accepting submits as work arrives and yielding ordered results
+  as items complete;
 * :func:`repro.skel.api.farm` — task-farm a single callable locally;
 * :func:`repro.skel.api.simulate_pipeline` — run a pipeline on a simulated
   grid, statically or adaptively;
@@ -12,6 +15,18 @@ Edinburgh Skeleton Library's ``Pipeline1for1``:
   pipeline on the simulated grid.
 """
 
-from repro.skel.api import farm, pipeline_1for1, simulate_farm, simulate_pipeline
+from repro.skel.api import (
+    farm,
+    open_pipeline,
+    pipeline_1for1,
+    simulate_farm,
+    simulate_pipeline,
+)
 
-__all__ = ["farm", "pipeline_1for1", "simulate_farm", "simulate_pipeline"]
+__all__ = [
+    "farm",
+    "open_pipeline",
+    "pipeline_1for1",
+    "simulate_farm",
+    "simulate_pipeline",
+]

@@ -4,7 +4,13 @@ from __future__ import annotations
 
 from typing import Any, Callable, Iterable, Sequence
 
-from repro.backend import Backend, RuntimeAdaptiveRunner, local_config, make_backend
+from repro.backend import (
+    Backend,
+    RuntimeAdaptiveRunner,
+    Session,
+    local_config,
+    make_backend,
+)
 from repro.core.adaptive import AdaptivePipeline
 from repro.core.events import RunResult
 from repro.core.pipeline import PipelineSpec
@@ -13,7 +19,13 @@ from repro.core.stage import StageSpec
 from repro.gridsim.grid import GridSystem
 from repro.model.mapping import Mapping
 
-__all__ = ["pipeline_1for1", "farm", "simulate_pipeline", "simulate_farm"]
+__all__ = [
+    "pipeline_1for1",
+    "open_pipeline",
+    "farm",
+    "simulate_pipeline",
+    "simulate_farm",
+]
 
 
 def _run_on_backend(
@@ -137,6 +149,84 @@ def pipeline_1for1(
         capacity,
         **backend_kwargs,
     )
+
+
+def open_pipeline(
+    stages: Sequence[Callable[[Any], Any] | StageSpec],
+    *,
+    replicas: Sequence[int] | None = None,
+    capacity: int | None = None,
+    backend: str | Backend = "threads",
+    adaptive: bool | AdaptationConfig = False,
+    max_inflight: int | None = None,
+    **backend_kwargs,
+) -> Session:
+    """Open a resident streaming pipeline of ``stages`` and return its session.
+
+    The streaming entry point: where :func:`pipeline_1for1` runs one
+    bounded batch, this keeps the pipeline warm and hands back a
+    :class:`~repro.backend.base.Session` — ``submit(item)`` admits work as
+    it arrives (backpressure via the bounded ``max_inflight`` admission
+    window), ``results()`` yields ordered outputs *as items complete*,
+    ``drain()`` bounds the current stream, and the next ``submit`` starts a
+    fresh stream on the same warm executor.  ``backend`` and per-backend
+    knobs are as in :func:`pipeline_1for1`.
+
+    ``adaptive=True`` (or an :class:`AdaptationConfig`) attaches a
+    :class:`~repro.backend.RuntimeAdaptiveRunner` control loop to the live
+    session: it keeps observing and reconfiguring across stream boundaries
+    for as long as the session lives.  The simulator backend cannot adapt a
+    live session (its controller runs inside simulated time), so
+    ``backend="sim"`` with ``adaptive`` is rejected here.
+
+    Closing the session also detaches the controller and closes the
+    backend when it was built here from a name; a :class:`Backend`
+    instance passed in stays open for further sessions.
+
+    >>> session = open_pipeline([lambda x: x + 1])
+    >>> session.submit(1), session.submit(2)  # doctest: +ELLIPSIS
+    (Ticket(...), Ticket(...))
+    >>> session.drain()
+    [2, 3]
+    >>> session.close()
+    """
+    pipe = _as_pipeline(stages)
+    owns = isinstance(backend, str)
+    if owns:
+        kwargs = dict(
+            replicas=list(replicas) if replicas is not None else None,
+            capacity=capacity,
+            **backend_kwargs,
+        )
+        b = make_backend(backend, pipe, **kwargs)
+    else:
+        if replicas is not None or capacity is not None or backend_kwargs:
+            raise ValueError(
+                "replicas/capacity/backend kwargs only apply when selecting "
+                "a backend by name; a Backend instance is already configured"
+            )
+        b = make_backend(backend, pipe)
+    if adaptive and not b.supports_live_reconfigure:
+        if owns:
+            b.close()
+        raise ValueError(
+            f"backend {b.name!r} cannot adapt a live session; open it "
+            "without adaptive=, or use pipeline_1for1 for in-sim adaptation"
+        )
+    try:
+        session = b.open(max_inflight=max_inflight)
+    except BaseException:
+        if owns:
+            b.close()
+        raise
+    if adaptive:
+        config = adaptive if isinstance(adaptive, AdaptationConfig) else local_config()
+        runner = RuntimeAdaptiveRunner(b.pipeline, b, config=config)
+        runner.attach(session)
+        session.add_close_callback(runner.detach)
+    if owns:
+        session.add_close_callback(b.close)
+    return session
 
 
 def farm(

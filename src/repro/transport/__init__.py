@@ -21,7 +21,12 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.transport.codecs import AUTO_THRESHOLD, PickleCodec, SharedMemoryCodec
+from repro.transport.codecs import (
+    AUTO_THRESHOLD,
+    PickleCodec,
+    SharedMemoryCodec,
+    calibrated_auto_threshold,
+)
 from repro.transport.frames import (
     SHM_PREFIX,
     Codec,
@@ -49,6 +54,7 @@ __all__ = [
     "SizeStratifiedLinkEstimator",
     "TransportError",
     "available_codecs",
+    "calibrated_auto_threshold",
     "decode_frame",
     "from_spec",
     "get",

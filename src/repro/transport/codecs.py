@@ -37,11 +37,77 @@ from repro.transport.frames import (
     untrack,
 )
 
-__all__ = ["AUTO_THRESHOLD", "PickleCodec", "SharedMemoryCodec"]
+__all__ = [
+    "AUTO_THRESHOLD",
+    "PickleCodec",
+    "SharedMemoryCodec",
+    "calibrated_auto_threshold",
+]
 
 #: ``auto``'s placement threshold: below this, inline pickling (one extra
 #: copy through a queue/socket) is cheaper than a segment round trip.
+#: This static value is the *fallback*; backends probe the real crossover
+#: at warm-up via :func:`calibrated_auto_threshold` (E17 showed it varies
+#: by host and backend).
 AUTO_THRESHOLD = 256 * 1024
+
+#: Probe sizes for the warm-up calibration (log-spaced around the static
+#: default) and the clamp the fitted crossover is held to — a pathological
+#: probe (noisy scheduler, tiny /dev/shm) must not push ``auto`` into
+#: placing everything, or nothing, in segments.
+_PROBE_SIZES = (16 * 1024, 64 * 1024, 256 * 1024, 1024 * 1024)
+_THRESHOLD_MIN = 16 * 1024
+_THRESHOLD_MAX = 1024 * 1024
+
+_UNCALIBRATED = object()  # cache sentinel: "the probe has not run yet"
+_calibrated: "int | None | object" = _UNCALIBRATED
+
+
+def calibrated_auto_threshold(*, repeats: int = 3, _cache: bool = True) -> int | None:
+    """Measure this host's inline-vs-segment crossover size in bytes.
+
+    Runs a quick encode/decode/release round trip of ``bytes`` payloads at
+    a few log-spaced sizes through both the inline pickle path and the
+    shared-memory path, and returns the smallest probed size at which the
+    segment path wins (clamped to a sane band).  Returns ``None`` when
+    shared memory is unavailable or never wins — callers then keep the
+    static :data:`AUTO_THRESHOLD`.  The probe costs a few milliseconds and
+    is cached per process (both heavy backends calibrate at warm-up).
+    """
+    global _calibrated
+    if _cache and _calibrated is not _UNCALIBRATED:
+        return _calibrated  # type: ignore[return-value]
+    result: int | None = None
+    pickle_codec = PickleCodec()
+    shm_codec = SharedMemoryCodec(threshold=1)
+    try:
+        for size in _PROBE_SIZES:
+            payload = b"\x00" * size
+            t_inline = _probe_roundtrip(pickle_codec, payload, repeats)
+            t_shm = _probe_roundtrip(shm_codec, payload, repeats)
+            if t_shm < t_inline:
+                result = min(max(size, _THRESHOLD_MIN), _THRESHOLD_MAX)
+                break
+    except OSError:
+        result = None  # no (or exhausted) shared memory on this host
+    finally:
+        shm_codec.sweep()
+    if _cache:
+        _calibrated = result
+    return result
+
+
+def _probe_roundtrip(codec: Codec, payload: bytes, repeats: int) -> float:
+    import time
+
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        frame = codec.encode(payload)
+        codec.decode(frame)
+        codec.release(frame)
+        best = min(best, time.perf_counter() - t0)
+    return best
 
 
 class PickleCodec(Codec):

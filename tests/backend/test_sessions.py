@@ -1,0 +1,383 @@
+"""Session lifecycle edges across the streaming Backend port.
+
+Covers the contract every executor's native session must honour: bounded
+admission, ordered early results, drain barriers between back-to-back
+streams on one warm session, submit-after-close rejection, live
+reconfiguration mid-stream, error poisoning, and (for the distributed
+backend) exactly-once re-dispatch when a worker dies mid-stream.
+
+Distributed stage functions live at module level: they are pickled by
+reference and resolved inside forked worker processes.
+"""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.backend import (
+    AsyncioBackend,
+    DistributedBackend,
+    ProcessPoolBackend,
+    SessionClosed,
+    SimBackend,
+    ThreadBackend,
+    Ticket,
+)
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.runtime.threads import StageError
+from repro.skel.api import open_pipeline
+
+
+def spec(fns, replicable=None):
+    replicable = replicable or [True] * len(fns)
+    return PipelineSpec(
+        tuple(
+            StageSpec(name=f"s{i}", work=0.01, fn=f, replicable=r)
+            for i, (f, r) in enumerate(zip(fns, replicable))
+        )
+    )
+
+
+def _inc(x):
+    return x + 1
+
+
+def _tag_pid(x):
+    return (x, os.getpid())
+
+
+def _jitter_square(x):
+    time.sleep((x % 3) * 0.002)
+    return x * x
+
+
+def _slow_double(x):
+    time.sleep(0.01)
+    return x * 2
+
+
+class TestSessionLifecycle:
+    def test_submit_after_close_raises_everywhere(self):
+        backends = [
+            ThreadBackend(spec([_inc])),
+            AsyncioBackend(spec([_inc])),
+            SimBackend(spec([_inc])),
+        ]
+        for b in backends:
+            session = b.open()
+            assert session.drain() == []  # no stream open yet
+            session.submit(1)
+            assert session.drain() == [2]
+            session.close()
+            with pytest.raises(SessionClosed):
+                session.submit(2)
+            with pytest.raises(SessionClosed):
+                session.drain()
+            b.close()
+
+    def test_tickets_carry_stream_scoped_sequences(self):
+        with ThreadBackend(spec([_inc])) as b:
+            session = b.open()
+            assert session.submit(10) == Ticket(stream=0, seq=0)
+            assert session.submit(11) == Ticket(stream=0, seq=1)
+            session.drain()
+            # The next stream restarts its sequence space.
+            assert session.submit(12) == Ticket(stream=1, seq=0)
+            session.drain()
+
+    def test_results_yield_before_drain(self):
+        # The whole point of streaming: the first output is consumable long
+        # before the stream is bounded, from a separate consumer thread.
+        with ThreadBackend(spec([_inc])) as b:
+            session = b.open()
+            got: list[int] = []
+            first_seen = threading.Event()
+
+            def consume():
+                for value in session.results():
+                    got.append(value)
+                    first_seen.set()
+
+            consumer = threading.Thread(target=consume, daemon=True)
+            consumer.start()
+            session.submit(0)
+            assert first_seen.wait(timeout=5.0), "no result before drain"
+            for i in range(1, 10):
+                session.submit(i)
+            leftovers = session.drain()
+            consumer.join(timeout=5.0)
+            assert not consumer.is_alive()
+            assert got + leftovers == [x + 1 for x in range(10)]
+
+    def test_bounded_admission_backpressure(self):
+        release = threading.Event()
+
+        def gated(x):
+            release.wait(timeout=10.0)
+            return x
+
+        with ThreadBackend(spec([gated]), capacity=1) as b:
+            session = b.open(max_inflight=2)
+            session.submit(0)
+            session.submit(1)
+            blocked_past = threading.Event()
+
+            def overfill():
+                session.submit(2)  # must block: window is full
+                blocked_past.set()
+
+            t = threading.Thread(target=overfill, daemon=True)
+            t.start()
+            assert not blocked_past.wait(timeout=0.3), "admission window ignored"
+            release.set()
+            assert blocked_past.wait(timeout=5.0)
+            assert session.drain() == [0, 1, 2]
+
+    def test_back_to_back_streams_reuse_warm_thread_workers(self):
+        with ThreadBackend(spec([lambda x: threading.get_ident()])) as b:
+            session = b.open()
+            for i in range(5):
+                session.submit(i)
+            first = set(session.drain())
+            for i in range(5):
+                session.submit(i)
+            second = set(session.drain())
+            stats = session.stats()
+        # Same resident worker thread(s) served both streams.
+        assert first == second
+        assert stats.streams_completed == 2
+        assert stats.items_total == 10
+
+    def test_back_to_back_streams_reuse_warm_processes(self):
+        with ProcessPoolBackend(spec([_tag_pid]), replicas=[2], max_replicas=2) as b:
+            session = b.open()
+            for i in range(8):
+                session.submit(i)
+            pids1 = {pid for _, pid in session.drain()}
+            for i in range(8):
+                session.submit(i)
+            pids2 = {pid for _, pid in session.drain()}
+        assert pids1 == pids2
+        assert all(pid != os.getpid() for pid in pids1)
+
+    def test_submit_while_draining_rejected(self):
+        with ThreadBackend(spec([_slow_double])) as b:
+            session = b.open()
+            for i in range(10):
+                session.submit(i)
+            state = {}
+
+            def drain():
+                state["out"] = session.drain()
+
+            t = threading.Thread(target=drain, daemon=True)
+            t.start()
+            time.sleep(0.02)  # let drain() mark end-of-stream
+            with pytest.raises(RuntimeError, match="draining"):
+                session.submit(99)
+            t.join(timeout=5.0)
+            assert state["out"] == [x * 2 for x in range(10)]
+
+    def test_run_is_a_session_wrapper(self):
+        # run() must go through the session path: the session opened by the
+        # first run is the one reused (warm) by the second.
+        with ThreadBackend(spec([_inc])) as b:
+            b.run(range(5))
+            first = b._session
+            assert first is not None and not first.closed
+            b.run(range(5))
+            assert b._session is first
+            assert first.stats().streams_completed == 2
+
+    def test_error_poisons_session_and_backend_reopens(self):
+        def boom(x):
+            if x == 3:
+                raise ValueError("bad")
+            return x
+
+        with ThreadBackend(spec([boom])) as b:
+            session = b.open()
+            with pytest.raises(StageError, match="s0"):
+                for i in range(10):
+                    session.submit(i)
+                session.drain()
+            assert session.broken
+            with pytest.raises(StageError):
+                session.submit(0)
+            # The backend recovers by opening a fresh session.
+            assert b.run([100]).outputs == [100]
+            assert b._session is not session
+
+
+class TestMidStreamReconfigure:
+    def test_thread_session_grow_preserves_stream_order(self):
+        with ThreadBackend(spec([_jitter_square]), max_replicas=4) as b:
+            session = b.open()
+            for i in range(15):
+                session.submit(i)
+            b.reconfigure(0, 4)  # grows the live session's pool mid-stream
+            for i in range(15, 40):
+                session.submit(i)
+            assert session.drain() == [x * x for x in range(40)]
+            assert b.replica_counts() == [4]
+            # The adapted shape carries into the next stream.
+            for i in range(10):
+                session.submit(i)
+            assert session.drain() == [x * x for x in range(10)]
+
+    def test_asyncio_session_reconfigure_mid_stream(self):
+        with AsyncioBackend(spec([_slow_double]), max_replicas=4) as b:
+            session = b.open()
+            for i in range(10):
+                session.submit(i)
+            b.reconfigure(0, 4)
+            for i in range(10, 30):
+                session.submit(i)
+            assert session.drain() == [x * 2 for x in range(30)]
+
+
+class TestOpenPipelineApi:
+    def test_producer_consumer_round_trip(self):
+        session = open_pipeline([lambda x: x + 1, lambda x: x * 2])
+        try:
+            got = []
+            consumer = threading.Thread(
+                target=lambda: got.extend(session.results()), daemon=True
+            )
+            consumer.start()
+            for i in range(20):
+                session.submit(i)
+            leftovers = session.drain()
+            consumer.join(timeout=5.0)
+            assert got + leftovers == [(x + 1) * 2 for x in range(20)]
+        finally:
+            session.close()
+
+    def test_close_releases_owned_backend(self):
+        session = open_pipeline([_inc])
+        backend = session.backend
+        session.submit(1)
+        assert session.drain() == [2]
+        session.close()
+        with pytest.raises(RuntimeError):
+            backend.open()  # a name-built backend is closed with its session
+
+    def test_adaptive_attaches_and_detaches(self):
+        from repro.backend import local_config
+
+        session = open_pipeline(
+            [_slow_double],
+            adaptive=local_config(interval=0.05, cooldown=0.1, settle_time=0.05),
+            max_replicas=3,
+        )
+        try:
+            for i in range(60):
+                session.submit(i)
+            assert session.drain() == [x * 2 for x in range(60)]
+        finally:
+            session.close()
+
+    def test_sim_adaptive_session_rejected(self):
+        with pytest.raises(ValueError, match="cannot adapt a live session"):
+            open_pipeline([_inc], backend="sim", adaptive=True)
+
+    def test_instance_with_shape_kwargs_rejected(self):
+        b = ThreadBackend(spec([_inc]))
+        with pytest.raises(ValueError, match="already configured"):
+            open_pipeline([_inc], backend=b, replicas=[2])
+        b.close()
+
+
+def _slow_square(x):
+    time.sleep(0.01)
+    return x * x
+
+
+class TestDistributedSessionStreams:
+    def test_killed_worker_mid_stream_redispatches_exactly_once(self):
+        pipe = PipelineSpec(
+            (StageSpec(name="square", work=0.01, fn=_slow_square, replicable=True),)
+        )
+        n = 80
+        b = DistributedBackend(
+            pipe, spawn_workers=3, replicas=[3], max_replicas=3
+        )
+        try:
+            session = b.open()
+            for i in range(n // 2):
+                session.submit(i)
+            # Kill one worker while its in-flight items are outstanding.
+            b.worker_processes[0].kill()
+            for i in range(n // 2, n):
+                session.submit(i)
+            outputs = session.drain()
+            # Exactly-once: every item delivered once, in order — nothing
+            # lost with the dead worker, nothing duplicated by re-dispatch.
+            assert outputs == [x * x for x in range(n)]
+            assert len(b.alive_workers()) == 2
+            # The survivor pool keeps serving the next stream warm.
+            for i in range(10):
+                session.submit(i)
+            assert session.drain() == [x * x for x in range(10)]
+        finally:
+            b.close()
+
+    def test_epoch_scopes_streams_on_one_session(self):
+        pipe = PipelineSpec(
+            (StageSpec(name="square", work=0.001, fn=_slow_square),)
+        )
+        b = DistributedBackend(pipe, spawn_workers=2)
+        try:
+            session = b.open()
+            epochs = []
+            for _ in range(3):
+                for i in range(5):
+                    session.submit(i)
+                session.drain()
+                epochs.append(b._epoch)
+            assert epochs == sorted(epochs) and len(set(epochs)) == 3
+        finally:
+            b.close()
+
+
+class TestSubmitDrainRace:
+    def test_parked_submit_cannot_slip_past_drain_barrier(self):
+        # A producer blocked in the admission window while another thread
+        # drains must NOT inject its item into the ended stream (it would
+        # leak into the next stream's output and silently drop an item).
+        gate = threading.Event()
+
+        def gated(x):
+            gate.wait(timeout=10.0)
+            return x
+
+        with ThreadBackend(spec([gated]), capacity=1) as b:
+            session = b.open(max_inflight=2)
+            for i in range(3):
+                session.submit(i)
+            state = {}
+
+            def late_submit():
+                try:
+                    state["ticket"] = session.submit(3)
+                except RuntimeError as err:
+                    state["err"] = str(err)
+
+            producer = threading.Thread(target=late_submit, daemon=True)
+            producer.start()
+            time.sleep(0.15)  # park it in the admission wait
+            gate.set()
+            first = session.drain()
+            producer.join(timeout=5.0)
+            assert first == [0, 1, 2] or first == [0, 1, 2, 3]
+            for i in (100, 101, 102):
+                session.submit(i)
+            second = session.drain()
+            # Stream boundaries never mix: no stream-1 item in stream 2,
+            # and nothing of stream 2 lost.
+            assert second == [100, 101, 102], second
+            if "ticket" in state and state["ticket"].stream == 0:
+                assert first[-1] == 3

@@ -57,3 +57,9 @@ class TestExamples:
         assert "registered workers" in out
         assert "still ordered" in out
         assert "real links, real failures" in out
+
+    def test_streaming_pipeline(self):
+        out = run_example("streaming_pipeline.py")
+        assert "results consumed live" in out
+        assert "served 2 streams" in out
+        assert "adapt while flowing" in out

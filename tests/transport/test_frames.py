@@ -239,3 +239,34 @@ def test_frame_segment_refs_and_inline_flag():
     assert frame.segment_refs() == [ref]
     assert not frame.inline
     assert Frame(codec="pickle", stream=b"s", nbytes=1).inline
+
+
+def test_calibrated_auto_threshold_probe():
+    from repro.transport.codecs import (
+        _THRESHOLD_MAX,
+        _THRESHOLD_MIN,
+        calibrated_auto_threshold,
+    )
+
+    fitted = calibrated_auto_threshold(_cache=False)
+    # shm may legitimately never win on a given host (then None keeps the
+    # static default); a fitted value must sit inside the clamp band.
+    if fitted is not None:
+        assert _THRESHOLD_MIN <= fitted <= _THRESHOLD_MAX
+    # The per-process cache path returns a stable answer.
+    assert calibrated_auto_threshold() == calibrated_auto_threshold()
+
+
+def test_calibration_leaves_no_segments_behind():
+    import os
+
+    from repro.transport import SHM_PREFIX
+    from repro.transport.codecs import calibrated_auto_threshold
+
+    try:
+        before = {e for e in os.listdir("/dev/shm") if e.startswith(SHM_PREFIX)}
+    except OSError:
+        pytest.skip("/dev/shm not available")
+    calibrated_auto_threshold(_cache=False)
+    after = {e for e in os.listdir("/dev/shm") if e.startswith(SHM_PREFIX)}
+    assert after <= before  # the probe sweeps its own session
