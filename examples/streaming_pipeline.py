@@ -13,8 +13,13 @@ items flow, then keeps its measurement window across the stream boundary
 into a second, back-to-back stream on the same warm workers.
 
 Run:  python examples/streaming_pipeline.py
+
+Set ``REPRO_OBS_JOURNAL=/path/to/events.jsonl`` to journal the session's
+structured event stream (see docs/observability.md); inspect it live with
+``python -m repro.obs.top /path/to/events.jsonl``.
 """
 
+import os
 import threading
 import time
 
@@ -50,6 +55,7 @@ def main() -> None:
         adaptive=local_config(interval=0.1, cooldown=0.2, settle_time=0.1),
         max_replicas=4,
         max_inflight=64,
+        telemetry=os.environ.get("REPRO_OBS_JOURNAL"),  # optional JSONL journal
     )
     try:
         for stream in range(2):

@@ -98,10 +98,16 @@ class _ResizableSemaphore:
 class _AsyncioSession(Session):
     """A resident coroutine graph on the backend's warm loop."""
 
-    def __init__(self, backend: "AsyncioBackend", *, max_inflight: int | None = None) -> None:
-        super().__init__(backend, max_inflight=max_inflight)
+    def __init__(
+        self,
+        backend: "AsyncioBackend",
+        *,
+        max_inflight: int | None = None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
         n = backend.pipeline.n_stages
-        self.instrumentation = PipelineInstrumentation(n)
+        self.instrumentation = PipelineInstrumentation(n, events=self.events)
         self._stage_locks = [threading.Lock() for _ in range(n)]
         self._snapshot_locks = self._stage_locks
         self._errors: list[BaseException] = []
@@ -180,7 +186,7 @@ class _AsyncioSession(Session):
                     return
                 dt = time.perf_counter() - t0
                 with self._stage_locks[i]:
-                    instrumentation.stages[i].record_service(dt, 1.0)
+                    instrumentation.stages[i].record_service(dt, 1.0, seq=seq)
                 if not abort.is_set():
                     await out_q.put((seq, result))
             finally:
@@ -361,8 +367,10 @@ class AsyncioBackend(Backend):
         return self._loop
 
     # ------------------------------------------------------------- sessions
-    def _open_session(self, *, max_inflight: int | None = None) -> Session:
-        return _AsyncioSession(self, max_inflight=max_inflight)
+    def _open_session(
+        self, *, max_inflight: int | None = None, telemetry=None
+    ) -> Session:
+        return _AsyncioSession(self, max_inflight=max_inflight, telemetry=telemetry)
 
     def close(self) -> None:
         """Abort any in-flight session and stop the loop thread (idempotent)."""
@@ -401,10 +409,15 @@ class AsyncioBackend(Backend):
         if n_replicas < 1:
             raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
         n_replicas = min(n_replicas, self.replica_limit(stage))
+        before = self._target[stage]
         self._target[stage] = n_replicas
         session = self._session
         if isinstance(session, _AsyncioSession) and not session.closed:
             session.set_limit(stage, n_replicas)
+            if n_replicas > before:
+                session.events.emit("replica.add", stage=stage, n=n_replicas)
+            elif n_replicas < before:
+                session.events.emit("replica.remove", stage=stage, n=n_replicas)
 
 
 register_backend("asyncio", AsyncioBackend)

@@ -56,6 +56,7 @@ from typing import Any, Callable, Iterable, Iterator
 from repro.core.pipeline import PipelineSpec
 from repro.model.throughput import ResourceView
 from repro.monitor.instrument import StageSnapshot
+from repro.obs.events import NULL_BUS, EventBus
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -158,7 +159,13 @@ class Session:
     #: False on measure-only sessions (simulator without stage callables).
     produces_outputs = True
 
-    def __init__(self, backend: "Backend", *, max_inflight: int | None = None) -> None:
+    def __init__(
+        self,
+        backend: "Backend",
+        *,
+        max_inflight: int | None = None,
+        telemetry=None,
+    ) -> None:
         if max_inflight is not None:
             check_positive(max_inflight, "max_inflight")
         self.backend = backend
@@ -195,6 +202,23 @@ class Session:
         #: ``_snapshot_locks``) to expose observation through the port.
         self.instrumentation = None
         self._snapshot_locks = None
+        #: Structured event bus (schema in :data:`repro.obs.events.SCHEMA`).
+        #: Created here — before any subclass executor machinery starts — and
+        #: adopted by the backend, so emit sites anywhere in the executor
+        #: (including distributed warm-up) publish to this session's bus.
+        self.events = EventBus(clock=self.now)
+        backend._events_bus = self.events
+        self._telemetry = None
+        if telemetry is not None:
+            from repro.obs.exporters import as_telemetry
+
+            self._telemetry = as_telemetry(telemetry).attach(self)
+        self.events.emit(
+            "session.open",
+            backend=backend.name,
+            stages=[s.name for s in backend.pipeline.stages],
+            max_inflight=max_inflight,
+        )
 
     # ------------------------------------------------------------- properties
     @property
@@ -279,6 +303,7 @@ class Session:
                 self._cv.wait(0.05)
         if begin:
             try:
+                self.events.emit("stream.begin", stream=stream)
                 if self.instrumentation is not None:
                     self.instrumentation.begin_stream()
                 self._begin_stream(stream)
@@ -286,6 +311,10 @@ class Session:
                 begun.set()
         else:
             begun.wait()
+        # The span is minted here: (stream, seq) is the item's Ticket, and
+        # gseq lets collectors resolve executors whose internal sequence
+        # space is session-global (threads, asyncio).
+        self.events.emit("item.submit", stream=stream, seq=seq, gseq=gseq)
         try:
             self._submit_one(stream, seq, gseq, item)
         except BaseException as err:
@@ -357,6 +386,12 @@ class Session:
             wall = time.perf_counter() - self._stream_t0
             self._cv.notify_all()
         self.last_stream_elapsed = self._finalize_stream(wall)
+        self.events.emit(
+            "stream.drain",
+            stream=stream,
+            items=n,
+            elapsed=self.last_stream_elapsed,
+        )
         return leftovers
 
     def close(self) -> None:
@@ -370,7 +405,12 @@ class Session:
                 if self._closed:
                     return
                 self._closed = True
+                streams, items = self._streams_completed, self._items_total
                 self._cv.notify_all()
+            # Before _shutdown, so executor teardown events (replica
+            # removals, worker shutdowns) follow it in the journal and the
+            # telemetry close callback has not yet run.
+            self.events.emit("session.close", streams=streams, items_total=items)
             first_err: BaseException | None = None
             try:
                 self._shutdown()
@@ -414,16 +454,24 @@ class Session:
         """Executor collectors hand over the next in-order output here."""
         with self._cv:
             self._out.append(value)
+            stream, seq = self._stream, self._delivered
             self._delivered += 1
             self._items_total += 1
             self._cv.notify_all()
+        # Emit outside _cv: a journal write under the condition variable
+        # would serialise submitters behind the exporter's I/O.  Delivery is
+        # in input order, so the pre-increment count *is* the item's seq.
+        self.events.emit("item.complete", stream=stream, seq=seq)
 
     def _deliver_error(self, err: BaseException) -> None:
         """Poison the session with the executor's (first) error."""
         with self._cv:
-            if self._error is None:
+            first = self._error is None
+            if first:
                 self._error = err
             self._cv.notify_all()
+        if first:
+            self.events.emit("session.error", error=repr(err))
 
     def _raise_if_unusable(self) -> None:
         if self._error is not None:
@@ -513,11 +561,20 @@ class Backend(ABC):
         self.pipeline = pipeline
         self._session: Session | None = None
         self._driver: _BatchDriver | None = None
+        # Replaced by each session's bus the moment it is constructed, so
+        # backend-owned machinery (pools, the distributed coordinator) can
+        # emit unconditionally from the day the backend is built.
+        self._events_bus: EventBus = NULL_BUS
 
     # ------------------------------------------------------------- sessions
     @property
     def closed(self) -> bool:
         return getattr(self, "_closed", False)
+
+    @property
+    def events(self) -> EventBus:
+        """The live session's event bus (an inert null bus before one)."""
+        return self._events_bus
 
     def open(self, **config) -> Session:
         """Open a long-lived streaming session on this backend's executor.
@@ -537,8 +594,15 @@ class Backend(ABC):
         return session
 
     @abstractmethod
-    def _open_session(self, *, max_inflight: int | None = None) -> Session:
-        """Build this executor's native :class:`Session`."""
+    def _open_session(
+        self, *, max_inflight: int | None = None, telemetry=None
+    ) -> Session:
+        """Build this executor's native :class:`Session`.
+
+        ``telemetry`` (a :class:`repro.obs.Telemetry` or a journal path) is
+        forwarded to ``Session.__init__``, which attaches it before any
+        executor machinery starts — so warm-up events are captured too.
+        """
 
     def _current_session(self) -> Session:
         """The open session, replacing a closed or poisoned one."""

@@ -177,15 +177,19 @@ class _DistributedSession(Session):
     """Session-owned feeder/router threads over the warm worker pool."""
 
     def __init__(
-        self, backend: "DistributedBackend", *, max_inflight: int | None = None
+        self,
+        backend: "DistributedBackend",
+        *,
+        max_inflight: int | None = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(backend, max_inflight=max_inflight)
+        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
         backend.warm()
         backend._ensure_placements()
         if backend._config_errors:
             raise backend._config_errors[0]
         n = backend.pipeline.n_stages
-        self.instrumentation = PipelineInstrumentation(n)
+        self.instrumentation = PipelineInstrumentation(n, events=self.events)
         self._metrics_locks = [threading.Lock() for _ in range(n)]
         self._snapshot_locks = self._metrics_locks
         self._abort = threading.Event()
@@ -343,7 +347,9 @@ class _DistributedSession(Session):
             with self._metrics_locks[stage]:
                 # work_estimate = service x effective speed, so a loaded
                 # worker's slow service still yields the true per-item work.
-                metrics.record_service(service_s, w.speed)
+                metrics.record_service(
+                    service_s, w.speed, seq=seq, worker=w.id, queue=queued
+                )
                 metrics.record_transfer(overhead / 2.0)
                 metrics.record_queue_length(queued)
                 metrics.record_bytes_in(entry_payload.nbytes)
@@ -352,6 +358,13 @@ class _DistributedSession(Session):
                 if last:
                     value = backend._codec.decode(ready_payload)
                     backend._codec.release(ready_payload)
+                    if self.events.wants("frame.release"):
+                        self.events.emit(
+                            "frame.release",
+                            stage=stage,
+                            seq=ready_seq,
+                            nbytes=ready_payload.nbytes,
+                        )
                     with self._metrics_locks[stage]:
                         self.instrumentation.record_completion(self.now())
                     self._deliver(value)
@@ -724,6 +737,13 @@ class DistributedBackend(Backend):
             ):
                 self._on_worker_death(worker)
                 continue
+            self.events.emit(
+                "worker.join",
+                f"worker {wname!r} registered",
+                worker=wid,
+                name=wname,
+                cores=cores,
+            )
             t = threading.Thread(
                 target=self._recv_loop,
                 args=(worker,),
@@ -842,6 +862,13 @@ class DistributedBackend(Backend):
                     del self._inflight[i][seq]
                 cond.notify_all()
             lost_by_stage.append(lost)
+        self.events.emit(
+            "worker.death",
+            f"worker {w.name!r} died",
+            worker=w.id,
+            name=w.name,
+            lost_items=sum(len(lost) for lost in lost_by_stage),
+        )
         if self._closing:
             return
         # A stage stripped of every replica gets one on a survivor; if no
@@ -850,6 +877,13 @@ class DistributedBackend(Backend):
             with cond:
                 has_active = any(r.active for r in self._replicas[i])
             if not has_active and (self._running or self._warm):
+                self.events.emit(
+                    "adapt.decide",
+                    f"re-home stage {i} after worker {w.name!r} death",
+                    reason=f"re-home stage {i}: worker {w.id} died",
+                    stage=i,
+                    worker=w.id,
+                )
                 if not self._place_replica(i):
                     if self._running:
                         self._fail(
@@ -876,6 +910,7 @@ class DistributedBackend(Backend):
         try:
             for i, lost in enumerate(lost_by_stage):
                 for seq, payload in lost:
+                    self.events.emit("worker.redispatch", stage=i, seq=seq)
                     if not self._dispatch(i, seq, payload):
                         return
         except BaseException as err:  # noqa: BLE001 - reported via the session
@@ -940,7 +975,11 @@ class DistributedBackend(Backend):
             replica = _Replica(target, slot)
             with self._conds[stage]:
                 self._replicas[stage].append(replica)
+                n_active = sum(1 for r in self._replicas[stage] if r.active)
                 self._conds[stage].notify_all()
+            self.events.emit(
+                "replica.add", stage=stage, worker=target.id, n=n_active
+            )
             return replica
 
     def _retire_replica(self, stage: int, replica: _Replica) -> None:
@@ -950,6 +989,10 @@ class DistributedBackend(Backend):
             replica.retired = True
             if replica.inflight == 0 and replica in self._replicas[stage]:
                 self._replicas[stage].remove(replica)
+            n_active = sum(1 for r in self._replicas[stage] if r.active)
+        self.events.emit(
+            "replica.remove", stage=stage, worker=replica.worker.id, n=n_active
+        )
         replica.worker.send(("retire", stage, replica.slot))
 
     def _ensure_placements(self) -> None:
@@ -995,10 +1038,18 @@ class DistributedBackend(Backend):
         if self._place_replica(stage, worker=dst) is None:
             raise RuntimeError(f"failed to place stage {stage} on worker {to_worker}")
         self._retire_replica(stage, victims[0])
+        self.events.emit(
+            "replica.move",
+            stage=stage,
+            from_worker=from_worker,
+            to_worker=to_worker,
+        )
 
     # ------------------------------------------------------------- sessions
-    def _open_session(self, *, max_inflight: int | None = None) -> Session:
-        return _DistributedSession(self, max_inflight=max_inflight)
+    def _open_session(
+        self, *, max_inflight: int | None = None, telemetry=None
+    ) -> Session:
+        return _DistributedSession(self, max_inflight=max_inflight, telemetry=telemetry)
 
     # --------------------------------------------------------------- dispatch
     def _reserve_slot(self, stage: int) -> _Replica | None:
@@ -1046,6 +1097,11 @@ class DistributedBackend(Backend):
                 return False
             codec = self._codec if replica.worker.shm_ok else self._pickle_codec
             frame = codec.encode(value)
+            if self.events.wants("frame.encode"):
+                self.events.emit(
+                    "frame.encode", stage=0, seq=seq, nbytes=frame.nbytes,
+                    inline=frame.inline,
+                )
             with self._conds[0]:
                 self._inflight[0][seq] = (replica, frame)
             sent = replica.worker.send(
@@ -1053,6 +1109,11 @@ class DistributedBackend(Backend):
                  time.perf_counter())
             )
             if sent:
+                if self.events.wants("item.dispatch"):
+                    self.events.emit(
+                        "item.dispatch", stage=0, seq=seq,
+                        worker=replica.worker.id,
+                    )
                 return True
             # Send failed: reclaim the assignment (unless the death handler
             # got there first and already re-homed it — with this very
@@ -1096,6 +1157,11 @@ class DistributedBackend(Backend):
                  time.perf_counter())
             )
             if sent:
+                if self.events.wants("item.dispatch"):
+                    self.events.emit(
+                        "item.dispatch", stage=stage, seq=seq,
+                        worker=replica.worker.id,
+                    )
                 return True
             # Send failed: reclaim the assignment (unless the death handler
             # got there first and already re-homed it), then mark the worker

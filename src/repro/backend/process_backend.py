@@ -164,12 +164,16 @@ class _ProcessSession(Session):
     """Session-owned feeder/router threads over the backend's warm pools."""
 
     def __init__(
-        self, backend: "ProcessPoolBackend", *, max_inflight: int | None = None
+        self,
+        backend: "ProcessPoolBackend",
+        *,
+        max_inflight: int | None = None,
+        telemetry=None,
     ) -> None:
-        super().__init__(backend, max_inflight=max_inflight)
+        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
         backend.warm()
         n = backend.pipeline.n_stages
-        self.instrumentation = PipelineInstrumentation(n)
+        self.instrumentation = PipelineInstrumentation(n, events=self.events)
         self._stage_locks = [threading.Lock() for _ in range(n)]
         self._snapshot_locks = self._stage_locks
         self._errors: list[BaseException] = []
@@ -258,6 +262,10 @@ class _ProcessSession(Session):
                 seq, value = msg
                 frame = backend._codec.encode(value)
                 self._record_bytes_in(0, frame.nbytes)
+                if self.events.wants("frame.encode"):
+                    self.events.emit(
+                        "frame.encode", stage=0, seq=seq, nbytes=frame.nbytes
+                    )
                 if not self._dispatch(0, seq, frame):
                     continue
         except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
@@ -299,6 +307,13 @@ class _ProcessSession(Session):
                     dead = pool.dead_workers()
                     if dead:
                         wid, code = dead[0]
+                        self.events.emit(
+                            "worker.death",
+                            f"stage {stage} worker {wid} exited",
+                            worker=wid,
+                            stage=stage,
+                            exitcode=code,
+                        )
                         self._fail(
                             stage,
                             RuntimeError(
@@ -321,9 +336,12 @@ class _ProcessSession(Session):
                     original = RuntimeError(extra)
                 self._fail(stage, original)
                 return
+            queued = pool.queued()
             with self._stage_locks[stage]:
-                metrics.record_service(extra, 1.0)
-                metrics.record_queue_length(pool.queued())
+                metrics.record_service(
+                    extra, 1.0, seq=seq, worker=worker_id, queue=queued
+                )
+                metrics.record_queue_length(queued)
                 metrics.record_bytes_out(payload.nbytes)
             # Workers already produced encoded frames and the next stage's
             # workers expect exactly that format — forward each frame
@@ -332,6 +350,13 @@ class _ProcessSession(Session):
                 if last:
                     value = backend._codec.decode(ready_frame)
                     backend._codec.release(ready_frame)
+                    if self.events.wants("frame.release"):
+                        self.events.emit(
+                            "frame.release",
+                            stage=stage,
+                            seq=ready_seq,
+                            nbytes=ready_frame.nbytes,
+                        )
                     with self._stage_locks[stage]:
                         self.instrumentation.record_completion(self.now())
                     self._deliver(value)
@@ -440,8 +465,10 @@ class ProcessPoolBackend(Backend):
         self._warm = True
 
     # ------------------------------------------------------------- sessions
-    def _open_session(self, *, max_inflight: int | None = None) -> Session:
-        return _ProcessSession(self, max_inflight=max_inflight)
+    def _open_session(
+        self, *, max_inflight: int | None = None, telemetry=None
+    ) -> Session:
+        return _ProcessSession(self, max_inflight=max_inflight, telemetry=telemetry)
 
     def _shutdown_pools(self, *, graceful: bool) -> None:
         if self._pools is None:
@@ -505,6 +532,7 @@ class ProcessPoolBackend(Backend):
                     if not w.active:
                         w.active = True
                         active += 1
+                        self.events.emit("replica.add", stage=stage, n=active)
                         if active == n_replicas:
                             break
             elif active > n_replicas:
@@ -518,6 +546,7 @@ class ProcessPoolBackend(Backend):
                         break
                     w.active = False
                     active -= 1
+                    self.events.emit("replica.remove", stage=stage, n=active)
 
 
 register_backend("processes", ProcessPoolBackend)

@@ -443,6 +443,13 @@ class RuntimeAdaptiveRunner:
             )
             if not decision.acts:
                 continue
+            session.events.emit(
+                "adapt.decide",
+                decision.reason,
+                reason=decision.reason,
+                predicted_gain=decision.predicted_gain,
+                backlog=backlog,
+            )
             assert decision.new_mapping is not None
             new_mapping = decision.new_mapping
             old_counts = self.backend.replica_counts()
@@ -491,6 +498,16 @@ class RuntimeAdaptiveRunner:
             with self._lock:
                 self.events.append(event)
                 self.replica_history.append((last_action, tuple(realized)))
+            session.events.emit(
+                "adapt.act",
+                decision.reason,
+                action=kind,
+                reason=decision.reason,
+                predicted_gain=decision.predicted_gain,
+                replicas_before=list(old_counts),
+                replicas_after=list(realized),
+                throughput_before=before_tp,
+            )
             if not self.rollback:
                 continue
             # Post-action validation mirrors the simulator controller: let
@@ -522,5 +539,14 @@ class RuntimeAdaptiveRunner:
                 with self._lock:
                     self.events.append(rollback_event)
                     self.replica_history.append((now, tuple(old_counts)))
+                session.events.emit(
+                    "adapt.rollback",
+                    rollback_event.reason,
+                    reason=rollback_event.reason,
+                    replicas_before=list(realized),
+                    replicas_after=list(old_counts),
+                    throughput_before=before_tp,
+                    throughput_after=after_tp,
+                )
                 mapping = old_mapping
                 last_action = now + cfg.cooldown  # demand stronger evidence

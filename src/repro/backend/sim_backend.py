@@ -40,8 +40,14 @@ class _SimSession(Session):
     session emulate back-to-back bounded streams (each is its own sim run).
     """
 
-    def __init__(self, backend: "SimBackend", *, max_inflight: int | None = None) -> None:
-        super().__init__(backend, max_inflight=max_inflight)
+    def __init__(
+        self,
+        backend: "SimBackend",
+        *,
+        max_inflight: int | None = None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
         self._items: list[Any] = []
         self._sim_elapsed = 0.0
 
@@ -123,8 +129,10 @@ class SimBackend(Backend):
         self.seed = seed
         self.last_run: RunResult | None = None
 
-    def _open_session(self, *, max_inflight: int | None = None) -> Session:
-        return _SimSession(self, max_inflight=max_inflight)
+    def _open_session(
+        self, *, max_inflight: int | None = None, telemetry=None
+    ) -> Session:
+        return _SimSession(self, max_inflight=max_inflight, telemetry=telemetry)
 
     def _simulate(self, items: list[Any]) -> list[Any] | None:
         """One simulated stream; returns computed outputs when fns exist."""
@@ -137,6 +145,7 @@ class SimBackend(Backend):
                 outputs.append(item)
         else:
             outputs = None
+        bus = self.events
         runner = AdaptivePipeline(
             self.pipeline,
             self.grid,
@@ -144,8 +153,14 @@ class SimBackend(Backend):
             initial_mapping=self.mapping,
             buffer_capacity=self.buffer_capacity,
             seed=self.seed,
+            trace=bus.active,
         )
         self.last_run = runner.run(len(items))
+        if bus.active:
+            # Bridge the simulator's trace onto the session bus with the
+            # events' *simulated* timestamps preserved.
+            for ev in runner.tracer:
+                bus.emit(ev.kind, ev.message, at=ev.time, **ev.fields)
         return outputs
 
     def service_means_from_spec(self) -> list[float]:

@@ -51,13 +51,19 @@ __all__ = ["ThreadBackend"]
 class _ThreadSession(Session):
     """Session-owned thread fabric (see module docstring)."""
 
-    def __init__(self, backend: "ThreadBackend", *, max_inflight: int | None = None) -> None:
-        super().__init__(backend, max_inflight=max_inflight)
+    def __init__(
+        self,
+        backend: "ThreadBackend",
+        *,
+        max_inflight: int | None = None,
+        telemetry=None,
+    ) -> None:
+        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
         pipeline = backend.pipeline
         n = pipeline.n_stages
         self.replicas = list(backend._target)
         self.capacity = backend.capacity
-        self.instrumentation = PipelineInstrumentation(n)
+        self.instrumentation = PipelineInstrumentation(n, events=self.events)
         self._locks = [threading.Lock() for _ in range(n)]
         self._snapshot_locks = self._locks
         self._abort = threading.Event()
@@ -190,9 +196,13 @@ class _ThreadSession(Session):
                 self.replicas[stage] += 1
                 self._threads.append(worker)
                 worker.start()
+                self.events.emit("replica.add", stage=stage, n=self.replicas[stage])
             while self.replicas[stage] > max(n_replicas, 1):
                 self.replicas[stage] -= 1
                 self._work_q[stage].put(_RETIRE, abort=self._abort)
+                self.events.emit(
+                    "replica.remove", stage=stage, n=self.replicas[stage]
+                )
 
 
 class ThreadBackend(Backend):
@@ -227,8 +237,10 @@ class ThreadBackend(Backend):
         self.max_replicas = max(max_replicas, *self._target)
 
     # ------------------------------------------------------------- sessions
-    def _open_session(self, *, max_inflight: int | None = None) -> Session:
-        return _ThreadSession(self, max_inflight=max_inflight)
+    def _open_session(
+        self, *, max_inflight: int | None = None, telemetry=None
+    ) -> Session:
+        return _ThreadSession(self, max_inflight=max_inflight, telemetry=telemetry)
 
     # ----------------------------------------------------------- observation
     def resource_view(self, n_procs: int) -> ResourceView:

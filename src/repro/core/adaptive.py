@@ -224,7 +224,11 @@ class AdaptivePipeline:
                     last_action_time=last_action,
                 )
                 self.tracer.emit(
-                    sim.now, "decide", decision.reason, acts=decision.acts
+                    sim.now,
+                    "adapt.decide",
+                    decision.reason,
+                    acts=decision.acts,
+                    reason=decision.reason,
                 )
                 if not decision.acts:
                     continue
@@ -267,6 +271,12 @@ class AdaptivePipeline:
                     and after_tp < before_tp * cfg.rollback_tolerance
                 ):
                     engine.reconfigure(old_mapping, decision.migration_cost)
+                    self.tracer.emit(
+                        sim.now,
+                        "adapt.rollback",
+                        f"measured {after_tp:.3f}/s < "
+                        f"{cfg.rollback_tolerance:.2f} x {before_tp:.3f}/s",
+                    )
                     events.append(
                         AdaptationEvent(
                             time=sim.now,

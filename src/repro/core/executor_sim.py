@@ -192,7 +192,7 @@ class SimPipelineEngine:
                 created=self.sim.now,
             )
             yield self._in_ch[0].put(item)
-            self.tracer.emit(self.sim.now, "source", f"emitted {seq}")
+            self.tracer.emit(self.sim.now, "item.submit", f"emitted {seq}", seq=seq)
             if self.arrival_period > 0.0:
                 yield self.sim.timeout(self.arrival_period)
         self._in_ch[0].close()
@@ -225,7 +225,11 @@ class SimPipelineEngine:
                     # Superseded by a reconfiguration: stop at this item
                     # boundary; the backlog belongs to the new generation.
                     self.tracer.emit(
-                        self.sim.now, "replica", f"stage{stage}@{pid} retired"
+                        self.sim.now,
+                        "replica.remove",
+                        f"stage{stage}@{pid} retired",
+                        stage=stage,
+                        pid=pid,
                     )
                     return
                 try:
@@ -324,7 +328,9 @@ class SimPipelineEngine:
             now = self.sim.now
             self.instrumentation.record_completion(now)
             self.output_records.append((item.seq, now, now - item.created))
-            self.tracer.emit(now, "sink", f"completed {item.seq}")
+            self.tracer.emit(
+                now, "item.complete", f"completed {item.seq}", seq=item.seq
+            )
         if not self.done.triggered:
             self.done.succeed(self.instrumentation.items_completed)
 
@@ -359,9 +365,10 @@ class SimPipelineEngine:
             )
             self.tracer.emit(
                 self.sim.now,
-                "reconfig",
+                "adapt.act",
                 f"stage {stage}: {self.mapping.replicas(stage)} -> "
                 f"{new_mapping.replicas(stage)}",
+                stage=stage,
             )
         self.mapping = new_mapping
         self.mapping_history.append((self.sim.now, new_mapping))

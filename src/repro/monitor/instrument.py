@@ -51,10 +51,17 @@ class StageSnapshot:
 
 
 class StageMetrics:
-    """Accumulates measurements for one stage (merging all replicas)."""
+    """Accumulates measurements for one stage (merging all replicas).
 
-    def __init__(self, stage_index: int, window: int = 32) -> None:
+    ``events`` (an :class:`repro.obs.events.EventBus`) turns every
+    ``record_service`` into a ``stage.service`` event as well — the single
+    hook through which all executors feed both the adaptation policy's
+    windows and the telemetry exporters.
+    """
+
+    def __init__(self, stage_index: int, window: int = 32, events=None) -> None:
         self.stage_index = stage_index
+        self.events = events
         self.total = OnlineStats()
         self._service_win = SlidingWindow(window)
         self._transfer_win = SlidingWindow(window)
@@ -70,12 +77,39 @@ class StageMetrics:
         self.total_bytes_out = 0
         self.items_processed = 0
 
-    def record_service(self, seconds: float, effective_speed: float) -> None:
-        """One item serviced in ``seconds`` at the given effective speed."""
+    def record_service(
+        self,
+        seconds: float,
+        effective_speed: float,
+        *,
+        seq: int | None = None,
+        worker: "int | str | None" = None,
+        queue: float | None = None,
+    ) -> None:
+        """One item serviced in ``seconds`` at the given effective speed.
+
+        ``seq``/``worker``/``queue`` only annotate the emitted
+        ``stage.service`` event (span attribution and the live ``top``
+        view); the policy-facing windows ignore them.
+        """
         self.items_processed += 1
         self.total.push(seconds)
         self._service_win.push(seconds)
         self._work_win.push(seconds * effective_speed)
+        bus = self.events
+        if bus is not None and bus.wants("stage.service"):
+            fields: dict = {
+                "stage": self.stage_index,
+                "seconds": seconds,
+                "speed": effective_speed,
+            }
+            if seq is not None:
+                fields["seq"] = seq
+            if worker is not None:
+                fields["worker"] = worker
+            if queue is not None:
+                fields["queue"] = queue
+            bus.emit("stage.service", **fields)
 
     def record_transfer(self, seconds: float) -> None:
         """One inter-stage transfer completed (into this stage)."""
@@ -131,10 +165,12 @@ class PipelineInstrumentation:
     runs.
     """
 
-    def __init__(self, n_stages: int, window: int = 32) -> None:
+    def __init__(self, n_stages: int, window: int = 32, events=None) -> None:
         if n_stages < 1:
             raise ValueError(f"n_stages must be >= 1, got {n_stages}")
-        self.stages = [StageMetrics(i, window=window) for i in range(n_stages)]
+        self.stages = [
+            StageMetrics(i, window=window, events=events) for i in range(n_stages)
+        ]
         self.completion_times: list[float] = []
         self._window = window
         self.stream_index = 0

@@ -1,0 +1,54 @@
+"""Unified telemetry: structured events, metrics, spans, exporters, top.
+
+The observability layer over the streaming/adaptive stack (see
+``docs/observability.md``): sessions emit :class:`Event` records on a
+per-session :class:`EventBus` (schema in :data:`SCHEMA`), and the pieces
+here consume them —
+
+* :class:`JsonlJournal` — durable JSONL stream with rotation;
+* :class:`MetricsRegistry`/:class:`MetricsRecorder` — counters, gauges and
+  log2 histograms with per-stage/per-worker labels;
+* :class:`SpanCollector`/:func:`spans_from_journal` — per-item
+  submit→service→yield timelines;
+* :class:`Telemetry` — the bundle ``open_pipeline(..., telemetry=...)``
+  accepts;
+* ``python -m repro.obs.top`` — live terminal view over a journal.
+"""
+
+from repro.obs.events import NULL_BUS, SCHEMA, Event, EventBus
+from repro.obs.exporters import (
+    Telemetry,
+    as_telemetry,
+    render_prometheus,
+    write_prometheus,
+)
+from repro.obs.journal import JsonlJournal, read_journal
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Log2Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+)
+from repro.obs.spans import Span, SpanCollector, spans_from_journal
+
+__all__ = [
+    "Counter",
+    "Event",
+    "EventBus",
+    "Gauge",
+    "JsonlJournal",
+    "Log2Histogram",
+    "MetricsRecorder",
+    "MetricsRegistry",
+    "NULL_BUS",
+    "SCHEMA",
+    "Span",
+    "SpanCollector",
+    "Telemetry",
+    "as_telemetry",
+    "read_journal",
+    "render_prometheus",
+    "spans_from_journal",
+    "write_prometheus",
+]

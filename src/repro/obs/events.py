@@ -1,0 +1,175 @@
+"""Structured runtime events: one typed schema for every execution layer.
+
+The adaptation pattern is observe→decide→act, but until this module the
+*observe* half was internal — instrumentation snapshots fed the policy and
+vanished.  :class:`EventBus` is the session-wide fan-out point: sessions,
+executors, the runtime adaptation loop and the distributed coordinator all
+emit :class:`Event` records with kinds drawn from :data:`SCHEMA`, and
+exporters (:mod:`repro.obs.journal`, :mod:`repro.obs.metrics`) subscribe.
+
+The bus is **lock-cheap by construction**: ``emit`` on a bus with no
+subscribers is a single attribute test, and with subscribers it iterates an
+immutable tuple snapshot — no lock is ever taken on the emit path.  Hot
+loops that would pay to *build* an event's fields guard with
+:meth:`EventBus.wants` first.
+
+Event times are in the emitting session's clock (:meth:`Session.now`,
+seconds since open) unless a different ``clock`` was supplied — the
+simulator forwards simulated seconds through the same shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+from typing import Any, Callable, Iterable
+
+__all__ = ["Event", "EventBus", "NULL_BUS", "SCHEMA"]
+
+
+#: The typed event schema: every kind the runtime emits, with the fields a
+#: subscriber can rely on (beyond the always-present ``time``/``kind``).
+SCHEMA: dict[str, str] = {
+    # -- session / stream lifecycle (backend/base.py) ---------------------
+    "session.open": "session opened: backend, stages, max_inflight",
+    "session.close": "session closed: streams, items_total",
+    "session.error": "executor error poisoned the session: error",
+    "stream.begin": "a stream opened lazily at first submit: stream",
+    "stream.drain": "a stream drained: stream, items, elapsed",
+    # -- per-item span points (base session + executors) ------------------
+    "item.submit": "item admitted (span minted): stream, seq",
+    "item.dispatch": "item sent to a remote replica: stage, seq, worker",
+    "item.complete": "item delivered in order: stream, seq",
+    # -- stage service (monitor/instrument.py hook) -----------------------
+    "stage.service": "one item serviced: stage, seconds, speed[, seq, worker, queue]",
+    # -- replica shape (executors + distributed placement) ----------------
+    "replica.add": "replicas grew: stage, n[, worker, slot]",
+    "replica.remove": "replicas shrank: stage, n[, worker, slot]",
+    "replica.move": "replica migrated between workers: stage, src, dst",
+    # -- adaptation loop (backend/runner.py, core controller) -------------
+    "adapt.decide": "policy decided to act: reason, predicted_gain",
+    "adapt.act": "mapping applied: before, after, reason",
+    "adapt.rollback": "post-action validation regressed: reason",
+    # -- distributed membership (coordinator) -----------------------------
+    "worker.join": "worker registered: worker, name, cores",
+    "worker.death": "worker died mid-run: worker, name, lost",
+    "worker.redispatch": "lost in-flight item re-sent: stage, seq",
+    # -- payload frames (transport boundary) ------------------------------
+    "frame.encode": "payload encoded for the wire: stage, seq, nbytes",
+    "frame.release": "payload frame decoded and released: stage, seq, nbytes",
+}
+
+
+@dataclass(frozen=True)
+class Event:
+    """One structured record: timestamp, schema kind, message, payload.
+
+    Field order is the historical ``TraceEvent`` order (``time, kind,
+    message, fields``) so positional construction in older call sites and
+    tests keeps working; ``category`` aliases ``kind`` for the same reason.
+    """
+
+    time: float
+    kind: str
+    message: str = ""
+    fields: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def category(self) -> str:
+        """Legacy alias for :attr:`kind` (the tracer's old field name)."""
+        return self.kind
+
+    def __str__(self) -> str:
+        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time:12.6f}] {self.kind:<12} {self.message}" + (
+            f" ({extra})" if extra else ""
+        )
+
+
+class EventBus:
+    """Fans structured events out to subscribers (see module docstring).
+
+    ``subscribe(fn, kinds=...)`` filters delivery at the bus so exporters
+    pay only for the kinds they asked for; ``emit`` with no subscribers is
+    one branch.  Subscription changes swap an immutable tuple under a lock;
+    emitters read it without locking (benign snapshot semantics).
+    """
+
+    def __init__(self, clock: Callable[[], float] | None = None) -> None:
+        self._clock = clock
+        self._subs: tuple[tuple[Callable[[Event], None], frozenset | None], ...] = ()
+        self._sub_lock = Lock()
+
+    # ------------------------------------------------------------ subscribers
+    @property
+    def active(self) -> bool:
+        """True when at least one subscriber is attached."""
+        return bool(self._subs)
+
+    def subscribe(
+        self,
+        fn: Callable[[Event], None],
+        kinds: Iterable[str] | None = None,
+    ) -> Callable[[Event], None]:
+        """Deliver every subsequent event (or just ``kinds``) to ``fn``."""
+        wanted = None if kinds is None else frozenset(kinds)
+        if wanted is not None:
+            unknown = wanted - SCHEMA.keys()
+            if unknown:
+                raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        with self._sub_lock:
+            self._subs = self._subs + ((fn, wanted),)
+        return fn
+
+    def unsubscribe(self, fn: Callable[[Event], None]) -> None:
+        """Remove every subscription of ``fn`` (no-op when absent)."""
+        with self._sub_lock:
+            self._subs = tuple(s for s in self._subs if s[0] is not fn)
+
+    def wants(self, kind: str) -> bool:
+        """True when some subscriber would receive ``kind``.
+
+        Hot paths that must *build* field payloads (per-item service
+        records) guard on this before constructing kwargs.
+        """
+        for _, wanted in self._subs:
+            if wanted is None or kind in wanted:
+                return True
+        return False
+
+    # ----------------------------------------------------------------- emit
+    def emit(self, kind: str, message: str = "", at: float | None = None, **fields: Any) -> None:
+        """Publish one event (single branch when nobody subscribed).
+
+        ``at`` overrides the bus clock (used when forwarding events stamped
+        elsewhere, e.g. simulated time); without a clock the time is 0.0.
+        """
+        subs = self._subs
+        if not subs:
+            return
+        if at is None:
+            at = self._clock() if self._clock is not None else 0.0
+        ev = Event(time=at, kind=kind, message=message, fields=fields)
+        for fn, wanted in subs:
+            if wanted is None or kind in wanted:
+                fn(ev)
+
+
+class _NullBus(EventBus):
+    """The shared pre-session bus: emits vanish, subscriptions are refused.
+
+    Backends expose ``.events`` from construction, but the per-session bus
+    only exists once a session opens; handing out one inert module-level
+    singleton before that keeps every emit site unconditional.  Subscribing
+    here would silently observe nothing (and leak across backends), so it
+    raises instead.
+    """
+
+    def subscribe(self, fn, kinds=None):
+        raise RuntimeError(
+            "cannot subscribe to the null event bus; open a session first "
+            "and subscribe to session.events (or pass telemetry= at open)"
+        )
+
+
+NULL_BUS: EventBus = _NullBus()

@@ -1,0 +1,169 @@
+"""Exporters: Prometheus-text snapshots and the session telemetry façade.
+
+:class:`Telemetry` is the one object user code configures — it bundles the
+JSONL journal, the metrics recorder and the Prometheus snapshot writer and
+attaches them to a session's event bus.  It is what
+``open_pipeline(..., telemetry=...)`` accepts (a bare path string/Path is
+shorthand for ``Telemetry(journal=path)``), and sessions attach it inside
+``Session.__init__`` — *before* any executor machinery starts — so even
+warm-up events (distributed ``worker.join``) reach the exporters.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.obs.events import EventBus
+from repro.obs.journal import JsonlJournal
+from repro.obs.metrics import Log2Histogram, MetricsRecorder, MetricsRegistry
+from repro.obs.spans import SpanCollector
+
+__all__ = ["Telemetry", "as_telemetry", "render_prometheus", "write_prometheus"]
+
+
+def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> str:
+    merged = dict(labels)
+    if extra:
+        merged.update(extra)
+    if not merged:
+        return ""
+    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    return "{" + inner + "}"
+
+
+def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
+    """Render a registry in the Prometheus text exposition format."""
+    lines: list[str] = []
+    seen: set[str] = set()
+    for name, labels, inst in registry.collect():
+        full = prefix + name
+        if full not in seen:
+            seen.add(full)
+            lines.append(f"# TYPE {full} {inst.kind}")
+        if isinstance(inst, Log2Histogram):
+            for bound, cum in inst.bounds():
+                lines.append(
+                    f"{full}_bucket{_fmt_labels(labels, {'le': f'{bound:g}'})} {cum}"
+                )
+            lines.append(f"{full}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {inst.count}")
+            lines.append(f"{full}_sum{_fmt_labels(labels)} {inst.sum:g}")
+            lines.append(f"{full}_count{_fmt_labels(labels)} {inst.count}")
+        else:
+            lines.append(f"{full}{_fmt_labels(labels)} {inst.value:g}")
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(
+    registry: MetricsRegistry, path: str | os.PathLike, prefix: str = "repro_"
+) -> None:
+    """Atomically write a registry snapshot to ``path`` (text format)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    tmp.write_text(render_prometheus(registry, prefix=prefix), encoding="utf-8")
+    tmp.replace(path)
+
+
+class Telemetry:
+    """Opt-in observability bundle for one (or more) sessions.
+
+    Parameters
+    ----------
+    journal:
+        JSONL journal path (or a configured :class:`JsonlJournal`); None
+        disables the journal.
+    metrics:
+        Keep a :class:`MetricsRegistry` fed from the event stream
+        (default True when ``prometheus`` is set, else False — counters
+        cost a lock each, so they stay off unless something reads them).
+    prometheus:
+        Path to write a Prometheus text snapshot to when the session
+        closes (and on every explicit :meth:`write_snapshot`).
+    spans:
+        Keep per-item :class:`~repro.obs.spans.Span` timelines in memory
+        (default False; unbounded in items, meant for tests and
+        short-lived diagnostics — the journal is the durable form).
+    kinds:
+        Restrict the journal to these event kinds (default: everything).
+    rotate_bytes, max_files:
+        Journal rotation policy (when ``journal`` is a path).
+    """
+
+    def __init__(
+        self,
+        *,
+        journal: str | os.PathLike | JsonlJournal | None = None,
+        metrics: bool | None = None,
+        prometheus: str | os.PathLike | None = None,
+        spans: bool = False,
+        kinds: tuple[str, ...] | None = None,
+        rotate_bytes: int = 32 * 1024 * 1024,
+        max_files: int = 3,
+    ) -> None:
+        if isinstance(journal, JsonlJournal):
+            self.journal: JsonlJournal | None = journal
+        elif journal is not None:
+            self.journal = JsonlJournal(
+                journal, rotate_bytes=rotate_bytes, max_files=max_files
+            )
+        else:
+            self.journal = None
+        self.prometheus_path = Path(prometheus) if prometheus is not None else None
+        if metrics is None:
+            metrics = self.prometheus_path is not None
+        self.recorder = MetricsRecorder() if metrics else None
+        self.spans = SpanCollector() if spans else None
+        self._kinds = kinds
+        self._closed = False
+
+    # ------------------------------------------------------------ wiring
+    @property
+    def registry(self) -> MetricsRegistry | None:
+        return self.recorder.registry if self.recorder is not None else None
+
+    def attach(self, session) -> "Telemetry":
+        """Subscribe every configured exporter to ``session.events``.
+
+        Called by ``Session.__init__`` when the session was opened with
+        ``telemetry=``; safe to call for several sessions in turn (they
+        share the journal/registry).  Registers :meth:`close` as a close
+        callback so the journal flushes before the backend goes away.
+        """
+        self.subscribe_to(session.events)
+        session.add_close_callback(self.close)
+        return self
+
+    def subscribe_to(self, bus: EventBus) -> None:
+        if self.journal is not None:
+            bus.subscribe(self.journal, kinds=self._kinds)
+        if self.recorder is not None:
+            self.recorder.attach(bus)
+        if self.spans is not None:
+            self.spans.attach(bus)
+
+    # ------------------------------------------------------------ output
+    def write_snapshot(self) -> None:
+        """Write the Prometheus snapshot now (no-op without a path)."""
+        if self.prometheus_path is not None and self.registry is not None:
+            write_prometheus(self.registry, self.prometheus_path)
+
+    def close(self) -> None:
+        """Flush and close every exporter (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.write_snapshot()
+        if self.journal is not None:
+            self.journal.close()
+
+
+def as_telemetry(value) -> Telemetry:
+    """Coerce ``telemetry=`` arguments: a path is journal shorthand."""
+    if isinstance(value, Telemetry):
+        return value
+    if isinstance(value, (str, os.PathLike)):
+        return Telemetry(journal=value)
+    raise TypeError(
+        f"telemetry must be a Telemetry, a journal path, or None; got {value!r}"
+    )

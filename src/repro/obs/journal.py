@@ -1,0 +1,119 @@
+"""JSONL event journal: the durable, grep-able form of the event stream.
+
+One line per event: ``{"t": <session seconds>, "wall": <epoch seconds>,
+"kind": ..., "msg": ..., <flattened fields>}``.  Values that are not JSON
+types are ``repr``-ed rather than dropped, so a journal line never fails to
+serialise.  Rotation is size-based (``journal.jsonl`` → ``journal.jsonl.1``
+→ …), bounded by ``max_files``.
+
+The journal is a plain bus subscriber — writes happen on the emitting
+thread, which is exactly why sessions emit outside their condition
+variables — and it is safe to attach one journal to several buses (the
+coordinator's backend bus and the session bus share one file).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+from threading import Lock
+from typing import Any, Iterator
+
+from repro.obs.events import Event
+
+__all__ = ["JsonlJournal", "read_journal"]
+
+#: Keys the journal itself owns; event fields with these names are prefixed.
+_RESERVED = ("t", "wall", "kind", "msg")
+
+
+class JsonlJournal:
+    """Appends events to a JSONL file with size-based rotation."""
+
+    def __init__(
+        self,
+        path: str | os.PathLike,
+        *,
+        rotate_bytes: int = 32 * 1024 * 1024,
+        max_files: int = 3,
+    ) -> None:
+        if rotate_bytes <= 0:
+            raise ValueError(f"rotate_bytes must be > 0, got {rotate_bytes}")
+        if max_files < 1:
+            raise ValueError(f"max_files must be >= 1, got {max_files}")
+        self.path = Path(path)
+        self.rotate_bytes = rotate_bytes
+        self.max_files = max_files
+        self._lock = Lock()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._nbytes = self._fh.tell()
+        self._closed = False
+
+    # ------------------------------------------------------------------ write
+    def __call__(self, ev: Event) -> None:
+        record: dict[str, Any] = {"t": round(ev.time, 6), "wall": time.time(), "kind": ev.kind}
+        if ev.message:
+            record["msg"] = ev.message
+        for k, v in ev.fields.items():
+            record[f"f_{k}" if k in _RESERVED else k] = v
+        line = json.dumps(record, default=repr, separators=(",", ":")) + "\n"
+        with self._lock:
+            if self._closed:
+                return
+            if self._nbytes + len(line) > self.rotate_bytes and self._nbytes > 0:
+                self._rotate()
+            self._fh.write(line)
+            self._nbytes += len(line)
+
+    def _rotate(self) -> None:
+        self._fh.close()
+        oldest = self.path.with_name(f"{self.path.name}.{self.max_files - 1}")
+        oldest.unlink(missing_ok=True)
+        for i in range(self.max_files - 2, 0, -1):
+            src = self.path.with_name(f"{self.path.name}.{i}")
+            if src.exists():
+                src.rename(self.path.with_name(f"{self.path.name}.{i + 1}"))
+        if self.max_files > 1:
+            self.path.rename(self.path.with_name(f"{self.path.name}.1"))
+        else:
+            self.path.unlink(missing_ok=True)
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self._nbytes = 0
+
+    # -------------------------------------------------------------- lifecycle
+    def flush(self) -> None:
+        with self._lock:
+            if not self._closed:
+                self._fh.flush()
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._fh.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def read_journal(path: str | os.PathLike) -> Iterator[dict[str, Any]]:
+    """Yield journal records oldest-first, including rotated siblings."""
+    path = Path(path)
+    candidates = sorted(
+        (p for p in path.parent.glob(f"{path.name}.*") if p.suffix[1:].isdigit()),
+        key=lambda p: int(p.suffix[1:]),
+        reverse=True,
+    )
+    if path.exists():
+        candidates.append(path)
+    for p in candidates:
+        with open(p, "r", encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    yield json.loads(line)

@@ -1,0 +1,150 @@
+"""Per-item trace spans: one item's timeline across the whole stack.
+
+A span is minted at ``submit()`` — its id is the item's
+:class:`~repro.backend.base.Ticket` ``(stream, seq)`` — and every later
+event that names the item (``item.dispatch``, ``stage.service``,
+``frame.encode``/``frame.release``, ``item.complete``) is attached to it,
+reconstructing the submit→queue→encode→wire→service→reorder→yield
+timeline.  On the distributed backend the id already crosses the wire:
+tasks and results carry ``(epoch, seq)`` (the epoch *is* the stream id)
+plus echoed dispatch/service/wait timestamps, so no protocol change was
+needed.
+
+Sequence spaces differ per executor — the process and distributed
+executors emit stream-scoped ``seq``, the thread and asyncio executors
+emit the session-global ``gseq`` — so ``item.submit`` records *both* and
+the collector resolves stage-level events through whichever space names a
+live (submitted, not yet completed) item.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from threading import Lock
+
+from repro.obs.events import Event, EventBus
+
+__all__ = ["Span", "SpanCollector", "spans_from_journal"]
+
+
+@dataclass
+class Span:
+    """One item's event timeline, keyed by its submit ticket."""
+
+    stream: int
+    seq: int
+    events: list[Event] = field(default_factory=list)
+
+    @property
+    def complete(self) -> bool:
+        return any(e.kind == "item.complete" for e in self.events)
+
+    def first(self, kind: str) -> Event | None:
+        for e in self.events:
+            if e.kind == kind:
+                return e
+        return None
+
+    @property
+    def latency(self) -> float | None:
+        """submit→yield seconds (None until the item completes)."""
+        sub = self.first("item.submit")
+        done = self.first("item.complete")
+        if sub is None or done is None:
+            return None
+        return done.time - sub.time
+
+    @property
+    def service_seconds(self) -> float:
+        """Total measured stage service time attributed to this item."""
+        return sum(
+            e.fields.get("seconds", 0.0)
+            for e in self.events
+            if e.kind == "stage.service"
+        )
+
+    def phases(self) -> list[tuple[float, str]]:
+        """Chronological ``(time, kind)`` points of the timeline."""
+        return sorted((e.time, e.kind) for e in self.events)
+
+
+class SpanCollector:
+    """Bus subscriber that groups per-item events into :class:`Span` objects."""
+
+    KINDS = (
+        "stream.begin",
+        "item.submit",
+        "item.dispatch",
+        "item.complete",
+        "stage.service",
+        "frame.encode",
+        "frame.release",
+    )
+
+    def __init__(self) -> None:
+        self._spans: dict[tuple[int, int], Span] = {}
+        self._by_gseq: dict[int, tuple[int, int]] = {}
+        self._stream = 0
+        self._lock = Lock()
+
+    def attach(self, bus: EventBus) -> "SpanCollector":
+        bus.subscribe(self, kinds=self.KINDS)
+        return self
+
+    # -------------------------------------------------------------- resolve
+    def _resolve(self, seq: int) -> Span | None:
+        """Map an executor-scoped ``seq`` onto a live span (see module doc)."""
+        key = self._by_gseq.get(seq)
+        if key is not None:
+            span = self._spans.get(key)
+            if span is not None and not span.complete:
+                return span
+        return self._spans.get((self._stream, seq))
+
+    def __call__(self, ev: Event) -> None:
+        f = ev.fields
+        with self._lock:
+            if ev.kind == "stream.begin":
+                self._stream = int(f.get("stream", self._stream))
+                return
+            if ev.kind in ("item.submit", "item.complete"):
+                if "stream" not in f or "seq" not in f:
+                    return
+                key = (int(f["stream"]), int(f["seq"]))
+                self._stream = key[0]
+                span = self._spans.setdefault(key, Span(*key))
+                if "gseq" in f:
+                    self._by_gseq[int(f["gseq"])] = key
+                span.events.append(ev)
+                return
+            seq = f.get("seq")
+            if seq is None:
+                return
+            span = self._resolve(int(seq))
+            if span is not None:
+                span.events.append(ev)
+
+    # --------------------------------------------------------------- access
+    def spans(self) -> list[Span]:
+        """Every span so far, ordered by ``(stream, seq)``."""
+        with self._lock:
+            return [self._spans[k] for k in sorted(self._spans)]
+
+    def span(self, stream: int, seq: int) -> Span | None:
+        with self._lock:
+            return self._spans.get((stream, seq))
+
+
+def spans_from_journal(path) -> list[Span]:
+    """Rebuild spans from a JSONL journal written by :class:`JsonlJournal`."""
+    from repro.obs.journal import read_journal
+
+    collector = SpanCollector()
+    for rec in read_journal(path):
+        fields = {
+            (k[2:] if k.startswith("f_") else k): v
+            for k, v in rec.items()
+            if k not in ("t", "wall", "kind", "msg")
+        }
+        collector(Event(time=rec.get("t", 0.0), kind=rec["kind"], fields=fields))
+    return collector.spans()

@@ -1,0 +1,193 @@
+"""``python -m repro.obs.top`` — live terminal view of a running pipeline.
+
+Tails a JSONL journal (the one a session writes when opened with
+``telemetry=``) and renders per-stage throughput, mean service time, queue
+depth and replica counts, plus the last N adaptation decisions — a
+curses-free ``top`` for the streaming stack, attachable to any running
+session whose journal path you know::
+
+    python -m repro.obs.top /tmp/pipeline.jsonl
+    python -m repro.obs.top /tmp/pipeline.jsonl --interval 0.5 --decisions 8
+    python -m repro.obs.top /tmp/pipeline.jsonl --once   # one frame, no ANSI
+
+Rates are computed from the wall-clock stamps the journal adds per line,
+over a trailing ``--window`` seconds, so the view stays honest even when
+the emitting session's own clock is relative.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from collections import deque
+from pathlib import Path
+
+__all__ = ["TopState", "main", "render"]
+
+_CLEAR = "\x1b[H\x1b[2J"
+
+
+class TopState:
+    """Aggregated view of a journal's event stream (one consumer, no locks)."""
+
+    def __init__(self, *, window: float = 5.0, decisions: int = 10) -> None:
+        self.window = window
+        self.backend = "?"
+        self.stage_names: list[str] = []
+        self.submitted = 0
+        self.completed = 0
+        self.streams = 0
+        self.workers_alive = 0
+        self.session_open = False
+        self.last_t = 0.0
+        # stage -> {items, svc_sum, queue, replicas, recent: deque[wall]}
+        self.stages: dict[int, dict] = {}
+        self.decisions: deque[tuple[float, str, str]] = deque(maxlen=decisions)
+
+    def _stage(self, i: int) -> dict:
+        return self.stages.setdefault(
+            int(i),
+            {"items": 0, "svc_sum": 0.0, "queue": 0.0, "replicas": 1, "recent": deque()},
+        )
+
+    def feed(self, rec: dict) -> None:
+        kind = rec.get("kind", "")
+        self.last_t = max(self.last_t, rec.get("t", 0.0))
+        if kind == "session.open":
+            self.session_open = True
+            self.backend = rec.get("backend", "?")
+            self.stage_names = list(rec.get("stages", []))
+        elif kind == "session.close":
+            self.session_open = False
+        elif kind == "item.submit":
+            self.submitted += 1
+        elif kind == "item.complete":
+            self.completed += 1
+        elif kind == "stream.begin":
+            self.streams += 1
+        elif kind == "stage.service":
+            s = self._stage(rec.get("stage", 0))
+            s["items"] += 1
+            s["svc_sum"] += rec.get("seconds", 0.0)
+            if "queue" in rec:
+                s["queue"] = rec["queue"]
+            s["recent"].append(rec.get("wall", time.time()))
+        elif kind in ("replica.add", "replica.remove"):
+            if "n" in rec:
+                self._stage(rec.get("stage", 0))["replicas"] = rec["n"]
+        elif kind in ("adapt.decide", "adapt.act", "adapt.rollback"):
+            reason = rec.get("reason", rec.get("msg", ""))
+            self.decisions.append((rec.get("t", 0.0), kind, str(reason)))
+        elif kind == "worker.join":
+            self.workers_alive += 1
+        elif kind == "worker.death":
+            self.workers_alive = max(0, self.workers_alive - 1)
+
+    def rate(self, stage: int, now: float) -> float:
+        recent = self.stages[stage]["recent"]
+        cutoff = now - self.window
+        while recent and recent[0] < cutoff:
+            recent.popleft()
+        return len(recent) / self.window
+
+
+def render(state: TopState, now: float | None = None) -> str:
+    """One frame of the view as plain text (no ANSI)."""
+    now = time.time() if now is None else now
+    status = "live" if state.session_open else "closed"
+    out = [
+        f"repro.obs.top  backend={state.backend}  [{status}]  "
+        f"t={state.last_t:.2f}s  streams={state.streams}  "
+        f"items {state.completed}/{state.submitted}  "
+        f"backlog {state.submitted - state.completed}"
+        + (f"  workers {state.workers_alive}" if state.workers_alive else ""),
+        "",
+        f"{'stage':<24} {'items':>8} {'rate/s':>8} {'svc ms':>8} "
+        f"{'queue':>7} {'repl':>5}",
+    ]
+    for i in sorted(state.stages):
+        s = state.stages[i]
+        name = (
+            state.stage_names[i] if i < len(state.stage_names) else str(i)
+        )
+        svc_ms = (s["svc_sum"] / s["items"] * 1e3) if s["items"] else 0.0
+        out.append(
+            f"{name[:24]:<24} {s['items']:>8} {state.rate(i, now):>8.1f} "
+            f"{svc_ms:>8.2f} {s['queue']:>7.1f} {s['replicas']:>5}"
+        )
+    if not state.stages:
+        out.append("(no stage activity yet)")
+    out.append("")
+    out.append(f"last {state.decisions.maxlen} adaptation decisions:")
+    if state.decisions:
+        for t, kind, reason in state.decisions:
+            out.append(f"  [{t:9.3f}] {kind:<14} {reason}")
+    else:
+        out.append("  (none)")
+    return "\n".join(out)
+
+
+def _tail(path: Path, state: TopState, pos: int) -> int:
+    """Feed journal lines appended since ``pos``; returns the new offset."""
+    try:
+        size = path.stat().st_size
+    except OSError:
+        return pos
+    if size < pos:  # rotated under us: start over on the fresh file
+        pos = 0
+    if size == pos:
+        return pos
+    with open(path, "r", encoding="utf-8") as fh:
+        fh.seek(pos)
+        for line in fh:
+            if not line.endswith("\n"):
+                break  # partial write: re-read next round
+            pos += len(line.encode("utf-8"))
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                state.feed(json.loads(line))
+            except json.JSONDecodeError:
+                continue
+    return pos
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.top", description=__doc__.split("\n")[0]
+    )
+    parser.add_argument("journal", help="JSONL journal path a session writes to")
+    parser.add_argument("--interval", type=float, default=1.0, help="refresh seconds")
+    parser.add_argument(
+        "--window", type=float, default=5.0, help="throughput window (seconds)"
+    )
+    parser.add_argument(
+        "--decisions", type=int, default=10, help="adaptation decisions to keep"
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="read the whole journal, print one frame, exit (no ANSI)",
+    )
+    args = parser.parse_args(argv)
+    path = Path(args.journal)
+    state = TopState(window=args.window, decisions=args.decisions)
+    if args.once:
+        _tail(path, state, 0)
+        print(render(state))
+        return 0
+    pos = 0
+    try:
+        while True:
+            pos = _tail(path, state, pos)
+            sys.stdout.write(_CLEAR + render(state) + "\n")
+            sys.stdout.flush()
+            time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -237,7 +237,10 @@ class _Worker(threading.Thread):
                     # planner does not double-count the load it also sees
                     # in the resource view.  Default speed is 1.0 (the
                     # local host as the reference processor).
-                    self.metrics.record_service(dt, self.speed_fn())
+                    self.metrics.record_service(
+                        dt, self.speed_fn(), seq=seq, worker=self.name,
+                        queue=self.work_q.q.qsize(),
+                    )
                 self.out_q.put((seq, result), abort=self.abort)
         finally:
             self.out_q.producer_done()

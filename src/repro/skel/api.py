@@ -159,6 +159,7 @@ def open_pipeline(
     backend: str | Backend = "threads",
     adaptive: bool | AdaptationConfig = False,
     max_inflight: int | None = None,
+    telemetry=None,
     **backend_kwargs,
 ) -> Session:
     """Open a resident streaming pipeline of ``stages`` and return its session.
@@ -178,6 +179,13 @@ def open_pipeline(
     for as long as the session lives.  The simulator backend cannot adapt a
     live session (its controller runs inside simulated time), so
     ``backend="sim"`` with ``adaptive`` is rejected here.
+
+    ``telemetry=`` opts the session into the observability layer
+    (:mod:`repro.obs`): pass a :class:`~repro.obs.Telemetry` bundle for
+    full control (journal + metrics + Prometheus snapshot + spans), or a
+    plain path for the common case of a JSONL event journal.  The session
+    closes the telemetry (flushing the journal and writing any snapshot)
+    when it closes.
 
     Closing the session also detaches the controller and closes the
     backend when it was built here from a name; a :class:`Backend`
@@ -214,7 +222,7 @@ def open_pipeline(
             "without adaptive=, or use pipeline_1for1 for in-sim adaptation"
         )
     try:
-        session = b.open(max_inflight=max_inflight)
+        session = b.open(max_inflight=max_inflight, telemetry=telemetry)
     except BaseException:
         if owns:
             b.close()

@@ -3,30 +3,29 @@
 A :class:`Tracer` collects timestamped, categorised events.  It is cheap when
 disabled (a single branch per emit) and is the mechanism behind run
 post-mortems in tests and the adaptation timelines printed by examples.
+
+Since the unified telemetry layer landed (:mod:`repro.obs.events`), the
+trace record *is* the runtime event record: :data:`TraceEvent` is an alias
+of :class:`repro.obs.events.Event` and categories are expected to be kinds
+from :data:`repro.obs.events.SCHEMA` (``"adapt.decide"``, ``"item.complete"``,
+...).  Free-form category strings still work — the simulator's history
+predates the schema — but are deprecated; new call sites should emit
+schema kinds so traces can be forwarded verbatim onto a session's
+:class:`~repro.obs.events.EventBus`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 from typing import Any, Callable, Iterator
+
+from repro.obs.events import SCHEMA, Event
 
 __all__ = ["TraceEvent", "Tracer"]
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One trace record: simulated time, category tag, message, payload."""
-
-    time: float
-    category: str
-    message: str
-    fields: dict[str, Any] = field(default_factory=dict)
-
-    def __str__(self) -> str:
-        extra = " ".join(f"{k}={v}" for k, v in self.fields.items())
-        return f"[{self.time:12.6f}] {self.category:<12} {self.message}" + (
-            f" ({extra})" if extra else ""
-        )
+#: One trace record.  An alias of the runtime event type: ``(time, kind,
+#: message, fields)`` positionally, with ``category`` aliasing ``kind``.
+TraceEvent = Event
 
 
 class Tracer:
@@ -38,10 +37,21 @@ class Tracer:
         self._subscribers: list[Callable[[TraceEvent], None]] = []
 
     def emit(self, time: float, category: str, message: str, **fields: Any) -> None:
-        """Record an event (no-op when disabled)."""
+        """Record an event (no-op when disabled).
+
+        ``category`` should be a kind from :data:`repro.obs.events.SCHEMA`;
+        anything else is accepted for compatibility but deprecated.
+        """
         if not self.enabled:
             return
-        ev = TraceEvent(time=time, category=category, message=message, fields=fields)
+        if category not in SCHEMA:
+            warnings.warn(
+                f"free-form trace category {category!r} is deprecated; "
+                "use a kind from repro.obs.events.SCHEMA",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+        ev = TraceEvent(time=time, kind=category, message=message, fields=fields)
         self._events.append(ev)
         for sub in self._subscribers:
             sub(ev)
@@ -51,7 +61,7 @@ class Tracer:
         self._subscribers.append(fn)
 
     def events(self, category: str | None = None) -> list[TraceEvent]:
-        """All events so far, optionally filtered by category."""
+        """All events so far, optionally filtered by category (kind)."""
         if category is None:
             return list(self._events)
         return [e for e in self._events if e.category == category]

@@ -1,0 +1,91 @@
+"""Acceptance tests for the observability layer (ISSUE 8).
+
+The load-bearing claim: a killed distributed worker during a streaming run
+leaves a journal containing its death event, exactly-once re-dispatch
+events for its lost in-flight items, and the adaptation decision that
+re-homed its replicas — all reconstructable offline from the JSONL file.
+
+Stage functions live at module level so forked workers can resolve them.
+"""
+
+import time
+from collections import Counter
+
+from repro.backend import DistributedBackend
+from repro.core.pipeline import PipelineSpec
+from repro.core.stage import StageSpec
+from repro.obs import read_journal
+
+
+def _slow_triple(x):
+    time.sleep(0.01)
+    return x * 3
+
+
+def _pipe():
+    return PipelineSpec((StageSpec(name="triple", work=0.01, fn=_slow_triple),))
+
+
+class TestWorkerDeathJournal:
+    def test_death_redispatch_and_rehome_journalled(self, tmp_path):
+        path = tmp_path / "dist.jsonl"
+        n = 60
+        b = DistributedBackend(_pipe(), spawn_workers=2, replicas=[1])
+        try:
+            session = b.open(telemetry=path)
+            for i in range(n):
+                session.submit(i)
+            time.sleep(0.25)  # let items reach the hosting worker
+            # Kill the worker hosting the only replica of the only stage.
+            (hosting_wid,) = b.replica_placement()[0]
+            victim = next(w for w in b._workers.values() if w.id == hosting_wid)
+            assert victim.proc is not None
+            victim.proc.kill()
+            # The stream still completes, in order, with no lost items.
+            assert session.drain() == [x * 3 for x in range(n)]
+            session.close()
+        finally:
+            b.close()
+
+        recs = list(read_journal(path))
+        kinds = [r["kind"] for r in recs]
+
+        # Both workers registered before any item moved.
+        joins = [r for r in recs if r["kind"] == "worker.join"]
+        assert {r["worker"] for r in joins} == {0, 1}
+        assert kinds.index("worker.join") < kinds.index("item.submit")
+
+        # The death was recorded, attributed to the killed worker.
+        deaths = [r for r in recs if r["kind"] == "worker.death"]
+        assert len(deaths) == 1
+        assert deaths[0]["worker"] == hosting_wid
+        assert deaths[0]["lost_items"] >= 1
+
+        # Exactly-once re-dispatch: every lost item re-sent once, none twice.
+        redispatches = Counter(
+            (r["stage"], r["seq"])
+            for r in recs
+            if r["kind"] == "worker.redispatch"
+        )
+        assert len(redispatches) == deaths[0]["lost_items"]
+        assert all(count == 1 for count in redispatches.values())
+
+        # The decision that re-homed the stage, then the replacement replica
+        # on the survivor — in that order, after the death.
+        decides = [
+            i for i, r in enumerate(recs)
+            if r["kind"] == "adapt.decide" and "re-home" in r.get("reason", "")
+        ]
+        assert decides, "no re-home adaptation decision journalled"
+        death_at = kinds.index("worker.death")
+        rehome_adds = [
+            i for i, r in enumerate(recs)
+            if r["kind"] == "replica.add" and i > death_at
+        ]
+        assert rehome_adds and decides[0] > death_at
+        assert recs[rehome_adds[0]]["worker"] != hosting_wid
+
+        # The stream itself closed cleanly in the journal.
+        assert kinds[-1] == "session.close" or "session.close" in kinds
+        drains = [r for r in recs if r["kind"] == "stream.drain"]
+        assert drains and drains[0]["items"] == n

@@ -1,0 +1,82 @@
+"""Tests for the JSONL journal and its reader."""
+
+import json
+
+from repro.obs.events import Event, EventBus
+from repro.obs.journal import JsonlJournal, read_journal
+
+
+class TestJsonlJournal:
+    def test_writes_one_line_per_event(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JsonlJournal(path)
+        j(Event(1.0, "stream.begin", fields={"stream": 1}))
+        j(Event(2.0, "item.submit", "hello", {"stream": 1, "seq": 0}))
+        j.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        rec = json.loads(lines[1])
+        assert rec["t"] == 2.0
+        assert rec["kind"] == "item.submit"
+        assert rec["msg"] == "hello"
+        assert rec["seq"] == 0
+        assert "wall" in rec
+
+    def test_reserved_field_names_are_prefixed(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JsonlJournal(path)
+        j(Event(0.0, "stage.service", fields={"t": 9, "kind": "x", "stage": 1}))
+        j.close()
+        rec = json.loads(path.read_text())
+        assert rec["f_t"] == 9
+        assert rec["f_kind"] == "x"
+        assert rec["stage"] == 1
+        assert rec["kind"] == "stage.service"
+
+    def test_non_json_values_repr(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JsonlJournal(path)
+        j(Event(0.0, "session.error", fields={"error": ValueError("boom")}))
+        j.close()
+        rec = json.loads(path.read_text())
+        assert "boom" in rec["error"]
+
+    def test_rotation_bounded(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JsonlJournal(path, rotate_bytes=200, max_files=2)
+        for i in range(100):
+            j(Event(float(i), "item.submit", fields={"stream": 1, "seq": i}))
+        j.close()
+        siblings = sorted(p.name for p in tmp_path.iterdir())
+        assert siblings == ["j.jsonl", "j.jsonl.1"]
+        assert path.stat().st_size <= 200
+
+    def test_read_journal_spans_rotated_files_oldest_first(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JsonlJournal(path, rotate_bytes=150, max_files=3)
+        for i in range(12):
+            j(Event(float(i), "item.submit", fields={"seq": i}))
+        j.close()
+        seqs = [r["seq"] for r in read_journal(path)]
+        assert seqs == sorted(seqs)
+        assert seqs[-1] == 11
+
+    def test_close_idempotent_and_write_after_close_noop(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        j = JsonlJournal(path)
+        j.close()
+        j.close()
+        j(Event(0.0, "stream.begin"))  # silently dropped
+        assert path.read_text() == ""
+
+    def test_as_bus_subscriber(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        bus = EventBus(clock=lambda: 1.0)
+        j = JsonlJournal(path)
+        bus.subscribe(j, kinds=("adapt.decide",))
+        bus.emit("item.submit", stream=1, seq=0)
+        bus.emit("adapt.decide", "why", reason="why")
+        j.close()
+        recs = list(read_journal(path))
+        assert [r["kind"] for r in recs] == ["adapt.decide"]
+        assert recs[0]["reason"] == "why"

@@ -1,0 +1,116 @@
+"""Tests for the metrics registry and the event-fed recorder."""
+
+import pytest
+
+from repro.obs.events import EventBus
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Log2Histogram,
+    MetricsRecorder,
+    MetricsRegistry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = Gauge()
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_histogram_log2_buckets(self):
+        h = Log2Histogram(scale=1.0)
+        for x in (1, 2, 3, 4):
+            h.observe(x)
+        # bucket b covers [2^(b-1), 2^b): 1 -> b1, 2,3 -> b2, 4 -> b3
+        assert h.buckets == {1: 1, 2: 2, 3: 1}
+        assert h.count == 4
+        assert h.sum == pytest.approx(10.0)
+        bounds = h.bounds()
+        assert bounds[-1] == (8.0, 4)  # cumulative reaches the count
+
+    def test_histogram_scale(self):
+        h = Log2Histogram(scale=1e6)
+        h.observe(3e-6)  # 3 us -> bucket 2
+        assert h.buckets == {2: 1}
+
+
+class TestRegistry:
+    def test_get_or_create_same_instrument(self):
+        reg = MetricsRegistry()
+        a = reg.counter("items", {"stage": "0"})
+        b = reg.counter("items", {"stage": "0"})
+        assert a is b
+        assert reg.counter("items", {"stage": "1"}) is not a
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="counter"):
+            reg.gauge("x", {"l": "1"})
+
+    def test_collect_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("b").inc()
+        reg.counter("a", {"s": "1"}).inc(2)
+        out = [(name, labels, inst.value) for name, labels, inst in reg.collect()]
+        assert out == [("a", {"s": "1"}, 2.0), ("b", {}, 1.0)]
+
+
+class TestRecorder:
+    def _bus(self):
+        bus = EventBus(clock=lambda: 0.0)
+        rec = MetricsRecorder().attach(bus)
+        return bus, rec.registry
+
+    def test_stage_service_feeds_labelled_families(self):
+        bus, reg = self._bus()
+        bus.emit("stage.service", stage=1, seconds=0.01, speed=1.0,
+                 worker=3, queue=2)
+        bus.emit("stage.service", stage=1, seconds=0.02, speed=1.0)
+        assert reg.counter("stage_items_total", {"stage": "1"}).value == 2
+        assert reg.histogram("stage_service_seconds", {"stage": "1"}).count == 2
+        assert reg.gauge("stage_queue_length", {"stage": "1"}).value == 2
+        assert reg.counter("worker_items_total", {"worker": "3"}).value == 1
+
+    def test_lifecycle_counters(self):
+        bus, reg = self._bus()
+        bus.emit("stream.begin", stream=1)
+        for seq in range(3):
+            bus.emit("item.submit", stream=1, seq=seq, gseq=seq)
+            bus.emit("item.complete", stream=1, seq=seq)
+        bus.emit("stream.drain", stream=1, items=3, elapsed=0.5)
+        assert reg.counter("items_submitted_total").value == 3
+        assert reg.counter("items_completed_total").value == 3
+        assert reg.counter("streams_opened_total").value == 1
+        assert reg.gauge("stream_last_items").value == 3
+        assert reg.gauge("stream_last_elapsed_seconds").value == 0.5
+
+    def test_replica_adapt_worker_frame_events(self):
+        bus, reg = self._bus()
+        bus.emit("replica.add", stage=0, n=2)
+        bus.emit("replica.remove", stage=0, n=1)
+        bus.emit("adapt.decide", reason="bottleneck")
+        bus.emit("adapt.act", reason="bottleneck")
+        bus.emit("worker.join", worker=0)
+        bus.emit("worker.death", worker=0)
+        bus.emit("frame.encode", stage=0, seq=0, nbytes=100)
+        bus.emit("frame.release", stage=1, seq=0, nbytes=80)
+        bus.emit("session.error", error="boom")
+        assert reg.gauge("stage_replicas", {"stage": "0"}).value == 1
+        assert reg.counter("replica_events_total", {"kind": "add"}).value == 1
+        assert reg.counter("adapt_events_total", {"kind": "decide"}).value == 1
+        assert reg.counter("worker_events_total", {"kind": "death"}).value == 1
+        assert reg.counter("frame_bytes_encoded_total").value == 100
+        assert reg.counter("frame_bytes_released_total").value == 80
+        assert reg.counter("session_errors_total").value == 1

@@ -1,0 +1,58 @@
+"""Tests for per-item span collection."""
+
+from repro.obs.events import EventBus
+from repro.obs.spans import SpanCollector
+
+
+def _bus():
+    bus = EventBus(clock=lambda: 0.0)
+    return bus, SpanCollector().attach(bus)
+
+
+class TestSpanCollector:
+    def test_span_minted_at_submit_and_completed(self):
+        bus, col = _bus()
+        bus.emit("stream.begin", stream=1)
+        bus.emit("item.submit", at=1.0, stream=1, seq=0, gseq=0)
+        bus.emit("stage.service", at=1.2, stage=0, seconds=0.1, speed=1.0, seq=0)
+        bus.emit("item.complete", at=1.5, stream=1, seq=0)
+        span = col.span(1, 0)
+        assert span is not None
+        assert span.complete
+        assert span.latency == 0.5
+        assert span.service_seconds == 0.1
+        assert [k for _, k in span.phases()] == [
+            "item.submit", "stage.service", "item.complete",
+        ]
+
+    def test_gseq_alias_resolves_session_global_seqs(self):
+        # Thread/asyncio executors emit gseq in stage.service: stream 2's
+        # first item has seq 0 but gseq 5.
+        bus, col = _bus()
+        bus.emit("stream.begin", stream=2)
+        bus.emit("item.submit", stream=2, seq=0, gseq=5)
+        bus.emit("stage.service", stage=0, seconds=0.2, speed=1.0, seq=5)
+        span = col.span(2, 0)
+        assert span.service_seconds == 0.2
+
+    def test_stream_scoped_seq_falls_back_to_current_stream(self):
+        # Process/distributed executors emit stream-scoped seqs.
+        bus, col = _bus()
+        bus.emit("stream.begin", stream=3)
+        bus.emit("item.submit", stream=3, seq=7, gseq=100)
+        bus.emit("frame.encode", stage=0, seq=7, nbytes=64)
+        span = col.span(3, 7)
+        assert span.first("frame.encode").fields["nbytes"] == 64
+
+    def test_spans_ordered(self):
+        bus, col = _bus()
+        bus.emit("stream.begin", stream=1)
+        for seq in (2, 0, 1):
+            bus.emit("item.submit", stream=1, seq=seq, gseq=seq)
+        assert [(s.stream, s.seq) for s in col.spans()] == [(1, 0), (1, 1), (1, 2)]
+
+    def test_incomplete_span_has_no_latency(self):
+        bus, col = _bus()
+        bus.emit("item.submit", stream=1, seq=0, gseq=0)
+        assert col.span(1, 0).latency is None
+        assert not col.span(1, 0).complete

@@ -1,0 +1,142 @@
+"""End-to-end telemetry: open_pipeline(..., telemetry=...) across executors."""
+
+import pytest
+
+from repro.obs import Telemetry, as_telemetry, read_journal, spans_from_journal
+from repro.obs.exporters import render_prometheus
+from repro.skel.api import open_pipeline
+
+
+def _run(session, n=6):
+    for i in range(n):
+        session.submit(i)
+    out = session.drain()
+    session.close()
+    return out
+
+
+class TestAsTelemetry:
+    def test_path_is_journal_shorthand(self, tmp_path):
+        t = as_telemetry(tmp_path / "j.jsonl")
+        assert t.journal is not None
+        assert t.recorder is None  # metrics stay off unless asked for
+        t.close()
+
+    def test_passthrough_and_rejection(self):
+        t = Telemetry()
+        assert as_telemetry(t) is t
+        with pytest.raises(TypeError):
+            as_telemetry(42)
+
+
+class TestJournalEndToEnd:
+    @pytest.mark.parametrize("backend", ["threads", "asyncio", "sim"])
+    def test_lifecycle_events_journalled(self, tmp_path, backend):
+        path = tmp_path / "j.jsonl"
+        session = open_pipeline(
+            [lambda x: x + 1, lambda x: x * 2], backend=backend, telemetry=path
+        )
+        assert _run(session) == [2, 4, 6, 8, 10, 12]
+        kinds = {r["kind"] for r in read_journal(path)}
+        assert {
+            "session.open", "stream.begin", "item.submit",
+            "item.complete", "stream.drain", "session.close",
+        } <= kinds
+
+    def test_processes_journal_includes_frames(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        session = open_pipeline(
+            [lambda x: x + 1], backend="processes", telemetry=path
+        )
+        assert _run(session, 4) == [1, 2, 3, 4]
+        recs = list(read_journal(path))
+        kinds = {r["kind"] for r in recs}
+        assert {"frame.encode", "frame.release", "stage.service"} <= kinds
+        encoded = [r for r in recs if r["kind"] == "frame.encode"]
+        assert all(r["nbytes"] > 0 for r in encoded)
+
+    def test_journal_order_open_first_close_last(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        session = open_pipeline([lambda x: x], telemetry=path)
+        _run(session, 2)
+        kinds = [r["kind"] for r in read_journal(path)]
+        assert kinds[0] == "session.open"
+        assert "session.close" in kinds
+
+
+class TestMetricsAndPrometheus:
+    def test_full_bundle(self, tmp_path):
+        prom = tmp_path / "metrics.prom"
+        t = Telemetry(journal=tmp_path / "j.jsonl", prometheus=prom, spans=True)
+        session = open_pipeline([lambda x: x + 1, lambda x: x * 2], telemetry=t)
+        _run(session)
+        # close() wrote the snapshot
+        text = prom.read_text()
+        assert "# TYPE repro_items_completed_total counter" in text
+        assert "repro_items_completed_total 6" in text
+        assert 'repro_stage_items_total{stage="0"} 6' in text
+        assert "repro_stage_service_seconds_bucket" in text
+        reg = t.registry
+        assert reg.counter("streams_opened_total").value == 1
+
+    def test_spans_reconstruct_timeline(self, tmp_path):
+        t = Telemetry(spans=True)
+        session = open_pipeline([lambda x: x + 1], telemetry=t)
+        _run(session, 3)
+        spans = t.spans.spans()
+        assert len(spans) == 3
+        assert all(s.complete for s in spans)
+        assert all(s.latency is not None and s.latency >= 0 for s in spans)
+        assert all(s.service_seconds > 0 for s in spans)
+
+    def test_spans_from_journal_match_live(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        session = open_pipeline([lambda x: x + 1], telemetry=path)
+        _run(session, 4)
+        spans = spans_from_journal(path)
+        assert len(spans) == 4
+        assert all(s.complete for s in spans)
+
+    def test_render_prometheus_empty_registry(self):
+        t = Telemetry(metrics=True)
+        assert render_prometheus(t.registry) == ""
+
+
+class TestSessionErrorJournalled:
+    def test_error_event_recorded(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+
+        def boom(x):
+            raise ValueError("kaboom")
+
+        session = open_pipeline([boom], telemetry=path)
+        session.submit(1)
+        with pytest.raises(Exception):
+            session.drain()
+        session.close()
+        errors = [r for r in read_journal(path) if r["kind"] == "session.error"]
+        assert len(errors) == 1
+        assert "kaboom" in errors[0]["error"]
+
+
+class TestAdaptationJournalled:
+    def test_adaptive_threads_session_emits_decisions(self, tmp_path):
+        import time
+
+        path = tmp_path / "j.jsonl"
+        session = open_pipeline(
+            [lambda x: x, lambda x: (time.sleep(0.01), x)[1]],
+            backend="threads",
+            adaptive=True,
+            telemetry=path,
+        )
+        for i in range(120):
+            session.submit(i)
+        session.drain()
+        session.close()
+        kinds = {r["kind"] for r in read_journal(path)}
+        # The policy saw a clear bottleneck: decide must appear, and any
+        # realized action also journals replica changes.
+        assert "adapt.decide" in kinds
+        if "adapt.act" in kinds:
+            assert "replica.add" in kinds

@@ -1,0 +1,87 @@
+"""Tests for the live top view (state fold + --once rendering)."""
+
+from repro.obs.top import TopState, main, render
+from repro.skel.api import open_pipeline
+
+
+def _feed(state, *recs):
+    for rec in recs:
+        state.feed(rec)
+
+
+class TestTopState:
+    def test_folds_lifecycle(self):
+        s = TopState()
+        _feed(
+            s,
+            {"kind": "session.open", "t": 0.0, "backend": "threads",
+             "stages": ["a", "b"]},
+            {"kind": "stream.begin", "t": 0.1, "stream": 1},
+            {"kind": "item.submit", "t": 0.1},
+            {"kind": "stage.service", "t": 0.2, "stage": 0, "seconds": 0.05,
+             "queue": 3, "wall": 100.0},
+            {"kind": "item.complete", "t": 0.3},
+            {"kind": "replica.add", "t": 0.4, "stage": 0, "n": 2},
+            {"kind": "adapt.decide", "t": 0.5, "reason": "bottleneck stage 0"},
+        )
+        assert s.backend == "threads"
+        assert s.stage_names == ["a", "b"]
+        assert s.submitted == 1 and s.completed == 1 and s.streams == 1
+        assert s.stages[0]["items"] == 1
+        assert s.stages[0]["queue"] == 3
+        assert s.stages[0]["replicas"] == 2
+        assert list(s.decisions)[0][1] == "adapt.decide"
+
+    def test_rate_over_window(self):
+        s = TopState(window=10.0)
+        for wall in (99.0, 101.0, 109.0):
+            s.feed({"kind": "stage.service", "t": 0.0, "stage": 0,
+                    "seconds": 0.01, "wall": wall})
+        assert s.rate(0, now=110.0) == 2 / 10.0  # 99.0 aged out
+
+    def test_worker_membership(self):
+        s = TopState()
+        _feed(
+            s,
+            {"kind": "worker.join", "t": 0.0, "worker": 0},
+            {"kind": "worker.join", "t": 0.0, "worker": 1},
+            {"kind": "worker.death", "t": 1.0, "worker": 0},
+        )
+        assert s.workers_alive == 1
+
+
+class TestRender:
+    def test_render_empty(self):
+        text = render(TopState(), now=0.0)
+        assert "no stage activity" in text
+        assert "(none)" in text
+
+    def test_render_with_stages_and_decisions(self):
+        s = TopState()
+        _feed(
+            s,
+            {"kind": "session.open", "t": 0.0, "backend": "threads",
+             "stages": ["work"]},
+            {"kind": "stage.service", "t": 0.2, "stage": 0, "seconds": 0.05,
+             "wall": 100.0},
+            {"kind": "adapt.act", "t": 0.5, "reason": "replicate stage 0"},
+        )
+        text = render(s, now=100.0)
+        assert "backend=threads" in text
+        assert "work" in text
+        assert "adapt.act" in text
+        assert "replicate stage 0" in text
+
+
+class TestMainOnce:
+    def test_once_renders_real_journal(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        session = open_pipeline([lambda x: x + 1], telemetry=path)
+        for i in range(5):
+            session.submit(i)
+        session.drain()
+        session.close()
+        assert main([str(path), "--once"]) == 0
+        out = capsys.readouterr().out
+        assert "backend=threads" in out
+        assert "items 5/5" in out
