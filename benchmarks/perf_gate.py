@@ -1,0 +1,119 @@
+"""CI perf-regression gate for telemetry overhead (E19 + E20).
+
+Reads the machine-readable rows the benchmark run left behind
+(``benchmarks/results/latest.jsonl``, or the ``json:`` lines embedded in
+``latest.txt``), writes one trajectory point to ``BENCH_E20.json``
+(E20 full-tracing ratios plus E19's journal-exporter ratios for
+context), and exits nonzero if telemetry cost more than 5% items/sec on
+any backend — the acceptance bar from the tracing issue, enforced on
+every CI run rather than once at review time.
+
+Usage (after ``pytest benchmarks/``)::
+
+    python benchmarks/perf_gate.py [--results benchmarks/results] \
+        [--out BENCH_E20.json] [--min-ratio 0.95]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+MIN_RATIO = 0.95
+EXPECTED_BACKENDS = {"threads", "distributed"}
+
+
+def load_rows(results_dir: Path) -> dict[str, list[dict]]:
+    """Experiment rows from latest.jsonl, else latest.txt ``json:`` lines."""
+    lines: list[str] = []
+    jsonl = results_dir / "latest.jsonl"
+    txt = results_dir / "latest.txt"
+    if jsonl.exists():
+        lines = jsonl.read_text().splitlines()
+    elif txt.exists():
+        lines = [
+            line.split("json: ", 1)[1]
+            for line in txt.read_text().splitlines()
+            if line.startswith("json: ")
+        ]
+    rows: dict[str, list[dict]] = {"E19": [], "E20": []}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            rec = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(rec, dict):  # some experiments log array rows
+            continue
+        exp = rec.get("experiment")
+        if exp in rows:
+            rows[exp].append(rec)
+    return rows
+
+
+def evaluate(rows: dict[str, list[dict]], min_ratio: float) -> dict:
+    failures = []
+    e20 = rows["E20"]
+    if not e20:
+        failures.append("no E20 rows found — did bench_e20_tracing run?")
+    missing = EXPECTED_BACKENDS - {r.get("backend") for r in e20}
+    if e20 and missing:
+        failures.append(f"E20 rows missing backends: {sorted(missing)}")
+    for r in e20:
+        ratio = r.get("trace_ratio", 0.0)
+        if ratio < min_ratio:
+            failures.append(
+                f"E20 {r.get('backend')}: trace/off x{ratio:.3f} < x{min_ratio:.2f}"
+            )
+    # E19 (journal exporter alone) rides along in the same trajectory
+    # point and is held to the same bar when present.
+    for r in rows["E19"]:
+        ratio = r.get("journal_ratio", 0.0)
+        if ratio < min_ratio:
+            failures.append(
+                f"E19 {r.get('backend')}: journal/off x{ratio:.3f} < x{min_ratio:.2f}"
+            )
+    return {
+        "experiment": "E20",
+        "min_ratio": min_ratio,
+        "rows": e20,
+        "e19_rows": rows["E19"],
+        "failures": failures,
+        "pass": not failures,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--results",
+        type=Path,
+        default=Path(__file__).parent / "results",
+        help="directory holding latest.jsonl / latest.txt",
+    )
+    parser.add_argument("--out", type=Path, default=Path("BENCH_E20.json"))
+    parser.add_argument("--min-ratio", type=float, default=MIN_RATIO)
+    args = parser.parse_args(argv)
+
+    verdict = evaluate(load_rows(args.results), args.min_ratio)
+    args.out.write_text(json.dumps(verdict, indent=2) + "\n")
+
+    for r in verdict["rows"]:
+        print(
+            f"E20 {r['backend']:<12} off={r['off_tp']:.0f} it/s"
+            f"  trace={r['trace_tp']:.0f} it/s  ratio=x{r['trace_ratio']:.3f}"
+        )
+    if verdict["pass"]:
+        print(f"perf gate PASS: tracing overhead within {1 - args.min_ratio:.0%}")
+        return 0
+    for f in verdict["failures"]:
+        print(f"perf gate FAIL: {f}", file=sys.stderr)
+    return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -48,6 +48,7 @@ from __future__ import annotations
 import math
 import threading
 import time
+import uuid
 from abc import ABC, abstractmethod
 from collections import deque
 from dataclasses import dataclass, field
@@ -193,6 +194,9 @@ class Session:
         self._closed = False
         self._on_close: list[Callable[[], None]] = []
         self._opened_t0 = time.perf_counter()
+        #: Short unique id of this session; the prefix of every item's
+        #: trace id (``<session_id>:<stream>:<seq>``, minted at submit).
+        self.session_id = uuid.uuid4().hex[:8]
         self._stream_t0 = 0.0
         #: Duration of the last drained stream (executor clock; wall for
         #: real executors, simulated seconds for the simulator shim).
@@ -218,6 +222,7 @@ class Session:
             backend=backend.name,
             stages=[s.name for s in backend.pipeline.stages],
             max_inflight=max_inflight,
+            session_id=self.session_id,
         )
 
     # ------------------------------------------------------------- properties
@@ -254,6 +259,15 @@ class Session:
         """Seconds since the session opened (the instrumentation clock)."""
         return time.perf_counter() - self._opened_t0
 
+    def perf_to_session(self, t: float) -> float:
+        """Map a raw ``time.perf_counter()`` reading onto the session clock.
+
+        Executors that stamp timestamps off the hot path (dispatch times,
+        socket receipt times) convert them here when emitting events, so
+        every journal record shares one time base.
+        """
+        return t - self._opened_t0
+
     # ------------------------------------------------------------- public API
     def submit(self, item: Any) -> Ticket:
         """Admit one item into the current stream (opening one lazily).
@@ -266,6 +280,7 @@ class Session:
         order downstream).
         """
         begin = False
+        blocked_t0: float | None = None
         with self._cv:
             while True:
                 self._raise_if_unusable()
@@ -300,7 +315,10 @@ class Session:
                 # while we were parked, and an admission granted against the
                 # old stream would slip past its end-of-stream barrier and
                 # corrupt the next stream's ordering.
+                if blocked_t0 is None:
+                    blocked_t0 = time.perf_counter()
                 self._cv.wait(0.05)
+        admit_wait = 0.0 if blocked_t0 is None else time.perf_counter() - blocked_t0
         if begin:
             try:
                 self.events.emit("stream.begin", stream=stream)
@@ -311,10 +329,28 @@ class Session:
                 begun.set()
         else:
             begun.wait()
-        # The span is minted here: (stream, seq) is the item's Ticket, and
-        # gseq lets collectors resolve executors whose internal sequence
-        # space is session-global (threads, asyncio).
-        self.events.emit("item.submit", stream=stream, seq=seq, gseq=gseq)
+        # The span (and its trace id) is minted here: (stream, seq) is the
+        # item's Ticket, and gseq lets collectors resolve executors whose
+        # internal sequence space is session-global (threads, asyncio).
+        # ``wait`` rides along only when bounded admission actually blocked
+        # — the profiler's admit-wait phase, absent meaning zero.
+        if admit_wait:
+            self.events.emit(
+                "item.submit",
+                stream=stream,
+                seq=seq,
+                gseq=gseq,
+                trace=f"{self.session_id}:{stream}:{seq}",
+                wait=admit_wait,
+            )
+        else:
+            self.events.emit(
+                "item.submit",
+                stream=stream,
+                seq=seq,
+                gseq=gseq,
+                trace=f"{self.session_id}:{stream}:{seq}",
+            )
         try:
             self._submit_one(stream, seq, gseq, item)
         except BaseException as err:

@@ -74,6 +74,7 @@ from repro.core.pipeline import PipelineSpec
 from repro.model.throughput import ResourceView, fn_view
 from repro.monitor.instrument import PipelineInstrumentation
 from repro.monitor.resource_monitor import load_to_speed
+from repro.obs.clock import ClockSync
 from repro.runtime.threads import StageError
 from repro.transport import (
     Codec,
@@ -129,6 +130,11 @@ class _WorkerConn:
         self.link_est = SizeStratifiedLinkEstimator(
             default_bandwidth=_WIRE_BANDWIDTH, round_trips=2
         )
+        # Per-worker clock fit (offset + drift, rtt/2-bounded): maps the
+        # worker's timestamps onto the coordinator clock so worker-side
+        # trace events merge into the session timeline.
+        self.clock = ClockSync()
+        self.clock_emit_t = 0.0  # rate limiter for clock.sync events
         self.proc: mp.process.BaseProcess | None = None  # auto-spawned only
         self._send_lock = threading.Lock()
         self._next_slot = 0
@@ -204,6 +210,11 @@ class _DistributedSession(Session):
         backend._resq = self._resq
         backend._running = True
         backend._t0 = time.perf_counter()
+        # Worker-side tracing follows the session's subscriptions: a bus
+        # that wants wk.* kinds turns the pool's trace points on (full
+        # journal/telemetry); otherwise workers stay silent and only the
+        # two always-on result stamps feed the clock fit and span.phases.
+        backend._set_trace(self.events.wants("wk.service"))
         self._threads = [
             threading.Thread(target=self._feed, name="dist-feeder", daemon=True)
         ]
@@ -251,6 +262,7 @@ class _DistributedSession(Session):
         for t in self._threads:
             t.join(timeout=5.0)
         backend._running = False
+        backend._set_trace(False)  # quiet the pool between sessions
         # Reclaim whatever an aborted stream stranded in flight (a clean
         # close finds nothing — drain() is the boundary).
         for i, cond in enumerate(backend._conds):
@@ -258,6 +270,64 @@ class _DistributedSession(Session):
                 for _replica, stale_frame in backend._inflight[i].values():
                     backend._codec.release(stale_frame)
                 backend._inflight[i].clear()
+
+    # ---------------------------------------------------------------- tracing
+    def _trace_hop(
+        self,
+        stage: int,
+        seq: int,
+        w: _WorkerConn,
+        t_sent: float,
+        recv_t: float,
+        service_s: float,
+        wait_s: float,
+        t_recv_w: float,
+        t_send_w: float,
+        wk_events,
+    ) -> None:
+        """Fold one accepted result into the worker's clock fit and, when
+        anyone listens, decompose the hop into its latency phases.
+
+        The quadruple ``(t_sent, t_recv_w, t_send_w, recv_t)`` is exactly
+        the NTP sample :class:`~repro.obs.clock.ClockSync` wants; it is fed
+        unconditionally (two comparisons and a deque append) so the fit is
+        warm the moment tracing turns on.  The ``span.phases`` breakdown
+        tiles the hop: wire_out + worker_queue + service + encode +
+        wire_back ≈ recv_t - t_sent, each term clamped non-negative
+        (clock-fit error can push a boundary past its neighbour by up to
+        rtt/2).
+        """
+        w.clock.observe(t_sent, t_recv_w, t_send_w, recv_t)
+        if wk_events:
+            backend: DistributedBackend = self.backend  # type: ignore[assignment]
+            backend._emit_worker_trace(w, wk_events)
+        bus = self.events
+        if bus.wants("clock.sync") and recv_t - w.clock_emit_t >= 1.0:
+            w.clock_emit_t = recv_t
+            fit = w.clock.fit()
+            bus.emit(
+                "clock.sync",
+                at=self.perf_to_session(recv_t),
+                worker=w.id,
+                offset=fit.offset_at(t_send_w),
+                drift=fit.b,
+                err=fit.err,
+                n=fit.n,
+            )
+        if bus.wants("span.phases"):
+            to_local = w.clock.fit().to_local
+            bus.emit(
+                "span.phases",
+                at=self.perf_to_session(recv_t),
+                stage=stage,
+                seq=seq,
+                worker=w.id,
+                wire_out=max(0.0, to_local(t_recv_w) - t_sent),
+                worker_queue=wait_s,
+                service=service_s,
+                encode=max(0.0, (t_send_w - t_recv_w) - wait_s - service_s),
+                wire_back=max(0.0, recv_t - to_local(t_send_w)),
+            )
 
     # --------------------------------------------------------------- plumbing
     def _feed(self) -> None:
@@ -299,7 +369,7 @@ class _DistributedSession(Session):
                     return
                 continue
             (w, slot, seq, ok, payload, service_s, wait_s, t_sent,
-             err_repr, recv_t) = msg
+             err_repr, recv_t, t_recv_w, t_send_w, wk_events) = msg
             with cond:
                 entry = backend._inflight[stage].get(seq)
                 if (
@@ -343,6 +413,11 @@ class _DistributedSession(Session):
             overhead = max(0.0, (recv_t - t_sent) - service_s - wait_s)
             crossed = entry_payload.nbytes + payload.nbytes
             w.observe_transfer(crossed, overhead)
+            if t_recv_w is not None and t_send_w is not None:
+                self._trace_hop(
+                    stage, seq, w, t_sent, recv_t, service_s, wait_s,
+                    t_recv_w, t_send_w, wk_events,
+                )
             backend._ref_bytes += 0.1 * (entry_payload.nbytes - backend._ref_bytes)
             with self._metrics_locks[stage]:
                 # work_estimate = service x effective speed, so a loaded
@@ -533,6 +608,10 @@ class DistributedBackend(Backend):
         self._warm = False
         self._closed = False
         self._closing = False
+
+        # Worker-side tracing: enabled per session when its bus subscribes
+        # to wk.* kinds; the flag rides on welcome for late joiners.
+        self._trace_on = False
 
         # Live-session plumbing (adopted by each session; the epoch is the
         # stream id and survives sessions so stale results never collide).
@@ -733,7 +812,7 @@ class DistributedBackend(Backend):
                 self._registry_changed.notify_all()
             if not worker.send(
                 ("welcome", wid, self.heartbeat_interval, self.capacity,
-                 self._transport_spec())
+                 self._transport_spec(), self._trace_on)
             ):
                 self._on_worker_death(worker)
                 continue
@@ -777,12 +856,19 @@ class DistributedBackend(Backend):
                 kind = frame[0]
                 if kind == "result":
                     (_, epoch, stage, slot, seq, ok, payload, service_s,
-                     wait_s, t_sent, err_repr) = frame
+                     wait_s, t_sent, err_repr) = frame[:11]
+                    # Trace extensions (tolerant: absent from pre-extension
+                    # workers): worker-clock receive/send stamps plus any
+                    # batched worker-side trace events.
+                    t_recv_w = frame[11] if len(frame) > 11 else None
+                    t_send_w = frame[12] if len(frame) > 12 else None
+                    wk_events = frame[13] if len(frame) > 13 else ()
                     if epoch != self._epoch:
                         continue  # stale result from an earlier/aborted stream
                     self._resq[stage].put(
                         (w, slot, seq, ok, payload, service_s, wait_s,
-                         t_sent, err_repr, time.perf_counter())
+                         t_sent, err_repr, time.perf_counter(),
+                         t_recv_w, t_send_w, wk_events)
                     )
                 elif kind == "reject":
                     # The worker no longer hosts that slot (task raced a
@@ -793,10 +879,12 @@ class DistributedBackend(Backend):
                         continue
                     self._resq[stage].put(
                         (w, slot, seq, "reject", None, 0.0, 0.0, 0.0, None,
-                         time.perf_counter())
+                         time.perf_counter(), None, None, ())
                     )
                 elif kind == "heartbeat":
                     w.observe_load(frame[1])
+                    if len(frame) > 2 and frame[2]:
+                        self._emit_worker_trace(w, frame[2])
                 elif kind == "shm_ok":
                     w.shm_ok = bool(frame[1])
                     w.shm_replied = True
@@ -819,6 +907,48 @@ class DistributedBackend(Backend):
             pass
         finally:
             self._on_worker_death(w)
+
+    # --------------------------------------------------------------- tracing
+    def _set_trace(self, on: bool) -> None:
+        """Toggle worker-side event tracing across the live pool."""
+        if on == self._trace_on:
+            return
+        self._trace_on = on
+        with self._registry:
+            workers = [w for w in self._workers.values() if w.alive]
+        for w in workers:
+            w.send(("trace", on))
+
+    def _emit_worker_trace(self, w: _WorkerConn, events) -> None:
+        """Re-emit batched worker events on the session bus, clock-mapped.
+
+        Each tuple is ``(kind, t_worker, fields)``; the timestamp crosses
+        the worker's fitted clock onto the coordinator clock and then onto
+        the session clock, so ``wk.*`` records interleave correctly with
+        coordinator-side events in the journal.  Events from a different
+        epoch (an earlier/aborted stream) are dropped, mirroring the
+        result path's exactly-once rule.
+        """
+        session = self._session
+        if session is None or session.closed:
+            return
+        bus = session.events
+        if not bus.active:
+            return
+        epoch = self._epoch
+        # One fit per batch: ClockSync.fit() takes a lock, and a result
+        # frame carries several events mapped through the same model.
+        to_local = w.clock.fit().to_local
+        for kind, t_w, fields in events:
+            if fields.get("epoch") != epoch:
+                continue
+            mapped = session.perf_to_session(to_local(t_w))
+            bus.emit(
+                kind,
+                at=mapped,
+                worker=w.id,
+                **{k: v for k, v in fields.items() if k != "epoch"},
+            )
 
     # --------------------------------------------------------------- failure
     def _fail(self, stage: int, err: BaseException) -> None:
@@ -1096,11 +1226,13 @@ class DistributedBackend(Backend):
             if replica is None:
                 return False
             codec = self._codec if replica.worker.shm_ok else self._pickle_codec
+            want_encode = self.events.wants("frame.encode")
+            t_enc = time.perf_counter() if want_encode else 0.0
             frame = codec.encode(value)
-            if self.events.wants("frame.encode"):
+            if want_encode:
                 self.events.emit(
                     "frame.encode", stage=0, seq=seq, nbytes=frame.nbytes,
-                    inline=frame.inline,
+                    inline=frame.inline, seconds=time.perf_counter() - t_enc,
                 )
             with self._conds[0]:
                 self._inflight[0][seq] = (replica, frame)

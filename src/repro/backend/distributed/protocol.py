@@ -10,7 +10,7 @@ kind                      direction  fields after the kind
 ========================  =========  ====================================
 ``hello``                 w → c      name, cores, load1
 ``welcome``               c → w      worker_id, heartbeat_interval,
-                                     capacity, transport_spec
+                                     capacity, transport_spec[, trace]
 ``shm_ok``                w → c      bool (the worker verified the
                                      transport spec's shared-memory probe)
 ``place``                 c → w      stage, slot, fn_payload, stage_name
@@ -19,11 +19,25 @@ kind                      direction  fields after the kind
 ``task``                  c → w      epoch, stage, slot, seq, payload, t_sent
 ``result``                w → c      epoch, stage, slot, seq, ok, payload,
                                      service_s, wait_s, t_sent, error_repr
+                                     [, t_recv_w, t_send_w, events]
 ``reject``                w → c      epoch, stage, slot, seq (task arrived
                                      for a slot the worker no longer hosts)
-``heartbeat``             w → c      load1
+``heartbeat``             w → c      load1[, events]
+``trace``                 c → w      bool (enable/disable worker-side
+                                     event tracing live)
 ``shutdown``              c → w      (none)
 ========================  =========  ====================================
+
+Bracketed trailing fields are **trace extensions** — both sides unpack
+tolerantly, so a peer from before the extension interoperates.
+``t_recv_w``/``t_send_w`` are the worker's clock at task arrival and
+result send: together with the echoed ``t_sent`` and the coordinator's
+receive time they form the NTP-style quadruple that
+:class:`repro.obs.clock.ClockSync` fits a per-worker clock offset from.
+``events`` is a list of compact ``(kind, t_worker, fields)`` tuples —
+worker-side trace points batched since the last frame, piggybacked here
+so tracing never adds a round trip; the coordinator maps their
+timestamps through the clock fit and re-emits them on the session bus.
 
 ``payload`` fields are :class:`~repro.transport.Frame` objects — a pickle
 stream plus out-of-band buffers, each inline or a shared-memory segment
@@ -36,8 +50,10 @@ output frame to the next stage untouched, so each item crosses the
 coordinator without a decode/encode round trip — and, with descriptors,
 without its bulk bytes crossing any socket at all.  ``t_sent`` is the
 *sender's* clock and is only ever echoed back to be differenced on the
-machine that produced it — no cross-host clock comparison happens anywhere
-in the protocol.
+machine that produced it — the protocol itself never compares clocks
+across hosts; cross-host timestamp *mapping* happens only downstream, in
+the coordinator's per-worker :class:`repro.obs.clock.ClockSync` fit, with
+an explicit rtt/2 error bound.
 
 TCP ordering is load-bearing: a ``place`` is always written before any
 ``task`` for that slot, so workers never see a task for an unknown replica.

@@ -27,6 +27,21 @@ A heartbeat thread reports the 1-minute load average every
 ``heartbeat_interval`` seconds; the coordinator derives the worker's
 effective speed from it and treats missing heartbeats as node loss.
 
+**Worker-side tracing.**  Every agent runs its own :class:`EventBus`
+clocked by ``time.perf_counter`` (the worker's local clock).  When the
+coordinator enables tracing (a flag on ``welcome`` or a live ``trace``
+control message), replicas emit ``wk.*`` trace points — dequeue, service,
+encode, send — into a bounded buffer that is drained
+and **piggybacked on the frames the protocol already sends**: each result
+carries the events accumulated since the last send, and heartbeats flush
+whatever is left between results, so tracing adds no extra round trips.
+Event timestamps are worker-clock; the coordinator maps them onto the
+session timeline through its per-worker clock fit
+(:mod:`repro.obs.clock`).  Independently of tracing, every result frame
+stamps ``t_recv_w``/``t_send_w`` (worker clock at task arrival and result
+send) — two floats that feed that clock fit and the per-hop phase
+decomposition at near-zero cost.
+
 Run a worker on a (possibly remote) host with::
 
     python -m repro.backend.distributed.worker --connect HOST:PORT
@@ -61,11 +76,42 @@ from typing import Any, Callable
 from repro import transport as _transport
 from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_frame
 from repro.monitor.resource_monitor import read_load1
+from repro.obs.events import Event, EventBus
 from repro.transport import Codec, Frame, untrack
 
 __all__ = ["WorkerAgent", "main"]
 
 _STOP = object()
+
+
+class _TraceBuffer:
+    """Collects worker-side events as compact tuples until a frame drains them.
+
+    Subscribed to the agent's bus only while tracing is enabled, so the
+    disabled path costs nothing beyond the bus's no-subscriber branch.
+    Bounded: if the coordinator somehow never drains (it drains on every
+    result and heartbeat), old events are dropped rather than growing the
+    buffer without limit.
+    """
+
+    MAX_PENDING = 10_000
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending: list[tuple[str, float, dict]] = []
+        self.dropped = 0
+
+    def __call__(self, ev: Event) -> None:
+        with self._lock:
+            if len(self._pending) >= self.MAX_PENDING:
+                self.dropped += 1
+                return
+            self._pending.append((ev.kind, ev.time, ev.fields))
+
+    def drain(self) -> list[tuple[str, float, dict]]:
+        with self._lock:
+            out, self._pending = self._pending, []
+            return out
 
 
 @dataclass
@@ -100,6 +146,7 @@ class _ReplicaRunner:
         self.thread.start()
 
     def _serve(self) -> None:
+        bus = self._agent.events
         while True:
             msg = self.queue.get()
             if msg is _STOP:
@@ -107,44 +154,50 @@ class _ReplicaRunner:
             task: _Task = msg
             started = time.perf_counter()
             wait_s = started - task.arrived
+            if bus.active:
+                bus.emit(
+                    "wk.dequeue",
+                    at=started,
+                    epoch=task.epoch,
+                    stage=self.stage,
+                    seq=task.seq,
+                    wait=wait_s,
+                )
             try:
                 # Decode without releasing: the coordinator owns the task
                 # frame (it may re-dispatch after this worker's death).
                 value = self._agent.codec.decode(task.payload)
                 result = self.fn(value)
-                service_s = time.perf_counter() - started
-                out = self._agent.codec.encode(result)
-            except BaseException as err:  # noqa: BLE001 - shipped to coordinator
-                self._agent._send(
-                    (
-                        "result",
-                        task.epoch,
-                        self.stage,
-                        self.slot,
-                        task.seq,
-                        False,
-                        None,
-                        0.0,
-                        wait_s,
-                        task.t_sent,
-                        repr(err),
+                serviced = time.perf_counter()
+                service_s = serviced - started
+                if bus.active:
+                    bus.emit(
+                        "wk.service",
+                        at=serviced,
+                        epoch=task.epoch,
+                        stage=self.stage,
+                        seq=task.seq,
+                        seconds=service_s,
                     )
+                out = self._agent.codec.encode(result)
+                if bus.active:
+                    encoded = time.perf_counter()
+                    bus.emit(
+                        "wk.encode",
+                        at=encoded,
+                        epoch=task.epoch,
+                        stage=self.stage,
+                        seq=task.seq,
+                        seconds=encoded - serviced,
+                        nbytes=out.nbytes,
+                    )
+            except BaseException as err:  # noqa: BLE001 - shipped to coordinator
+                self._agent._send_result(
+                    task, self.stage, self.slot, False, None, 0.0, wait_s, repr(err)
                 )
                 continue  # stay warm; the coordinator aborts the run
-            self._agent._send(
-                (
-                    "result",
-                    task.epoch,
-                    self.stage,
-                    self.slot,
-                    task.seq,
-                    True,
-                    out,
-                    service_s,
-                    wait_s,
-                    task.t_sent,
-                    None,
-                )
+            self._agent._send_result(
+                task, self.stage, self.slot, True, out, service_s, wait_s, None
             )
 
 
@@ -197,10 +250,25 @@ class WorkerAgent:
         self.worker_id: int | None = None
         self.codec: Codec = _transport.get("pickle")  # until negotiation
         self.shm_ok = False
+        #: Worker-local bus in the worker's own clock (``time.perf_counter``);
+        #: traced events are buffered and piggybacked back to the coordinator.
+        self.events = EventBus(clock=time.perf_counter)
+        self._trace = _TraceBuffer()
+        self._tracing = False
         self._sock: socket.socket | None = None
         self._send_lock = threading.Lock()
         self._replicas: dict[tuple[int, int], _ReplicaRunner] = {}
         self._stop = threading.Event()
+
+    def _set_trace(self, on: bool) -> None:
+        """Attach/detach the trace buffer (idempotent; live-toggleable)."""
+        if on and not self._tracing:
+            self.events.subscribe(self._trace)
+            self._tracing = True
+        elif not on and self._tracing:
+            self.events.unsubscribe(self._trace)
+            self._tracing = False
+            self._trace.drain()  # discard events nobody will collect
 
     def _negotiate_transport(self, spec: dict) -> None:
         """Adopt the coordinator's codec iff its shm probe checks out here."""
@@ -237,9 +305,53 @@ class WorkerAgent:
             # The coordinator is gone; the receive loop will notice and exit.
             self._stop.set()
 
+    def _send_result(
+        self,
+        task: _Task,
+        stage: int,
+        slot: int,
+        ok: bool,
+        payload: Frame | None,
+        service_s: float,
+        wait_s: float,
+        err_repr: str | None,
+    ) -> None:
+        """Ship one result, stamped with the worker-clock receive/send pair.
+
+        ``t_recv_w``/``t_send_w`` always ride along (two floats — they feed
+        the coordinator's per-worker clock fit and the phase decomposition
+        even with tracing off); buffered trace events drain onto the same
+        frame so an item's own ``wk.*`` points arrive with its result.
+        """
+        t_send_w = time.perf_counter()
+        if self.events.active:
+            self.events.emit(
+                "wk.send", at=t_send_w, epoch=task.epoch, stage=stage, seq=task.seq
+            )
+        events = self._trace.drain() if self._tracing else ()
+        self._send(
+            (
+                "result",
+                task.epoch,
+                stage,
+                slot,
+                task.seq,
+                ok,
+                payload,
+                service_s,
+                wait_s,
+                task.t_sent,
+                err_repr,
+                task.arrived,
+                t_send_w,
+                events,
+            )
+        )
+
     def _heartbeat_loop(self, interval: float) -> None:
         while not self._stop.wait(interval):
-            self._send(("heartbeat", read_load1()))
+            events = self._trace.drain() if self._tracing else ()
+            self._send(("heartbeat", read_load1(), events))
 
     # ------------------------------------------------------------------- run
     def run(self) -> None:
@@ -253,7 +365,11 @@ class WorkerAgent:
             welcome = recv_frame(sock)
             if not welcome or welcome[0] != "welcome":
                 raise ProtocolError(f"expected welcome, got {welcome!r}")
-            _, self.worker_id, heartbeat_interval, coord_capacity, transport_spec = welcome
+            # Tolerant unpacking: older coordinators (and protocol tests)
+            # send 5 fields; newer ones append a trace-enable flag.
+            _, self.worker_id, heartbeat_interval, coord_capacity, transport_spec, *rest = welcome
+            if rest and rest[0]:
+                self._set_trace(True)
             # Replica queues must cover the coordinator's per-replica
             # in-flight cap so puts never block the receive loop.
             self.capacity = max(self.capacity, coord_capacity)
@@ -289,11 +405,10 @@ class WorkerAgent:
                     delay += payload.nbytes / self.link_bandwidth
                 if delay:
                     time.sleep(delay)
+                arrived = time.perf_counter()
                 runner = self._replicas.get((stage, slot))
                 if runner is not None:
-                    runner.queue.put(
-                        _Task(epoch, seq, payload, t_sent, time.perf_counter())
-                    )
+                    runner.queue.put(_Task(epoch, seq, payload, t_sent, arrived))
                 else:
                     # A task can legitimately race a retire (the coordinator
                     # assigned the slot just before retiring it): bounce it
@@ -316,6 +431,8 @@ class WorkerAgent:
                     # The sentinel queues behind already-dealt tasks, so the
                     # replica finishes its in-flight work before exiting.
                     runner.queue.put(_STOP)
+            elif kind == "trace":
+                self._set_trace(bool(frame[1]))
             elif kind == "shutdown":
                 return
 

@@ -20,6 +20,7 @@ simulator forwards simulated seconds through the same shape.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from threading import Lock
 from typing import Any, Callable, Iterable
@@ -31,13 +32,13 @@ __all__ = ["Event", "EventBus", "NULL_BUS", "SCHEMA"]
 #: subscriber can rely on (beyond the always-present ``time``/``kind``).
 SCHEMA: dict[str, str] = {
     # -- session / stream lifecycle (backend/base.py) ---------------------
-    "session.open": "session opened: backend, stages, max_inflight",
+    "session.open": "session opened: backend, stages, max_inflight, session_id",
     "session.close": "session closed: streams, items_total",
     "session.error": "executor error poisoned the session: error",
     "stream.begin": "a stream opened lazily at first submit: stream",
     "stream.drain": "a stream drained: stream, items, elapsed",
     # -- per-item span points (base session + executors) ------------------
-    "item.submit": "item admitted (span minted): stream, seq",
+    "item.submit": "item admitted (span+trace minted): stream, seq, gseq, trace[, wait]",
     "item.dispatch": "item sent to a remote replica: stage, seq, worker",
     "item.complete": "item delivered in order: stream, seq",
     # -- stage service (monitor/instrument.py hook) -----------------------
@@ -55,8 +56,23 @@ SCHEMA: dict[str, str] = {
     "worker.death": "worker died mid-run: worker, name, lost",
     "worker.redispatch": "lost in-flight item re-sent: stage, seq",
     # -- payload frames (transport boundary) ------------------------------
-    "frame.encode": "payload encoded for the wire: stage, seq, nbytes",
+    "frame.encode": "payload encoded for the wire: stage, seq, nbytes[, seconds]",
     "frame.release": "payload frame decoded and released: stage, seq, nbytes",
+    # -- worker-side trace points (distributed WorkerAgent; batched over
+    #    the wire and re-emitted on the session bus at *mapped* session
+    #    times via the per-worker clock fit in repro/obs/clock.py) --------
+    "wk.dequeue": "item left the replica queue (service begins): stage, seq, worker, wait",
+    "wk.service": "worker-side service completed: stage, seq, worker, seconds",
+    "wk.encode": "result encoded on the worker: stage, seq, worker, seconds, nbytes",
+    "wk.send": "result frame handed to the socket: stage, seq, worker",
+    # -- cross-host clock mapping (coordinator-side fit per worker) --------
+    "clock.sync": "per-worker clock fit updated: worker, offset, drift, err, n",
+    # -- per-hop latency decomposition (coordinator router, one per
+    #    accepted result; durations in seconds, at = receipt time) ---------
+    "span.phases": (
+        "one stage hop decomposed: stage, seq, worker, wire_out, "
+        "worker_queue, service, encode, wire_back"
+    ),
 }
 
 
@@ -99,6 +115,7 @@ class EventBus:
         self._clock = clock
         self._subs: tuple[tuple[Callable[[Event], None], frozenset | None], ...] = ()
         self._sub_lock = Lock()
+        self._warned_unclocked = False
 
     # ------------------------------------------------------------ subscribers
     @property
@@ -142,13 +159,30 @@ class EventBus:
         """Publish one event (single branch when nobody subscribed).
 
         ``at`` overrides the bus clock (used when forwarding events stamped
-        elsewhere, e.g. simulated time); without a clock the time is 0.0.
+        elsewhere, e.g. simulated time).  **Timestamp contract**: every
+        delivered event carries a real timestamp — either ``at`` or the bus
+        clock.  Forwarding an event without ``at`` on a clockless bus has no
+        honest time to stamp; it falls back to 0.0 and warns once per bus,
+        because a silent 0.0 corrupts every downstream timeline (spans,
+        rates, the profiler's phase attribution).
         """
         subs = self._subs
         if not subs:
             return
         if at is None:
-            at = self._clock() if self._clock is not None else 0.0
+            if self._clock is not None:
+                at = self._clock()
+            else:
+                if not self._warned_unclocked:
+                    self._warned_unclocked = True
+                    warnings.warn(
+                        "EventBus has no clock and emit() got no at=; "
+                        "stamping 0.0 — construct the bus with clock= or "
+                        "pass at= when forwarding events",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                at = 0.0
         ev = Event(time=at, kind=kind, message=message, fields=fields)
         for fn, wanted in subs:
             if wanted is None or kind in wanted:

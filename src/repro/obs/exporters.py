@@ -32,9 +32,24 @@ def _fmt_labels(labels: dict[str, str], extra: dict[str, str] | None = None) -> 
     return "{" + inner + "}"
 
 
+#: Quantiles rendered as ``<name>_p50``/``_p95``/``_p99`` gauge families
+#: alongside every histogram (estimated from its log2 buckets).
+_PERCENTILES = ((0.5, "_p50"), (0.95, "_p95"), (0.99, "_p99"))
+
+
 def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
-    """Render a registry in the Prometheus text exposition format."""
+    """Render a registry in the Prometheus text exposition format.
+
+    Histograms additionally export ``_p50``/``_p95``/``_p99`` gauges —
+    per-label quantile estimates interpolated from the log2 buckets
+    (:meth:`~repro.obs.metrics.Log2Histogram.quantile`), so dashboards get
+    per-stage latency percentiles without server-side ``histogram_quantile``
+    over sparse buckets.
+    """
     lines: list[str] = []
+    # pname -> sample lines, kept grouped so each percentile gauge family
+    # renders contiguously (the text format requires family grouping).
+    percentiles: dict[str, list[str]] = {}
     seen: set[str] = set()
     for name, labels, inst in registry.collect():
         full = prefix + name
@@ -49,8 +64,16 @@ def render_prometheus(registry: MetricsRegistry, prefix: str = "repro_") -> str:
             lines.append(f"{full}_bucket{_fmt_labels(labels, {'le': '+Inf'})} {inst.count}")
             lines.append(f"{full}_sum{_fmt_labels(labels)} {inst.sum:g}")
             lines.append(f"{full}_count{_fmt_labels(labels)} {inst.count}")
+            if inst.count:
+                for q, suffix in _PERCENTILES:
+                    percentiles.setdefault(full + suffix, []).append(
+                        f"{full}{suffix}{_fmt_labels(labels)} {inst.quantile(q):g}"
+                    )
         else:
             lines.append(f"{full}{_fmt_labels(labels)} {inst.value:g}")
+    for pname in sorted(percentiles):
+        lines.append(f"# TYPE {pname} gauge")
+        lines.extend(percentiles[pname])
     return "\n".join(lines) + ("\n" if lines else "")
 
 

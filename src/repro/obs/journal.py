@@ -6,10 +6,15 @@ types are ``repr``-ed rather than dropped, so a journal line never fails to
 serialise.  Rotation is size-based (``journal.jsonl`` → ``journal.jsonl.1``
 → …), bounded by ``max_files``.
 
-The journal is a plain bus subscriber — writes happen on the emitting
-thread, which is exactly why sessions emit outside their condition
-variables — and it is safe to attach one journal to several buses (the
-coordinator's backend bus and the session bus share one file).
+The journal is a plain bus subscriber, and it is safe to attach one
+journal to several buses (the coordinator's backend bus and the session
+bus share one file).  By default the emitting thread only builds the
+record and enqueues it — a background writer thread does the JSON
+serialisation, rotation and file I/O, so routers and submitters never pay
+for disk inside the streaming hot path (with full distributed tracing a
+session writes tens of lines per item; serialised inline they are the
+single largest telemetry cost).  ``inline=True`` restores write-on-emit
+for callers that need read-your-writes without a :meth:`flush`.
 """
 
 from __future__ import annotations
@@ -17,8 +22,9 @@ from __future__ import annotations
 import json
 import os
 import time
+from collections import deque
 from pathlib import Path
-from threading import Lock
+from threading import Condition, Lock, Thread
 from typing import Any, Iterator
 
 from repro.obs.events import Event
@@ -38,6 +44,7 @@ class JsonlJournal:
         *,
         rotate_bytes: int = 32 * 1024 * 1024,
         max_files: int = 3,
+        inline: bool = False,
     ) -> None:
         if rotate_bytes <= 0:
             raise ValueError(f"rotate_bytes must be > 0, got {rotate_bytes}")
@@ -46,27 +53,95 @@ class JsonlJournal:
         self.path = Path(path)
         self.rotate_bytes = rotate_bytes
         self.max_files = max_files
-        self._lock = Lock()
+        # Two locks: the queue condition is all emitters ever touch; the
+        # io lock covers the file handle and rotation, held only by the
+        # writer thread (or by inline writes / lifecycle calls), so file
+        # I/O never blocks an emitting router or submitter.
+        self._io = Lock()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._fh = open(self.path, "a", encoding="utf-8")
         self._nbytes = self._fh.tell()
         self._closed = False
+        self._inline = inline
+        self._writing = False
+        self._queue: deque[tuple[float, Event]] = deque()
+        self._cv = Condition(Lock())
+        self._writer: Thread | None = None
+        if not inline:
+            self._writer = Thread(
+                target=self._drain_loop, name="jsonl-journal", daemon=True
+            )
+            self._writer.start()
 
     # ------------------------------------------------------------------ write
     def __call__(self, ev: Event) -> None:
-        record: dict[str, Any] = {"t": round(ev.time, 6), "wall": time.time(), "kind": ev.kind}
+        if self._writer is not None:
+            # Hot path: hand the event to the writer thread.  Emitters in
+            # routers/submitters pay one lock, an append, and a wall-clock
+            # stamp; the record build, JSON dump, rotation check and file
+            # write all happen off-thread.  Events are immutable once
+            # emitted, so serialising them later is safe.
+            with self._cv:
+                if not self._closed:
+                    self._queue.append((time.time(), ev))
+                    if len(self._queue) == 1:
+                        self._cv.notify()  # writer only waits on empty
+            return
+        line = json.dumps(self._record(time.time(), ev), default=repr,
+                          separators=(",", ":")) + "\n"
+        with self._io:
+            if self._closed:
+                return
+            self._write_line(line)
+
+    @staticmethod
+    def _record(wall: float, ev: Event) -> dict[str, Any]:
+        record: dict[str, Any] = {"t": round(ev.time, 6), "wall": wall, "kind": ev.kind}
         if ev.message:
             record["msg"] = ev.message
         for k, v in ev.fields.items():
             record[f"f_{k}" if k in _RESERVED else k] = v
-        line = json.dumps(record, default=repr, separators=(",", ":")) + "\n"
-        with self._lock:
-            if self._closed:
-                return
-            if self._nbytes + len(line) > self.rotate_bytes and self._nbytes > 0:
-                self._rotate()
-            self._fh.write(line)
-            self._nbytes += len(line)
+        return record
+
+    def _write_line(self, line: str) -> None:
+        """Append one serialised line (caller holds ``self._io``)."""
+        if self._nbytes + len(line) > self.rotate_bytes and self._nbytes > 0:
+            self._rotate()
+        self._fh.write(line)
+        self._nbytes += len(line)
+
+    #: Lines serialised per GIL yield in the writer thread.  A deep queue
+    #: must not turn into one long CPU burst: the interpreter's switch
+    #: interval (5ms) would let the burst convoy the latency-critical
+    #: router/submit threads that are trying to enqueue.
+    _CHUNK = 32
+
+    def _drain_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._closed:
+                    self._cv.wait()
+                batch = list(self._queue)
+                self._queue.clear()
+                if not batch:  # closed and drained: the final flush is done
+                    self._writing = False
+                    self._cv.notify_all()
+                    return
+                self._writing = True
+            for start in range(0, len(batch), self._CHUNK):
+                lines = [
+                    json.dumps(self._record(wall, ev), default=repr,
+                               separators=(",", ":")) + "\n"
+                    for wall, ev in batch[start:start + self._CHUNK]
+                ]
+                with self._io:
+                    for line in lines:
+                        self._write_line(line)
+                time.sleep(0)  # yield: emitters outrank the historian
+            with self._cv:
+                self._writing = False
+                if not self._queue:
+                    self._cv.notify_all()  # wake any flush() waiters
 
     def _rotate(self) -> None:
         self._fh.close()
@@ -85,15 +160,23 @@ class JsonlJournal:
 
     # -------------------------------------------------------------- lifecycle
     def flush(self) -> None:
-        with self._lock:
+        """Block until every enqueued record is on disk (then flush the file)."""
+        with self._cv:
+            while (self._queue or self._writing) and not self._closed:
+                self._cv.wait(timeout=0.1)
+        with self._io:
             if not self._closed:
                 self._fh.flush()
 
     def close(self) -> None:
-        with self._lock:
+        with self._cv:
             if self._closed:
                 return
             self._closed = True
+            self._cv.notify_all()
+        if self._writer is not None:
+            self._writer.join(timeout=10.0)
+        with self._io:
             self._fh.close()
 
     @property

@@ -15,6 +15,7 @@ on, but retained for export instead of windowed for the policy.
 
 from __future__ import annotations
 
+import math
 from threading import Lock
 from typing import Iterator
 
@@ -118,6 +119,36 @@ class Log2Histogram:
                 out.append(((2.0**b) / self.scale, cum))
         return out
 
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile by interpolating within its bucket.
+
+        Bucket ``b`` covers ``(2^(b-1), 2^b] / scale`` (``b == 0`` covers
+        down to zero); the estimate walks the cumulative counts to the
+        bucket holding the ``q``-th observation and interpolates linearly
+        inside it, so the error is bounded by the bucket's width — at most
+        a factor of 2, the price of log2 bucketing.  NaN before any
+        observation.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"q must be in [0, 1], got {q}")
+        with self._lock:
+            n = self.stats.n
+            if n == 0:
+                return math.nan
+            target = q * n
+            cum = 0
+            last_b = 0
+            for b in sorted(self.buckets):
+                last_b = b
+                count = self.buckets[b]
+                if cum + count >= target:
+                    lo = (2.0 ** (b - 1)) / self.scale if b > 0 else 0.0
+                    hi = (2.0**b) / self.scale
+                    frac = (target - cum) / count
+                    return lo + frac * (hi - lo)
+                cum += count
+            return (2.0**last_b) / self.scale
+
 
 Instrument = Counter | Gauge | Log2Histogram
 
@@ -203,10 +234,19 @@ class MetricsRecorder:
         "worker.redispatch",
         "frame.encode",
         "frame.release",
+        "span.phases",
+        "clock.sync",
     )
 
     def __init__(self, registry: MetricsRegistry | None = None) -> None:
         self.registry = registry if registry is not None else MetricsRegistry()
+        # (stream, seq) -> submit session-time, for end-to-end latency.
+        # Bounded by the admission window (completes pop their entry); a
+        # hard cap guards against journals with missing completions.
+        self._pending: dict[tuple[int, int], float] = {}
+        self._pending_lock = Lock()
+
+    _MAX_PENDING = 100_000
 
     def attach(self, bus: EventBus) -> "MetricsRecorder":
         bus.subscribe(self, kinds=self.KINDS)
@@ -227,8 +267,19 @@ class MetricsRecorder:
                 reg.counter("worker_items_total", {"worker": str(worker)}).inc()
         elif kind == "item.submit":
             reg.counter("items_submitted_total").inc()
+            if "wait" in f:
+                reg.histogram("admit_wait_seconds").observe(f["wait"])
+            if "stream" in f and "seq" in f:
+                with self._pending_lock:
+                    if len(self._pending) < self._MAX_PENDING:
+                        self._pending[(f["stream"], f["seq"])] = ev.time
         elif kind == "item.complete":
             reg.counter("items_completed_total").inc()
+            if "stream" in f and "seq" in f:
+                with self._pending_lock:
+                    t0 = self._pending.pop((f["stream"], f["seq"]), None)
+                if t0 is not None and ev.time >= t0:
+                    reg.histogram("item_latency_seconds").observe(ev.time - t0)
         elif kind == "stream.begin":
             reg.counter("streams_opened_total").inc()
         elif kind == "stream.drain":
@@ -250,5 +301,20 @@ class MetricsRecorder:
         elif kind == "frame.release":
             reg.counter("frames_released_total").inc()
             reg.counter("frame_bytes_released_total").inc(f.get("nbytes", 0))
+        elif kind == "span.phases":
+            stage = str(f.get("stage", "?"))
+            for phase in ("wire_out", "worker_queue", "service", "encode", "wire_back"):
+                if phase in f:
+                    reg.histogram(
+                        "span_phase_seconds", {"stage": stage, "phase": phase}
+                    ).observe(f[phase])
+        elif kind == "clock.sync":
+            worker = str(f.get("worker", "?"))
+            reg.gauge("worker_clock_offset_seconds", {"worker": worker}).set(
+                f.get("offset", 0.0)
+            )
+            reg.gauge("worker_clock_error_seconds", {"worker": worker}).set(
+                f.get("err", 0.0)
+            )
         elif kind == "session.error":
             reg.counter("session_errors_total").inc()

@@ -39,6 +39,51 @@ class Span:
     def complete(self) -> bool:
         return any(e.kind == "item.complete" for e in self.events)
 
+    @property
+    def trace_id(self) -> str | None:
+        """The trace id minted at submit (``<session>:<stream>:<seq>``)."""
+        sub = self.first("item.submit")
+        if sub is None:
+            return None
+        return sub.fields.get("trace")
+
+    @property
+    def redispatched(self) -> bool:
+        """True when a worker died holding this item and it was re-sent."""
+        return any(e.kind == "worker.redispatch" for e in self.events)
+
+    @property
+    def status(self) -> str:
+        """``complete`` | ``redispatched`` (re-sent, outcome pending) | ``open``.
+
+        A span that never completes because its worker died is not left
+        looking merely unfinished: the ``worker.redispatch`` event is part
+        of the span, so its state is visibly "re-sent elsewhere" and the
+        replacement attempt's ``item.dispatch``/``span.phases`` events land
+        on this same span (see :meth:`dispatches`).
+        """
+        if self.complete:
+            return "complete"
+        if self.redispatched:
+            return "redispatched"
+        return "open"
+
+    def dispatches(self, stage: int) -> list[Event]:
+        """``item.dispatch`` events for ``stage``, oldest first.
+
+        More than one entry means the item was re-dispatched (its first
+        worker died); the last entry is the replacement attempt that the
+        accepted result — if any — came from.
+        """
+        return sorted(
+            (
+                e
+                for e in self.events
+                if e.kind == "item.dispatch" and e.fields.get("stage") == stage
+            ),
+            key=lambda e: e.time,
+        )
+
     def first(self, kind: str) -> Event | None:
         for e in self.events:
             if e.kind == kind:
@@ -79,6 +124,17 @@ class SpanCollector:
         "stage.service",
         "frame.encode",
         "frame.release",
+        # A worker death mid-item re-sends it: the redispatch event joins
+        # the span so it reads "re-sent" instead of dangling open, and the
+        # replacement attempt's dispatch lands on the same span.
+        "worker.redispatch",
+        # Worker-side trace points and the per-hop decomposition (clock-
+        # mapped onto the session timeline by the coordinator).
+        "wk.dequeue",
+        "wk.service",
+        "wk.encode",
+        "wk.send",
+        "span.phases",
     )
 
     def __init__(self) -> None:

@@ -2,7 +2,9 @@
 
 Tails a JSONL journal (the one a session writes when opened with
 ``telemetry=``) and renders per-stage throughput, mean service time, queue
-depth and replica counts, plus the last N adaptation decisions — a
+depth and replica counts, the last N adaptation decisions and — when
+distributed trace propagation is on — a per-hop latency breakdown with
+worker clock fits; a
 curses-free ``top`` for the streaming stack, attachable to any running
 session whose journal path you know::
 
@@ -45,6 +47,12 @@ class TopState:
         # stage -> {items, svc_sum, queue, replicas, recent: deque[wall]}
         self.stages: dict[int, dict] = {}
         self.decisions: deque[tuple[float, str, str]] = deque(maxlen=decisions)
+        # phase -> cumulative seconds from span.phases hops (+ admit waits).
+        self.phase_sums: dict[str, float] = {}
+        self.phase_hops = 0
+        self.admit_wait_sum = 0.0
+        # worker -> (offset, err) from the latest clock.sync.
+        self.clocks: dict[int, tuple[float, float]] = {}
 
     def _stage(self, i: int) -> dict:
         return self.stages.setdefault(
@@ -63,6 +71,7 @@ class TopState:
             self.session_open = False
         elif kind == "item.submit":
             self.submitted += 1
+            self.admit_wait_sum += rec.get("wait", 0.0)
         elif kind == "item.complete":
             self.completed += 1
         elif kind == "stream.begin":
@@ -84,6 +93,16 @@ class TopState:
             self.workers_alive += 1
         elif kind == "worker.death":
             self.workers_alive = max(0, self.workers_alive - 1)
+        elif kind == "span.phases":
+            self.phase_hops += 1
+            for phase in ("wire_out", "worker_queue", "service", "encode", "wire_back"):
+                if phase in rec:
+                    self.phase_sums[phase] = self.phase_sums.get(phase, 0.0) + rec[phase]
+        elif kind == "clock.sync":
+            if "worker" in rec:
+                self.clocks[rec["worker"]] = (
+                    rec.get("offset", 0.0), rec.get("err", 0.0)
+                )
 
     def rate(self, stage: int, now: float) -> float:
         recent = self.stages[stage]["recent"]
@@ -119,6 +138,24 @@ def render(state: TopState, now: float | None = None) -> str:
         )
     if not state.stages:
         out.append("(no stage activity yet)")
+    if state.phase_hops:
+        # Per-hop latency breakdown (distributed trace propagation on).
+        total = max(sum(state.phase_sums.values()), 1e-12)
+        parts = "  ".join(
+            f"{p}={state.phase_sums.get(p, 0.0) / state.phase_hops * 1e3:.2f}ms"
+            f"({state.phase_sums.get(p, 0.0) / total:.0%})"
+            for p in ("wire_out", "worker_queue", "service", "encode", "wire_back")
+        )
+        out.append("")
+        out.append(f"latency breakdown ({state.phase_hops} hops, mean/hop): {parts}")
+        if state.admit_wait_sum:
+            out.append(f"  admit wait total: {state.admit_wait_sum * 1e3:.1f}ms")
+        if state.clocks:
+            fits = "  ".join(
+                f"w{w}:{off * 1e3:+.2f}±{err * 1e3:.2f}ms"
+                for w, (off, err) in sorted(state.clocks.items())
+            )
+            out.append(f"  worker clocks: {fits}")
     out.append("")
     out.append(f"last {state.decisions.maxlen} adaptation decisions:")
     if state.decisions:

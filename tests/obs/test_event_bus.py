@@ -75,8 +75,31 @@ class TestEventBus:
         prefixes = {k.split(".")[0] for k in SCHEMA}
         assert prefixes == {
             "session", "stream", "item", "stage", "replica",
-            "adapt", "worker", "frame",
+            "adapt", "worker", "frame", "wk", "clock", "span",
         }
+
+    def test_unclocked_fallback_warns_once(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(seen.append)
+        with pytest.warns(RuntimeWarning, match="no clock"):
+            bus.emit("stream.begin", stream=0)
+        assert seen[0].time == 0.0
+        # Second emit: same fallback, but the warning fired already.
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            bus.emit("stream.begin", stream=1)
+
+    def test_explicit_at_never_warns_on_clockless_bus(self):
+        bus = EventBus()
+        bus.subscribe(lambda e: None)
+        import warnings as _w
+
+        with _w.catch_warnings():
+            _w.simplefilter("error")
+            bus.emit("stream.begin", at=1.0, stream=0)
 
     def test_null_bus_refuses_subscribers(self):
         with pytest.raises(RuntimeError, match="null event bus"):

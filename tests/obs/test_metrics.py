@@ -44,6 +44,34 @@ class TestInstruments:
         h.observe(3e-6)  # 3 us -> bucket 2
         assert h.buckets == {2: 1}
 
+    def test_quantile_empty_is_nan(self):
+        import math
+
+        assert math.isnan(Log2Histogram().quantile(0.5))
+
+    def test_quantile_validates_range(self):
+        with pytest.raises(ValueError, match="q must be"):
+            Log2Histogram().quantile(1.5)
+
+    def test_quantile_single_bucket_interpolates(self):
+        h = Log2Histogram(scale=1.0)
+        for _ in range(4):
+            h.observe(3.0)  # bucket 2: (2, 4]
+        # All mass in one bucket: quantiles interpolate across (2, 4].
+        assert h.quantile(0.0) == pytest.approx(2.0)
+        assert h.quantile(0.5) == pytest.approx(3.0)
+        assert h.quantile(1.0) == pytest.approx(4.0)
+
+    def test_quantile_monotone_and_bounded_by_buckets(self):
+        h = Log2Histogram(scale=1e6)
+        values = [1e-5, 2e-5, 5e-5, 1e-4, 2e-4, 5e-4, 1e-3, 1e-2]
+        for v in values:
+            h.observe(v)
+        qs = [h.quantile(q) for q in (0.1, 0.5, 0.9, 0.99)]
+        assert qs == sorted(qs)
+        # p99 lands in the top bucket; log2 bucketing bounds the error to 2x.
+        assert values[-1] / 2 <= qs[-1] <= values[-1] * 2
+
 
 class TestRegistry:
     def test_get_or_create_same_instrument(self):
@@ -114,3 +142,39 @@ class TestRecorder:
         assert reg.counter("frame_bytes_encoded_total").value == 100
         assert reg.counter("frame_bytes_released_total").value == 80
         assert reg.counter("session_errors_total").value == 1
+
+    def test_end_to_end_item_latency_histogram(self):
+        bus = EventBus(clock=lambda: 0.0)
+        reg = MetricsRecorder().attach(bus).registry
+        bus.emit("item.submit", at=1.0, stream=0, seq=0, gseq=0, wait=0.05)
+        bus.emit("item.complete", at=1.5, stream=0, seq=0)
+        h = reg.histogram("item_latency_seconds")
+        assert h.count == 1
+        assert h.sum == pytest.approx(0.5)
+        assert reg.histogram("admit_wait_seconds").count == 1
+        # A completion with no matching submit records nothing.
+        bus.emit("item.complete", at=2.0, stream=0, seq=9)
+        assert h.count == 1
+
+    def test_span_phases_feed_per_stage_phase_histograms(self):
+        bus, reg = self._bus()
+        bus.emit("span.phases", seq=0, stage=1, wire_out=0.001,
+                 worker_queue=0.01, service=0.1, encode=0.002, wire_back=0.001)
+        labels = {"stage": "1", "phase": "service"}
+        h = reg.histogram("span_phase_seconds", labels)
+        assert h.count == 1
+        assert h.sum == pytest.approx(0.1)
+        assert reg.histogram(
+            "span_phase_seconds", {"stage": "1", "phase": "wire_out"}
+        ).count == 1
+
+    def test_clock_sync_feeds_worker_gauges(self):
+        bus, reg = self._bus()
+        bus.emit("clock.sync", worker=2, offset=1.5e-4, drift=0.0,
+                 err=2e-5, n=12)
+        assert reg.gauge(
+            "worker_clock_offset_seconds", {"worker": "2"}
+        ).value == pytest.approx(1.5e-4)
+        assert reg.gauge(
+            "worker_clock_error_seconds", {"worker": "2"}
+        ).value == pytest.approx(2e-5)

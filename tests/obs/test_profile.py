@@ -1,0 +1,191 @@
+"""Tests for the critical-path profiler."""
+
+import json
+
+import pytest
+
+from repro.obs.events import Event, EventBus
+from repro.obs.journal import JsonlJournal
+from repro.obs.profile import (
+    PHASES,
+    main,
+    profile_journal,
+    profile_spans,
+    render_report,
+)
+from repro.obs.spans import SpanCollector
+
+
+def _collect(*emits):
+    """Run ``(kind, at, fields)`` triples through a SpanCollector."""
+    bus = EventBus(clock=lambda: 0.0)
+    col = SpanCollector().attach(bus)
+    for kind, at, fields in emits:
+        bus.emit(kind, at=at, **fields)
+    return col.spans()
+
+
+def _distributed_span(*, submit=1.0, hop_at=1.5, done=1.6, **hop):
+    """One item with a single span.phases hop of known decomposition."""
+    hop.setdefault("stage", 0)
+    hop.setdefault("wire_out", 0.01)
+    hop.setdefault("worker_queue", 0.02)
+    hop.setdefault("service", 0.1)
+    hop.setdefault("encode", 0.005)
+    hop.setdefault("wire_back", 0.015)
+    return [
+        ("stream.begin", submit, {"stream": 0}),
+        ("item.submit", submit, {"stream": 0, "seq": 0, "gseq": 0}),
+        ("span.phases", hop_at, {"seq": 0, **hop}),
+        ("item.complete", done, {"stream": 0, "seq": 0}),
+    ]
+
+
+class TestItemTiling:
+    def test_hop_phases_plus_gaps_cover_latency(self):
+        # submit at 1.0; hop spans [1.35, 1.5] (known = 0.15); done at 1.6.
+        report = profile_spans(_collect(*_distributed_span()))
+        assert len(report.items) == 1
+        item = report.items[0]
+        assert item.latency == pytest.approx(0.6)
+        p = item.phases
+        assert p["wire_out"] == 0.01
+        assert p["worker_queue"] == 0.02
+        assert p["service"] == 0.1
+        assert p["encode"] == 0.005
+        assert p["wire_back"] == 0.015
+        # Gap before the hop window is coordinator residence; the tail
+        # after the hop (result received → yielded) is reorder hold.
+        assert p["coord_queue"] == pytest.approx(0.35)
+        assert p["reorder_hold"] == pytest.approx(0.1)
+        assert item.coverage == pytest.approx(1.0)
+
+    def test_measured_encode_carved_out_of_coord_gap(self):
+        emits = _distributed_span()
+        emits.insert(2, ("frame.encode", 1.1, {"stage": 0, "seq": 0,
+                                               "seconds": 0.05, "nbytes": 64}))
+        item = profile_spans(_collect(*emits)).items[0]
+        # Worker-side encode (0.005) plus coordinator-side (0.05).
+        assert item.phases["encode"] == pytest.approx(0.055)
+        assert item.phases["coord_queue"] == pytest.approx(0.30)
+        assert item.coverage == pytest.approx(1.0)
+
+    def test_admit_wait_reported_separately(self):
+        emits = _distributed_span()
+        emits[1][2]["wait"] = 0.25
+        report = profile_spans(_collect(*emits))
+        assert report.items[0].admit_wait == 0.25
+        assert report.admit_wait_total == 0.25
+        assert "admit_wait" not in report.items[0].phases
+
+    def test_incomplete_span_skipped(self):
+        report = profile_spans(_collect(
+            ("item.submit", 1.0, {"stream": 0, "seq": 0, "gseq": 0}),
+        ))
+        assert report.items == []
+        assert report.verdict == "no completed items profiled"
+
+    def test_stage_service_fallback_for_inprocess_backends(self):
+        # No span.phases hops: stage.service end-stamps tile the timeline.
+        report = profile_spans(_collect(
+            ("stream.begin", 0.0, {"stream": 0}),
+            ("item.submit", 0.0, {"stream": 0, "seq": 0, "gseq": 0}),
+            ("stage.service", 0.3, {"stage": 0, "seconds": 0.1, "seq": 0}),
+            ("stage.service", 0.6, {"stage": 1, "seconds": 0.2, "seq": 0}),
+            ("item.complete", 0.7, {"stream": 0, "seq": 0}),
+        ))
+        p = report.items[0].phases
+        assert p["service"] == pytest.approx(0.3)
+        assert p["coord_queue"] == pytest.approx(0.3)  # 0.2 pre + 0.1 between
+        assert p["reorder_hold"] == pytest.approx(0.1)
+        assert report.items[0].coverage == pytest.approx(1.0)
+
+
+class TestVerdict:
+    def test_service_bound_names_the_hot_stage(self):
+        spans = _collect(
+            ("stream.begin", 0.0, {"stream": 0}),
+            ("item.submit", 0.0, {"stream": 0, "seq": 0, "gseq": 0}),
+            ("span.phases", 0.5, {"seq": 0, "stage": 1, "wire_out": 0.001,
+                                  "worker_queue": 0.001, "service": 0.45,
+                                  "encode": 0.0, "wire_back": 0.001}),
+            ("item.complete", 0.5, {"stream": 0, "seq": 0}),
+        )
+        report = profile_spans(spans)
+        assert report.bottleneck_phase == "service"
+        assert report.bottleneck_stage == 1
+        assert "service-bound" in report.verdict
+        assert "stage 1" in report.verdict
+
+    def test_agreement_with_adaptation_decision(self):
+        spans = _collect(
+            ("stream.begin", 0.0, {"stream": 0}),
+            ("item.submit", 0.0, {"stream": 0, "seq": 0, "gseq": 0}),
+            ("span.phases", 0.5, {"seq": 0, "stage": 0, "wire_out": 0.0,
+                                  "worker_queue": 0.4, "service": 0.05,
+                                  "encode": 0.0, "wire_back": 0.0}),
+            ("item.complete", 0.5, {"stream": 0, "seq": 0}),
+        )
+        report = profile_spans(spans)
+        assert report.bottleneck_phase == "worker_queue"
+        report.decisions.append((1.0, [1, 1], [2, 1], "grow 0"))
+        assert report.agreement().startswith("agrees")
+        report.decisions.append((2.0, [2, 1], [2, 2], "grow 1"))
+        assert report.agreement().startswith("disagrees")
+
+    def test_coord_bound_has_no_stage(self):
+        report = profile_spans(_collect(*_distributed_span()))
+        assert report.bottleneck_phase == "coord_queue"
+        assert report.bottleneck_stage is None
+
+
+class TestJournalFrontend:
+    def _write_journal(self, path):
+        j = JsonlJournal(path)
+        j(Event(0.0, "session.open", fields={
+            "backend": "distributed", "stages": ["inc", "triple"],
+            "n_stages": 2, "session_id": "abc123",
+        }))
+        j(Event(0.1, "stream.begin", fields={"stream": 0}))
+        j(Event(0.1, "item.submit", fields={"stream": 0, "seq": 0, "gseq": 0,
+                                            "trace": "abc123:0:0"}))
+        j(Event(0.5, "span.phases", fields={
+            "seq": 0, "stage": 1, "wire_out": 0.01, "worker_queue": 0.02,
+            "service": 0.3, "encode": 0.0, "wire_back": 0.01,
+        }))
+        j(Event(0.55, "clock.sync", fields={
+            "worker": 0, "offset": 1e-4, "drift": 0.0, "err": 5e-5, "n": 9,
+        }))
+        j(Event(0.6, "item.complete", fields={"stream": 0, "seq": 0}))
+        j(Event(0.7, "adapt.act", fields={"before": [1, 1], "after": [1, 2],
+                                          "reason": "grow slow stage"}))
+        j.close()
+
+    def test_profile_journal_reads_names_clocks_decisions(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        self._write_journal(path)
+        report = profile_journal(path)
+        assert report.backend == "distributed"
+        assert len(report.items) == 1
+        assert report.stages[1].name == "triple"
+        assert report.clocks[0]["err"] == 5e-5
+        assert report.bottleneck_stage == 1
+        assert report.agreement().startswith("agrees")
+
+    def test_cli_text_and_json(self, tmp_path, capsys):
+        path = tmp_path / "j.jsonl"
+        self._write_journal(path)
+        assert main([str(path), "--slowest", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "critical-path profile" in out
+        assert "verdict:" in out
+        assert "slowest" in out
+        assert main([str(path), "--json"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["items"] == 1
+        assert set(data["phase_totals_s"]) == set(PHASES)
+        assert data["stages"]["1"]["name"] == "triple"
+
+    def test_render_report_empty(self):
+        text = render_report(profile_spans([]))
+        assert "nothing to attribute" in text

@@ -56,3 +56,44 @@ class TestSpanCollector:
         bus.emit("item.submit", stream=1, seq=0, gseq=0)
         assert col.span(1, 0).latency is None
         assert not col.span(1, 0).complete
+
+    def test_trace_id_from_submit(self):
+        bus, col = _bus()
+        bus.emit("item.submit", stream=1, seq=3, gseq=3, trace="ab12:1:3")
+        assert col.span(1, 3).trace_id == "ab12:1:3"
+        bus.emit("item.submit", stream=1, seq=4, gseq=4)
+        assert col.span(1, 4).trace_id is None
+
+
+class TestRedispatch:
+    def test_worker_death_span_reads_redispatched_not_dangling(self):
+        # A worker dies holding the item: the span must not look merely
+        # unfinished — the redispatch event joins it and flips its status.
+        bus, col = _bus()
+        bus.emit("stream.begin", stream=0)
+        bus.emit("item.submit", at=0.0, stream=0, seq=5, gseq=5)
+        bus.emit("item.dispatch", at=0.1, stage=0, seq=5, worker=1)
+        bus.emit("worker.death", at=0.2, worker=1)  # not span-keyed; ignored
+        bus.emit("worker.redispatch", at=0.3, stage=0, seq=5, worker=1)
+        span = col.span(0, 5)
+        assert span.redispatched
+        assert span.status == "redispatched"
+
+    def test_replacement_dispatch_lands_on_same_span(self):
+        bus, col = _bus()
+        bus.emit("stream.begin", stream=0)
+        bus.emit("item.submit", at=0.0, stream=0, seq=5, gseq=5)
+        bus.emit("item.dispatch", at=0.1, stage=0, seq=5, worker=1)
+        bus.emit("worker.redispatch", at=0.3, stage=0, seq=5, worker=1)
+        bus.emit("item.dispatch", at=0.4, stage=0, seq=5, worker=2)
+        bus.emit("item.complete", at=0.6, stream=0, seq=5)
+        span = col.span(0, 5)
+        assert span.status == "complete"
+        dispatches = span.dispatches(0)
+        assert len(dispatches) == 2  # >1 means the item was re-sent
+        assert dispatches[-1].fields["worker"] == 2  # the attempt that won
+
+    def test_status_open_without_redispatch(self):
+        bus, col = _bus()
+        bus.emit("item.submit", stream=0, seq=0, gseq=0)
+        assert col.span(0, 0).status == "open"

@@ -101,6 +101,39 @@ class TestMetricsAndPrometheus:
         t = Telemetry(metrics=True)
         assert render_prometheus(t.registry) == ""
 
+    def test_histogram_percentile_gauges_rendered(self):
+        t = Telemetry(metrics=True)
+        reg = t.registry
+        for stage in ("0", "1"):
+            h = reg.histogram("stage_service_seconds", {"stage": stage})
+            for v in (0.001, 0.002, 0.004, 0.01):
+                h.observe(v)
+        reg.histogram("empty_hist", {"stage": "9"})  # no data: no percentiles
+        text = render_prometheus(t.registry)
+        for suffix in ("_p50", "_p95", "_p99"):
+            assert f"# TYPE repro_stage_service_seconds{suffix} gauge" in text
+            for stage in ("0", "1"):
+                assert (
+                    f"repro_stage_service_seconds{suffix}{{stage=\"{stage}\"}}"
+                    in text
+                )
+        assert "repro_empty_hist_p50" not in text
+        # Exposition format: every family's samples stay contiguous under
+        # one TYPE header (no interleaving of percentile families).
+        lines = text.splitlines()
+        seen_types = [ln.split()[2] for ln in lines if ln.startswith("# TYPE")]
+        assert len(seen_types) == len(set(seen_types))
+
+    def test_percentiles_ordered_and_bracket_the_data(self):
+        t = Telemetry(metrics=True)
+        h = t.registry.histogram("lat", {})
+        for v in [0.001] * 90 + [0.1] * 10:
+            h.observe(v)
+        p50, p95, p99 = (h.quantile(q) for q in (0.5, 0.95, 0.99))
+        assert p50 <= p95 <= p99
+        assert p50 <= 0.002  # log2 bucket ceiling of the 1ms mass
+        assert p99 >= 0.05  # tail lands in the 100ms bucket
+
 
 class TestSessionErrorJournalled:
     def test_error_event_recorded(self, tmp_path):

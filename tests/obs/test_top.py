@@ -1,6 +1,8 @@
 """Tests for the live top view (state fold + --once rendering)."""
 
-from repro.obs.top import TopState, main, render
+import json
+
+from repro.obs.top import TopState, _tail, main, render
 from repro.skel.api import open_pipeline
 
 
@@ -49,6 +51,25 @@ class TestTopState:
         )
         assert s.workers_alive == 1
 
+    def test_folds_trace_records(self):
+        s = TopState()
+        _feed(
+            s,
+            {"kind": "item.submit", "t": 0.0, "wait": 0.1},
+            {"kind": "span.phases", "t": 0.5, "seq": 0, "stage": 0,
+             "wire_out": 0.01, "worker_queue": 0.02, "service": 0.3,
+             "encode": 0.001, "wire_back": 0.01},
+            {"kind": "span.phases", "t": 0.6, "seq": 1, "stage": 0,
+             "wire_out": 0.01, "worker_queue": 0.02, "service": 0.3,
+             "encode": 0.001, "wire_back": 0.01},
+            {"kind": "clock.sync", "t": 0.7, "worker": 1, "offset": 2e-4,
+             "err": 5e-5, "drift": 0.0, "n": 4},
+        )
+        assert s.phase_hops == 2
+        assert s.phase_sums["service"] == 0.6
+        assert s.admit_wait_sum == 0.1
+        assert s.clocks[1] == (2e-4, 5e-5)
+
 
 class TestRender:
     def test_render_empty(self):
@@ -71,6 +92,62 @@ class TestRender:
         assert "work" in text
         assert "adapt.act" in text
         assert "replicate stage 0" in text
+
+    def test_breakdown_pane_only_with_phase_data(self):
+        s = TopState()
+        assert "latency breakdown" not in render(s, now=0.0)
+        _feed(
+            s,
+            {"kind": "span.phases", "t": 0.5, "seq": 0, "stage": 0,
+             "wire_out": 0.01, "worker_queue": 0.02, "service": 0.3,
+             "encode": 0.001, "wire_back": 0.01},
+            {"kind": "clock.sync", "t": 0.7, "worker": 0, "offset": 1e-4,
+             "err": 5e-5, "drift": 0.0, "n": 3},
+        )
+        text = render(s, now=1.0)
+        assert "latency breakdown (1 hops" in text
+        assert "service=300.00ms" in text
+        assert "worker clocks" in text
+
+
+class TestTailRotation:
+    def _write(self, path, recs, mode="a"):
+        with open(path, mode, encoding="utf-8") as fh:
+            for rec in recs:
+                fh.write(json.dumps(rec) + "\n")
+
+    def test_tail_restarts_after_rotation(self, tmp_path):
+        # The journal rotates under the tailer: the active file shrinks.
+        # _tail must notice (size < pos) and restart from offset 0 instead
+        # of silently waiting for the file to regrow past the stale offset.
+        path = tmp_path / "j.jsonl"
+        s = TopState()
+        self._write(path, [{"kind": "item.submit", "t": float(i)}
+                           for i in range(10)])
+        pos = _tail(path, s, 0)
+        assert s.submitted == 10
+        assert pos == path.stat().st_size
+        # Rotate: current file moves aside, a smaller fresh one appears.
+        path.rename(tmp_path / "j.jsonl.1")
+        self._write(path, [{"kind": "item.complete", "t": 11.0}], mode="w")
+        pos = _tail(path, s, pos)
+        assert s.completed == 1  # the post-rotation record was seen
+        assert pos == path.stat().st_size
+
+    def test_tail_skips_partial_trailing_line(self, tmp_path):
+        path = tmp_path / "j.jsonl"
+        s = TopState()
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(json.dumps({"kind": "item.submit", "t": 0.0}) + "\n")
+            fh.write('{"kind": "item.subm')  # torn mid-write
+        pos = _tail(path, s, 0)
+        assert s.submitted == 1
+        # Offset stops before the partial line so the next round rereads it.
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('it", "t": 1.0}\n')
+        pos = _tail(path, s, pos)
+        assert s.submitted == 2
+        assert pos == path.stat().st_size
 
 
 class TestMainOnce:
