@@ -1,17 +1,23 @@
-"""CI perf-regression gate for telemetry overhead (E19 + E20).
+"""CI perf-regression gate for telemetry overhead and micro-batching.
 
 Reads the machine-readable rows the benchmark run left behind
 (``benchmarks/results/latest.jsonl``, or the ``json:`` lines embedded in
 ``latest.txt``), writes one trajectory point to ``BENCH_E20.json``
-(E20 full-tracing ratios plus E19's journal-exporter ratios for
-context), and exits nonzero if telemetry cost more than 5% items/sec on
-any backend — the acceptance bar from the tracing issue, enforced on
+(E20 full-tracing ratios, E19's journal-exporter ratios, and E21's
+micro-batch speedups), and exits nonzero if telemetry cost more than 5%
+items/sec on any backend or the micro-batched hot path stopped beating
+the per-item path by the CI floor — both acceptance bars enforced on
 every CI run rather than once at review time.
+
+The E21 floor here (x3) is deliberately below the issue's full-mode bar
+(x5 on threads/processes): CI runs the benchmarks in quick mode on
+shared runners, and ``bench_e21_microbatch`` itself asserts the full bar
+on full-mode runs.
 
 Usage (after ``pytest benchmarks/``)::
 
     python benchmarks/perf_gate.py [--results benchmarks/results] \
-        [--out BENCH_E20.json] [--min-ratio 0.95]
+        [--out BENCH_E20.json] [--min-ratio 0.95] [--min-batch-speedup 3.0]
 """
 
 from __future__ import annotations
@@ -22,7 +28,9 @@ import sys
 from pathlib import Path
 
 MIN_RATIO = 0.95
+MIN_BATCH_SPEEDUP = 3.0
 EXPECTED_BACKENDS = {"threads", "distributed"}
+BATCH_GATED_BACKENDS = {"threads", "processes"}
 
 
 def load_rows(results_dir: Path) -> dict[str, list[dict]]:
@@ -38,7 +46,7 @@ def load_rows(results_dir: Path) -> dict[str, list[dict]]:
             for line in txt.read_text().splitlines()
             if line.startswith("json: ")
         ]
-    rows: dict[str, list[dict]] = {"E19": [], "E20": []}
+    rows: dict[str, list[dict]] = {"E19": [], "E20": [], "E21": []}
     for line in lines:
         line = line.strip()
         if not line:
@@ -55,7 +63,11 @@ def load_rows(results_dir: Path) -> dict[str, list[dict]]:
     return rows
 
 
-def evaluate(rows: dict[str, list[dict]], min_ratio: float) -> dict:
+def evaluate(
+    rows: dict[str, list[dict]],
+    min_ratio: float,
+    min_batch_speedup: float = MIN_BATCH_SPEEDUP,
+) -> dict:
     failures = []
     e20 = rows["E20"]
     if not e20:
@@ -77,11 +89,33 @@ def evaluate(rows: dict[str, list[dict]], min_ratio: float) -> dict:
             failures.append(
                 f"E19 {r.get('backend')}: journal/off x{ratio:.3f} < x{min_ratio:.2f}"
             )
+    # E21 (micro-batched hot path): the batched session must keep beating
+    # the per-item session on the hop-cost-dominated executors.
+    e21 = rows["E21"]
+    if not e21:
+        failures.append("no E21 rows found — did bench_e21_microbatch run?")
+    missing = BATCH_GATED_BACKENDS - {r.get("backend") for r in e21}
+    if e21 and missing:
+        failures.append(f"E21 rows missing backends: {sorted(missing)}")
+    for r in e21:
+        ratio = r.get("batch_ratio", 0.0)
+        if r.get("backend") in BATCH_GATED_BACKENDS and ratio < min_batch_speedup:
+            failures.append(
+                f"E21 {r.get('backend')}: batched/per-item x{ratio:.2f}"
+                f" < x{min_batch_speedup:.2f}"
+            )
+        elif ratio < 1.0:  # batching must never cost throughput anywhere
+            failures.append(
+                f"E21 {r.get('backend')}: batching regressed throughput"
+                f" (x{ratio:.2f} < x1.0)"
+            )
     return {
         "experiment": "E20",
         "min_ratio": min_ratio,
+        "min_batch_speedup": min_batch_speedup,
         "rows": e20,
         "e19_rows": rows["E19"],
+        "e21_rows": e21,
         "failures": failures,
         "pass": not failures,
     }
@@ -97,9 +131,14 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--out", type=Path, default=Path("BENCH_E20.json"))
     parser.add_argument("--min-ratio", type=float, default=MIN_RATIO)
+    parser.add_argument(
+        "--min-batch-speedup", type=float, default=MIN_BATCH_SPEEDUP
+    )
     args = parser.parse_args(argv)
 
-    verdict = evaluate(load_rows(args.results), args.min_ratio)
+    verdict = evaluate(
+        load_rows(args.results), args.min_ratio, args.min_batch_speedup
+    )
     args.out.write_text(json.dumps(verdict, indent=2) + "\n")
 
     for r in verdict["rows"]:
@@ -107,8 +146,16 @@ def main(argv: list[str] | None = None) -> int:
             f"E20 {r['backend']:<12} off={r['off_tp']:.0f} it/s"
             f"  trace={r['trace_tp']:.0f} it/s  ratio=x{r['trace_ratio']:.3f}"
         )
+    for r in verdict["e21_rows"]:
+        print(
+            f"E21 {r['backend']:<12} plain={r['plain_tp']:.0f} it/s"
+            f"  batched={r['batch_tp']:.0f} it/s  speedup=x{r['batch_ratio']:.2f}"
+        )
     if verdict["pass"]:
-        print(f"perf gate PASS: tracing overhead within {1 - args.min_ratio:.0%}")
+        print(
+            f"perf gate PASS: tracing overhead within {1 - args.min_ratio:.0%},"
+            f" micro-batch speedup >= x{args.min_batch_speedup:.1f}"
+        )
         return 0
     for f in verdict["failures"]:
         print(f"perf gate FAIL: {f}", file=sys.stderr)

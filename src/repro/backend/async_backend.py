@@ -57,6 +57,7 @@ from repro.backend.base import (
 from repro.core.pipeline import PipelineSpec
 from repro.monitor.instrument import PipelineInstrumentation
 from repro.runtime.threads import StageError
+from repro.util.batching import Batch, map_batch
 from repro.util.ordering import SequenceReorderer
 from repro.util.validation import check_positive
 
@@ -98,14 +99,22 @@ class _ResizableSemaphore:
 class _AsyncioSession(Session):
     """A resident coroutine graph on the backend's warm loop."""
 
+    supports_batching = True
+
     def __init__(
         self,
         backend: "AsyncioBackend",
         *,
-        max_inflight: int | None = None,
+        max_inflight: "int | str | None" = None,
         telemetry=None,
+        batching=None,
     ) -> None:
-        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
+        super().__init__(
+            backend,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
         n = backend.pipeline.n_stages
         self.instrumentation = PipelineInstrumentation(n, events=self.events)
         self._stage_locks = [threading.Lock() for _ in range(n)]
@@ -167,11 +176,28 @@ class _AsyncioSession(Session):
             i: int, seq: int, value: Any, out_q: asyncio.Queue, sem: _ResizableSemaphore
         ) -> None:
             spec = backend.pipeline.stage(i)
+            batched = isinstance(value, Batch)
             try:
                 t0 = time.perf_counter()
                 try:
                     if backend._is_async[i]:
-                        result = await spec.fn(value)
+                        if batched:
+                            # Async stages await per item (each may suspend),
+                            # but the batch still pays one queue hop and one
+                            # reorderer transaction per stage.
+                            outs = [await spec.fn(v) for v in value.items]
+                            result = Batch(
+                                outs, value.base_seq, value.gbase, value.bseq
+                            )
+                        else:
+                            result = await spec.fn(value)
+                    elif batched:
+                        # One executor offload for the whole batch — the
+                        # event-loop handoff (the asyncio per-item tax E18
+                        # exposed) is paid once per N items.
+                        result = await loop.run_in_executor(
+                            backend._executor, map_batch, spec.fn, value
+                        )
                     else:
                         result = await loop.run_in_executor(
                             backend._executor, spec.fn, value
@@ -186,7 +212,13 @@ class _AsyncioSession(Session):
                     return
                 dt = time.perf_counter() - t0
                 with self._stage_locks[i]:
-                    instrumentation.stages[i].record_service(dt, 1.0, seq=seq)
+                    # This fabric's event seq space is gseq: a batch reports
+                    # seq = its first item's gseq, items = its length.
+                    instrumentation.stages[i].record_service(
+                        dt, 1.0,
+                        seq=value.gbase if batched else seq,
+                        items=len(value) if batched else 1,
+                    )
                 if not abort.is_set():
                     await out_q.put((seq, result))
             finally:
@@ -236,7 +268,10 @@ class _AsyncioSession(Session):
                     continue
                 seq, value = got
                 for _ready_seq, ready in reorder.push(seq, value):
-                    instrumentation.record_completion(self.now())
+                    instrumentation.record_completion(
+                        self.now(),
+                        items=len(ready) if isinstance(ready, Batch) else 1,
+                    )
                     self._deliver(ready)
 
         tasks = [loop.create_task(pump())]
@@ -368,9 +403,18 @@ class AsyncioBackend(Backend):
 
     # ------------------------------------------------------------- sessions
     def _open_session(
-        self, *, max_inflight: int | None = None, telemetry=None
+        self,
+        *,
+        max_inflight: "int | str | None" = None,
+        telemetry=None,
+        batching=None,
     ) -> Session:
-        return _AsyncioSession(self, max_inflight=max_inflight, telemetry=telemetry)
+        return _AsyncioSession(
+            self,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
 
     def close(self) -> None:
         """Abort any in-flight session and stop the loop thread (idempotent)."""

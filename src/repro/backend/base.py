@@ -58,6 +58,7 @@ from repro.core.pipeline import PipelineSpec
 from repro.model.throughput import ResourceView
 from repro.monitor.instrument import StageSnapshot
 from repro.obs.events import NULL_BUS, EventBus
+from repro.util.batching import Batch, BatchingConfig, approx_nbytes, normalize_batching
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -98,10 +99,57 @@ def capability_error(backend: "Backend | str", operation: str) -> BackendCapabil
 
 @dataclass(frozen=True)
 class Ticket:
-    """Receipt for one submitted item: which stream, and where in it."""
+    """Receipt for one submitted item: which stream, and where in it.
+
+    Tickets minted by a live session also resolve individually:
+    :meth:`done` and :meth:`wait` answer "has *my* item been delivered?"
+    without consuming ``results()`` — the request/response surface
+    out-of-order consumers need.  Micro-batched sessions resolve tickets
+    at batch split, so per-ticket completion is exact either way.
+    """
 
     stream: int
     seq: int
+    _session: "Session | None" = field(default=None, compare=False, repr=False)
+
+    def done(self) -> bool:
+        """True once this item was delivered (in order) by its session."""
+        session = self._require_session()
+        with session._cv:
+            return session._ticket_done_locked(self.stream, self.seq)
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until this item is delivered; False on timeout.
+
+        Raises the session's executor error if the session broke, and
+        :class:`SessionClosed` if it was closed before delivery.
+        """
+        session = self._require_session()
+        deadline = None if timeout is None else time.perf_counter() + timeout
+        with session._cv:
+            while True:
+                if session._ticket_done_locked(self.stream, self.seq):
+                    return True
+                if session._error is not None:
+                    raise session._error
+                if session._closed:
+                    raise SessionClosed(
+                        "session closed before this ticket completed"
+                    )
+                if deadline is None:
+                    session._cv.wait(0.05)
+                else:
+                    remaining = deadline - time.perf_counter()
+                    if remaining <= 0:
+                        return False
+                    session._cv.wait(min(0.05, remaining))
+
+    def _require_session(self) -> "Session":
+        if self._session is None:
+            raise RuntimeError(
+                "this Ticket is not bound to a session (constructed by hand?)"
+            )
+        return self._session
 
 
 @dataclass(frozen=True)
@@ -160,14 +208,41 @@ class Session:
     #: False on measure-only sessions (simulator without stage callables).
     produces_outputs = True
 
+    #: True on sessions whose executor fabric carries :class:`Batch` units
+    #: end to end (the four real executors).  Sessions that leave this
+    #: False silently ignore ``batching=`` (the simulator models per-item
+    #: service, so coalescing would misrepresent what it simulates).
+    supports_batching = False
+
     def __init__(
         self,
         backend: "Backend",
         *,
-        max_inflight: int | None = None,
+        max_inflight: "int | str | None" = None,
         telemetry=None,
+        batching=None,
     ) -> None:
-        if max_inflight is not None:
+        #: Resolved micro-batching bounds, or None when batching is off.
+        #: Auto sizing sees the pipeline's declared per-item service time,
+        #: so slow stages get small batches (latency) and sub-ms stages get
+        #: the full hop-amortizing count bound (throughput).
+        work_hint = sum(
+            s.work.mean
+            for s in backend.pipeline.stages
+            if getattr(s, "work_declared", False)
+        )
+        self._bcfg: BatchingConfig | None = (
+            normalize_batching(batching, work_hint_s=work_hint)
+            if self.supports_batching
+            else None
+        )
+        self._auto_window = max_inflight == "auto"
+        if self._auto_window:
+            # Seed from the batch size alone; Little's-law retunes kick in
+            # once live StageSnapshots carry measured service times.
+            batch_items = self._bcfg.max_items if self._bcfg else 1
+            max_inflight = max(32, 4 * batch_items)
+        elif max_inflight is not None:
             check_positive(max_inflight, "max_inflight")
         self.backend = backend
         # The admission window: items admitted but not yet completed.
@@ -193,6 +268,20 @@ class Session:
         self._error: BaseException | None = None
         self._closed = False
         self._on_close: list[Callable[[], None]] = []
+        self._last_drained_stream = -1
+        # --- micro-batch assembly state (all mutated under _cv) ----------
+        self._buf: list[Any] = []  # admitted items awaiting a batch cut
+        self._buf_bytes = 0
+        self._buf_base_seq = 0  # stream seq / gseq of the buffer's first item
+        self._buf_gbase = 0
+        self._buf_deadline = 0.0  # perf_counter deadline for a linger flush
+        self._bseq = 0  # per-stream batch sequence (the executors' seq space)
+        self._bgseq = 0  # session-global batch sequence (their gseq space)
+        #: bseq -> (base item seq, item count) for the current stream; the
+        #: routers translate batch-covering events back to item seqs here.
+        self._batch_map: dict[int, tuple[int, int]] = {}
+        self._flushq: deque = deque()  # cut batches awaiting the flusher
+        self._flush_busy = False  # flusher is mid-_submit_one right now
         self._opened_t0 = time.perf_counter()
         #: Short unique id of this session; the prefix of every item's
         #: trace id (``<session_id>:<stream>:<seq>``, minted at submit).
@@ -224,6 +313,14 @@ class Session:
             max_inflight=max_inflight,
             session_id=self.session_id,
         )
+        if self._bcfg is not None:
+            # The flusher guarantees the linger deadline (partial batches
+            # under trickle load) and drains window-full deadlock cuts.
+            threading.Thread(
+                target=self._flusher_loop,
+                name=f"session-{self.session_id}-flush",
+                daemon=True,
+            ).start()
 
     # ------------------------------------------------------------- properties
     @property
@@ -281,6 +378,7 @@ class Session:
         """
         begin = False
         blocked_t0: float | None = None
+        cut: tuple | None = None
         with self._cv:
             while True:
                 self._raise_if_unusable()
@@ -298,6 +396,12 @@ class Session:
                     self._out.clear()
                     self._begun = threading.Event()
                     self._stream_t0 = time.perf_counter()
+                    # Fresh per-stream batch sequence space (bgseq, like
+                    # gseq, stays session-global).
+                    self._buf = []
+                    self._buf_bytes = 0
+                    self._bseq = 0
+                    self._batch_map.clear()
                     begin = True
                 if (
                     self.max_inflight is None
@@ -309,12 +413,20 @@ class Session:
                     gseq = self._gseq
                     self._gseq += 1
                     begun = self._begun
+                    if self._bcfg is not None:
+                        cut = self._buffer_item_locked(seq, gseq, item)
                     break
                 # Window full: wait, then re-evaluate the stream state from
                 # scratch — drain() may have ended (or finished) the stream
                 # while we were parked, and an admission granted against the
                 # old stream would slip past its end-of-stream barrier and
                 # corrupt the next stream's ordering.
+                if self._bcfg is not None and self._buf:
+                    # Deadlock guard: the window cannot reopen while the
+                    # only admitted-but-unexecuted items sit in the assembly
+                    # buffer, so cut the partial batch before parking.
+                    self._flushq.append(self._cut_locked("window"))
+                    self._cv.notify_all()
                 if blocked_t0 is None:
                     blocked_t0 = time.perf_counter()
                 self._cv.wait(0.05)
@@ -351,12 +463,17 @@ class Session:
                 gseq=gseq,
                 trace=f"{self.session_id}:{stream}:{seq}",
             )
-        try:
-            self._submit_one(stream, seq, gseq, item)
-        except BaseException as err:
-            self._deliver_error(err)
-            raise
-        return Ticket(stream, seq)
+        if self._bcfg is None:
+            try:
+                self._submit_one(stream, seq, gseq, item)
+            except BaseException as err:
+                self._deliver_error(err)
+                raise
+        elif cut is not None:
+            self._submit_cut(cut)
+        if self._auto_window and gseq and gseq % 64 == 0:
+            self._retune_window()
+        return Ticket(stream, seq, self)
 
     def results(self) -> Iterator[Any]:
         """Yield the current stream's outputs in order, as they complete.
@@ -397,6 +514,7 @@ class Session:
         plain open → submit\\* → drain batch pattern, usually empty when a
         consumer thread is active).  ``[]`` when no stream is open.
         """
+        pending: list[tuple] = []
         with self._cv:
             self._raise_if_unusable()
             if not self._streaming:
@@ -405,7 +523,22 @@ class Session:
                 raise RuntimeError("drain() already in progress for this stream")
             self._eos = True
             stream, n = self._stream, self._submitted
-        self._end_stream(stream, n)
+            units = n
+            if self._bcfg is not None:
+                # Steal every cut-but-unsubmitted batch and flush the
+                # partial buffer; wait out a flusher mid-_submit_one so no
+                # batch can land in the executor after _end_stream.
+                while self._flushq:
+                    pending.append(self._flushq.popleft())
+                if self._buf:
+                    pending.append(self._cut_locked("drain"))
+                units = self._bseq
+                while self._flush_busy:
+                    self._cv.wait(0.01)
+        for cut in pending:
+            self._submit_cut(cut)
+        # Batched executors count stream units in batches, not items.
+        self._end_stream(stream, units)
         with self._cv:
             while self._delivered < n:
                 if self._error is not None:
@@ -417,6 +550,7 @@ class Session:
             self._out.clear()
             self._streaming = False
             self._eos = False
+            self._last_drained_stream = stream
             self._streams_completed += 1
             self.last_stream_items = n
             wall = time.perf_counter() - self._stream_t0
@@ -488,6 +622,9 @@ class Session:
     # ------------------------------------------------- executor-side callbacks
     def _deliver(self, value: Any) -> None:
         """Executor collectors hand over the next in-order output here."""
+        if self._bcfg is not None and isinstance(value, Batch):
+            self._deliver_batch(value)
+            return
         with self._cv:
             self._out.append(value)
             stream, seq = self._stream, self._delivered
@@ -498,6 +635,35 @@ class Session:
         # would serialise submitters behind the exporter's I/O.  Delivery is
         # in input order, so the pre-increment count *is* the item's seq.
         self.events.emit("item.complete", stream=stream, seq=seq)
+
+    def _deliver_batch(self, batch: Batch) -> None:
+        """Egress splitter: one delivered batch fans out to N ordered items.
+
+        One lock round and one notify per *batch* — the per-item half of
+        the amortization story — then per-item ``item.complete`` events
+        (guarded, so an unsubscribed bus pays nothing) keep the journal's
+        item timeline identical to the unbatched one.
+        """
+        n = len(batch.items)
+        with self._cv:
+            stream = self._stream
+            self._out.extend(batch.items)
+            self._delivered += n
+            self._items_total += n
+            self._batch_map.pop(batch.bseq, None)
+            self._cv.notify_all()
+        self.events.emit(
+            "batch.split",
+            stream=stream,
+            seq=batch.bseq,
+            base=batch.base_seq,
+            items=n,
+        )
+        if self.events.wants("item.complete"):
+            for k in range(n):
+                self.events.emit(
+                    "item.complete", stream=stream, seq=batch.base_seq + k
+                )
 
     def _deliver_error(self, err: BaseException) -> None:
         """Poison the session with the executor's (first) error."""
@@ -516,6 +682,161 @@ class Session:
             raise SessionClosed(
                 f"session on backend {self.backend.name!r} is closed"
             )
+
+    def _ticket_done_locked(self, stream: int, seq: int) -> bool:
+        """Whether item ``seq`` of ``stream`` has been delivered (under _cv)."""
+        if stream <= self._last_drained_stream:
+            return True
+        # Streams are sequential: an undrained ticket stream is either the
+        # live one (delivery is in order, so the delivered count decides)
+        # or a stream abandoned by a mid-stream close (never done).
+        return stream == self._stream and seq < self._delivered
+
+    def _event_seq(self, seq: int) -> "tuple[int, int]":
+        """Translate an executor seq into item space: ``(first_seq, items)``.
+
+        Executor seqs are micro-batch seqs when batching is on; trace
+        emitters use this so journal events name real item seqs (plus an
+        ``items`` count) instead of internal batch numbering.  Reads of
+        ``_batch_map`` are GIL-atomic dict gets, safe from router threads.
+        """
+        mapped = self._batch_map.get(seq)
+        return mapped if mapped is not None else (seq, 1)
+
+    # --------------------------------------------------- micro-batch assembly
+    def _buffer_item_locked(self, seq: int, gseq: int, item: Any) -> tuple | None:
+        """Admit one item into the assembly buffer; cut when a bound trips.
+
+        Called under ``_cv`` right after admission, so buffer order is
+        exactly sequence order and every buffered run is consecutive.
+        Returns the cut (for the admitting thread to submit outside the
+        lock) when the size or byte bound tripped, else None.
+        """
+        cfg = self._bcfg
+        if not self._buf:
+            self._buf_base_seq = seq
+            self._buf_gbase = gseq
+            self._buf_deadline = time.perf_counter() + cfg.linger_s
+        self._buf.append(item)
+        self._buf_bytes += approx_nbytes(item)
+        if len(self._buf) >= cfg.max_items:
+            return self._cut_locked("size")
+        if self._buf_bytes >= cfg.max_bytes:
+            return self._cut_locked("bytes")
+        return None
+
+    def _cut_locked(self, reason: str) -> tuple:
+        """Seal the assembly buffer into one Batch (under ``_cv``)."""
+        bseq = self._bseq
+        self._bseq += 1
+        bgseq = self._bgseq
+        self._bgseq += 1
+        batch = Batch(self._buf, self._buf_base_seq, self._buf_gbase, bseq)
+        self._batch_map[bseq] = (batch.base_seq, len(batch.items))
+        self._buf = []
+        self._buf_bytes = 0
+        return (self._stream, batch, bgseq, self._begun, reason)
+
+    def _submit_cut(self, cut: tuple) -> None:
+        """Hand one sealed batch to the executor (outside ``_cv``).
+
+        Waits on the stream's begin barrier first: a flusher-side cut must
+        not reach the executor before ``_begin_stream`` rebased it.
+        Out-of-order arrival *between* submitters is fine — every executor
+        restores sequence order downstream.
+        """
+        stream, batch, bgseq, begun, reason = cut
+        begun.wait()
+        self.events.emit(
+            "batch.assemble",
+            stream=stream,
+            seq=batch.bseq,
+            base=batch.base_seq,
+            items=len(batch.items),
+            reason=reason,
+        )
+        try:
+            self._submit_one(stream, batch.bseq, bgseq, batch)
+        except BaseException as err:
+            self._deliver_error(err)
+            raise
+
+    def _flusher_loop(self) -> None:
+        """Background flusher: linger deadlines + window-full cut drain."""
+        while True:
+            cut = None
+            with self._cv:
+                if self._closed:
+                    return
+                if self._flushq:
+                    cut = self._flushq.popleft()
+                elif self._buf and self._streaming and not self._eos:
+                    now = time.perf_counter()
+                    if now >= self._buf_deadline:
+                        cut = self._cut_locked("linger")
+                    else:
+                        self._cv.wait(self._buf_deadline - now)
+                        continue
+                else:
+                    self._cv.wait(0.05)
+                    continue
+                self._flush_busy = True
+            try:
+                self._submit_cut(cut)
+            except BaseException:  # noqa: BLE001 - session already poisoned
+                pass
+            finally:
+                with self._cv:
+                    self._flush_busy = False
+                    self._cv.notify_all()
+
+    # ------------------------------------------------ Little's-law admission
+    def _retune_window(self) -> None:
+        """Re-derive the auto admission window from live measurements.
+
+        Little's law on the current StageSnapshots: the bottleneck stage's
+        per-replica service time bounds the sustainable rate μ; sizing the
+        window to the items in flight at ~0.9 μ (L = λ·W, with the G/G/1
+        Allen–Cunneen queue-wait for the bottleneck) keeps the pipeline
+        saturated without parking an unbounded backlog in its queues.
+        """
+        from repro.model.queueing import gg1_waiting_time
+
+        try:
+            snaps = self.snapshots()
+            replicas = self.backend.replica_counts()
+        except Exception:  # noqa: BLE001 - observation must never break submit
+            return
+        if len(snaps) != len(replicas) or not snaps:
+            return
+        if any(s.items_processed < 8 or s.service_time <= 0 for s in snaps):
+            return  # not enough signal yet
+        per_stage = [
+            s.service_time / max(1, r) for s, r in zip(snaps, replicas)
+        ]
+        bottleneck = max(range(len(snaps)), key=lambda i: per_stage[i])
+        service_rate = 1.0 / per_stage[bottleneck]
+        arrival_rate = 0.9 * service_rate
+        cs2 = snaps[bottleneck].service_cv ** 2
+        wq = gg1_waiting_time(arrival_rate, service_rate, 1.0, cs2)
+        if not math.isfinite(wq):
+            wq = per_stage[bottleneck]  # ρ≥1 fallback: one extra service
+        wall = sum(per_stage) + wq
+        batch_items = self._bcfg.max_items if self._bcfg else 1
+        window = math.ceil(arrival_rate * wall) + 2 * batch_items
+        window = max(max(8, 2 * batch_items), min(1024, window))
+        if window == self.max_inflight:
+            return
+        with self._cv:
+            self.max_inflight = window
+            self._cv.notify_all()
+        self.events.emit(
+            "session.window",
+            window=window,
+            arrival_rate=arrival_rate,
+            service_rate=service_rate,
+            wq=wq,
+        )
 
     # ------------------------------------------------------- executor hooks
     def _begin_stream(self, stream: int) -> None:
@@ -631,13 +952,21 @@ class Backend(ABC):
 
     @abstractmethod
     def _open_session(
-        self, *, max_inflight: int | None = None, telemetry=None
+        self,
+        *,
+        max_inflight: "int | str | None" = None,
+        telemetry=None,
+        batching=None,
     ) -> Session:
         """Build this executor's native :class:`Session`.
 
         ``telemetry`` (a :class:`repro.obs.Telemetry` or a journal path) is
         forwarded to ``Session.__init__``, which attaches it before any
         executor machinery starts — so warm-up events are captured too.
+        ``batching`` (any :func:`repro.util.batching.normalize_batching`
+        form) turns on transparent micro-batching on sessions that support
+        it; ``max_inflight="auto"`` sizes the admission window from the
+        calibrated batch size and live measurements via Little's law.
         """
 
     def _current_session(self) -> Session:

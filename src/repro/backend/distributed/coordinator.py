@@ -84,6 +84,7 @@ from repro.transport import (
     materialize,
     untrack,
 )
+from repro.util.batching import Batch
 from repro.util.ordering import SequenceReorderer
 from repro.util.validation import check_positive
 
@@ -182,14 +183,22 @@ class _Replica:
 class _DistributedSession(Session):
     """Session-owned feeder/router threads over the warm worker pool."""
 
+    supports_batching = True
+
     def __init__(
         self,
         backend: "DistributedBackend",
         *,
-        max_inflight: int | None = None,
+        max_inflight: "int | str | None" = None,
         telemetry=None,
+        batching=None,
     ) -> None:
-        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
+        super().__init__(
+            backend,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
         backend.warm()
         backend._ensure_placements()
         if backend._config_errors:
@@ -316,11 +325,14 @@ class _DistributedSession(Session):
             )
         if bus.wants("span.phases"):
             to_local = w.clock.fit().to_local
-            bus.emit(
-                "span.phases",
-                at=self.perf_to_session(recv_t),
+            # Executor seqs are batch seqs when batching: report the hop in
+            # item space (seq = first item, items = N) with durations
+            # covering the whole batch, so the profiler can fan it out
+            # per item without double-counting.
+            ev_seq, ev_items = self._event_seq(seq)
+            fields = dict(
                 stage=stage,
-                seq=seq,
+                seq=ev_seq,
                 worker=w.id,
                 wire_out=max(0.0, to_local(t_recv_w) - t_sent),
                 worker_queue=wait_s,
@@ -328,6 +340,9 @@ class _DistributedSession(Session):
                 encode=max(0.0, (t_send_w - t_recv_w) - wait_s - service_s),
                 wire_back=max(0.0, recv_t - to_local(t_send_w)),
             )
+            if ev_items > 1:
+                fields["items"] = ev_items
+            bus.emit("span.phases", at=self.perf_to_session(recv_t), **fields)
 
     # --------------------------------------------------------------- plumbing
     def _feed(self) -> None:
@@ -419,11 +434,15 @@ class _DistributedSession(Session):
                     t_recv_w, t_send_w, wk_events,
                 )
             backend._ref_bytes += 0.1 * (entry_payload.nbytes - backend._ref_bytes)
+            ev_seq, ev_items = self._event_seq(seq)
             with self._metrics_locks[stage]:
                 # work_estimate = service x effective speed, so a loaded
                 # worker's slow service still yields the true per-item work.
+                # Batched hops translate back to item space (seq = first
+                # item, items = N) so attribution stays per-item.
                 metrics.record_service(
-                    service_s, w.speed, seq=seq, worker=w.id, queue=queued
+                    service_s, w.speed, seq=ev_seq, worker=w.id, queue=queued,
+                    items=ev_items,
                 )
                 metrics.record_transfer(overhead / 2.0)
                 metrics.record_queue_length(queued)
@@ -434,14 +453,18 @@ class _DistributedSession(Session):
                     value = backend._codec.decode(ready_payload)
                     backend._codec.release(ready_payload)
                     if self.events.wants("frame.release"):
-                        self.events.emit(
-                            "frame.release",
-                            stage=stage,
-                            seq=ready_seq,
-                            nbytes=ready_payload.nbytes,
+                        rel_seq, rel_items = self._event_seq(ready_seq)
+                        rel = dict(
+                            stage=stage, seq=rel_seq, nbytes=ready_payload.nbytes
                         )
+                        if rel_items > 1:
+                            rel["items"] = rel_items
+                        self.events.emit("frame.release", **rel)
                     with self._metrics_locks[stage]:
-                        self.instrumentation.record_completion(self.now())
+                        self.instrumentation.record_completion(
+                            self.now(),
+                            items=len(value) if isinstance(value, Batch) else 1,
+                        )
                     self._deliver(value)
                 else:
                     if not backend._dispatch(stage + 1, ready_seq, ready_payload):
@@ -919,6 +942,13 @@ class DistributedBackend(Backend):
         for w in workers:
             w.send(("trace", on))
 
+    def _item_seq(self, seq: int) -> "tuple[int, int]":
+        """Session's executor-seq → (first item seq, items) translation."""
+        session = self._session
+        if session is None:
+            return seq, 1
+        return session._event_seq(seq)
+
     def _emit_worker_trace(self, w: _WorkerConn, events) -> None:
         """Re-emit batched worker events on the session bus, clock-mapped.
 
@@ -939,16 +969,22 @@ class DistributedBackend(Backend):
         # One fit per batch: ClockSync.fit() takes a lock, and a result
         # frame carries several events mapped through the same model.
         to_local = w.clock.fit().to_local
+        # Worker events name executor seqs, which are micro-batch seqs
+        # when batching is on: translate to item space (seq = first item,
+        # items = N) so span/profile consumers attribute them per item.
+        batch_map = getattr(session, "_batch_map", None)
         for kind, t_w, fields in events:
             if fields.get("epoch") != epoch:
                 continue
             mapped = session.perf_to_session(to_local(t_w))
-            bus.emit(
-                kind,
-                at=mapped,
-                worker=w.id,
-                **{k: v for k, v in fields.items() if k != "epoch"},
-            )
+            out = {k: v for k, v in fields.items() if k != "epoch"}
+            if batch_map and "seq" in out:
+                m = batch_map.get(out["seq"])
+                if m is not None:
+                    out["seq"] = m[0]
+                    if m[1] > 1:
+                        out["items"] = m[1]
+            bus.emit(kind, at=mapped, worker=w.id, **out)
 
     # --------------------------------------------------------------- failure
     def _fail(self, stage: int, err: BaseException) -> None:
@@ -1040,7 +1076,11 @@ class DistributedBackend(Backend):
         try:
             for i, lost in enumerate(lost_by_stage):
                 for seq, payload in lost:
-                    self.events.emit("worker.redispatch", stage=i, seq=seq)
+                    ev_seq, ev_items = self._item_seq(seq)
+                    red = dict(stage=i, seq=ev_seq)
+                    if ev_items > 1:
+                        red["items"] = ev_items
+                    self.events.emit("worker.redispatch", **red)
                     if not self._dispatch(i, seq, payload):
                         return
         except BaseException as err:  # noqa: BLE001 - reported via the session
@@ -1177,9 +1217,18 @@ class DistributedBackend(Backend):
 
     # ------------------------------------------------------------- sessions
     def _open_session(
-        self, *, max_inflight: int | None = None, telemetry=None
+        self,
+        *,
+        max_inflight: "int | str | None" = None,
+        telemetry=None,
+        batching=None,
     ) -> Session:
-        return _DistributedSession(self, max_inflight=max_inflight, telemetry=telemetry)
+        return _DistributedSession(
+            self,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
 
     # --------------------------------------------------------------- dispatch
     def _reserve_slot(self, stage: int) -> _Replica | None:
@@ -1229,11 +1278,20 @@ class DistributedBackend(Backend):
             want_encode = self.events.wants("frame.encode")
             t_enc = time.perf_counter() if want_encode else 0.0
             frame = codec.encode(value)
-            if want_encode:
+            if isinstance(value, Batch) and self.events.wants("batch.encode"):
                 self.events.emit(
-                    "frame.encode", stage=0, seq=seq, nbytes=frame.nbytes,
+                    "batch.encode", stage=0, seq=seq, base=value.base_seq,
+                    items=len(value), nbytes=frame.nbytes,
+                )
+            if want_encode:
+                ev_seq, ev_items = self._item_seq(seq)
+                enc = dict(
+                    stage=0, seq=ev_seq, nbytes=frame.nbytes,
                     inline=frame.inline, seconds=time.perf_counter() - t_enc,
                 )
+                if ev_items > 1:
+                    enc["items"] = ev_items
+                self.events.emit("frame.encode", **enc)
             with self._conds[0]:
                 self._inflight[0][seq] = (replica, frame)
             sent = replica.worker.send(
@@ -1242,10 +1300,11 @@ class DistributedBackend(Backend):
             )
             if sent:
                 if self.events.wants("item.dispatch"):
-                    self.events.emit(
-                        "item.dispatch", stage=0, seq=seq,
-                        worker=replica.worker.id,
-                    )
+                    ev_seq, ev_items = self._item_seq(seq)
+                    disp = dict(stage=0, seq=ev_seq, worker=replica.worker.id)
+                    if ev_items > 1:
+                        disp["items"] = ev_items
+                    self.events.emit("item.dispatch", **disp)
                 return True
             # Send failed: reclaim the assignment (unless the death handler
             # got there first and already re-homed it — with this very
@@ -1290,10 +1349,11 @@ class DistributedBackend(Backend):
             )
             if sent:
                 if self.events.wants("item.dispatch"):
-                    self.events.emit(
-                        "item.dispatch", stage=stage, seq=seq,
-                        worker=replica.worker.id,
-                    )
+                    ev_seq, ev_items = self._item_seq(seq)
+                    disp = dict(stage=stage, seq=ev_seq, worker=replica.worker.id)
+                    if ev_items > 1:
+                        disp["items"] = ev_items
+                    self.events.emit("item.dispatch", **disp)
                 return True
             # Send failed: reclaim the assignment (unless the death handler
             # got there first and already re-homed it), then mark the worker

@@ -78,6 +78,7 @@ from repro.backend.distributed.protocol import ProtocolError, recv_frame, send_f
 from repro.monitor.resource_monitor import read_load1
 from repro.obs.events import Event, EventBus
 from repro.transport import Codec, Frame, untrack
+from repro.util.batching import Batch, map_batch
 
 __all__ = ["WorkerAgent", "main"]
 
@@ -167,7 +168,15 @@ class _ReplicaRunner:
                 # Decode without releasing: the coordinator owns the task
                 # frame (it may re-dispatch after this worker's death).
                 value = self._agent.codec.decode(task.payload)
-                result = self.fn(value)
+                # A micro-batch maps element-wise and travels back as one
+                # frame; the coordinator re-dispatches the whole batch
+                # frame on worker death, so per-item exactly-once holds by
+                # construction.
+                result = (
+                    map_batch(self.fn, value)
+                    if isinstance(value, Batch)
+                    else self.fn(value)
+                )
                 serviced = time.perf_counter()
                 service_s = serviced - started
                 if bus.active:

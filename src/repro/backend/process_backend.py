@@ -65,6 +65,7 @@ from repro.core.pipeline import PipelineSpec
 from repro.monitor.instrument import PipelineInstrumentation
 from repro.runtime.threads import StageError
 from repro.transport import Codec, Frame
+from repro.util.batching import Batch, map_batch
 from repro.util.ordering import SequenceReorderer
 from repro.util.validation import check_positive
 
@@ -95,7 +96,10 @@ def _worker_main(stage_index: int, worker_id: int, fn, taskq, resq, codec_spec) 
         codec.release(frame)
         t0 = time.perf_counter()
         try:
-            result = fn(value)
+            # A micro-batch decoded from one frame maps element-wise here
+            # and re-encodes as one frame: the whole run of items pays a
+            # single queue round trip and a single pickle stream each way.
+            result = map_batch(fn, value) if isinstance(value, Batch) else fn(value)
         except BaseException as err:  # noqa: BLE001 - shipped to the parent
             try:
                 err_payload = pickle.dumps(err)
@@ -163,14 +167,22 @@ class _StagePool:
 class _ProcessSession(Session):
     """Session-owned feeder/router threads over the backend's warm pools."""
 
+    supports_batching = True
+
     def __init__(
         self,
         backend: "ProcessPoolBackend",
         *,
-        max_inflight: int | None = None,
+        max_inflight: "int | str | None" = None,
         telemetry=None,
+        batching=None,
     ) -> None:
-        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
+        super().__init__(
+            backend,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
         backend.warm()
         n = backend.pipeline.n_stages
         self.instrumentation = PipelineInstrumentation(n, events=self.events)
@@ -260,12 +272,25 @@ class _ProcessSession(Session):
                 if self._abort.is_set():
                     continue  # drain the feed queue without dispatching
                 seq, value = msg
+                t0 = time.perf_counter()
                 frame = backend._codec.encode(value)
                 self._record_bytes_in(0, frame.nbytes)
-                if self.events.wants("frame.encode"):
+                if isinstance(value, Batch) and self.events.wants("batch.encode"):
                     self.events.emit(
-                        "frame.encode", stage=0, seq=seq, nbytes=frame.nbytes
+                        "batch.encode",
+                        stage=0,
+                        seq=seq,
+                        base=value.base_seq,
+                        items=len(value),
+                        nbytes=frame.nbytes,
+                        seconds=time.perf_counter() - t0,
                     )
+                if self.events.wants("frame.encode"):
+                    ev_seq, ev_items = self._event_seq(seq)
+                    enc = dict(stage=0, seq=ev_seq, nbytes=frame.nbytes)
+                    if ev_items > 1:
+                        enc["items"] = ev_items
+                    self.events.emit("frame.encode", **enc)
                 if not self._dispatch(0, seq, frame):
                     continue
         except BaseException as err:  # noqa: BLE001 - e.g. unpicklable input
@@ -337,9 +362,14 @@ class _ProcessSession(Session):
                 self._fail(stage, original)
                 return
             queued = pool.queued()
+            # Executor seqs are batch seqs when batching: translate the
+            # service record back to item space (seq = first item, items=N)
+            # so span attribution and the live top view stay per-item.
+            ev_seq, ev_items = self._event_seq(seq)
             with self._stage_locks[stage]:
                 metrics.record_service(
-                    extra, 1.0, seq=seq, worker=worker_id, queue=queued
+                    extra, 1.0, seq=ev_seq, worker=worker_id, queue=queued,
+                    items=ev_items,
                 )
                 metrics.record_queue_length(queued)
                 metrics.record_bytes_out(payload.nbytes)
@@ -351,14 +381,18 @@ class _ProcessSession(Session):
                     value = backend._codec.decode(ready_frame)
                     backend._codec.release(ready_frame)
                     if self.events.wants("frame.release"):
-                        self.events.emit(
-                            "frame.release",
-                            stage=stage,
-                            seq=ready_seq,
-                            nbytes=ready_frame.nbytes,
+                        rel_seq, rel_items = self._event_seq(ready_seq)
+                        rel = dict(
+                            stage=stage, seq=rel_seq, nbytes=ready_frame.nbytes
                         )
+                        if rel_items > 1:
+                            rel["items"] = rel_items
+                        self.events.emit("frame.release", **rel)
                     with self._stage_locks[stage]:
-                        self.instrumentation.record_completion(self.now())
+                        self.instrumentation.record_completion(
+                            self.now(),
+                            items=len(value) if isinstance(value, Batch) else 1,
+                        )
                     self._deliver(value)
                 else:
                     self._record_bytes_in(stage + 1, ready_frame.nbytes)
@@ -466,9 +500,18 @@ class ProcessPoolBackend(Backend):
 
     # ------------------------------------------------------------- sessions
     def _open_session(
-        self, *, max_inflight: int | None = None, telemetry=None
+        self,
+        *,
+        max_inflight: "int | str | None" = None,
+        telemetry=None,
+        batching=None,
     ) -> Session:
-        return _ProcessSession(self, max_inflight=max_inflight, telemetry=telemetry)
+        return _ProcessSession(
+            self,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
 
     def _shutdown_pools(self, *, graceful: bool) -> None:
         if self._pools is None:

@@ -130,8 +130,15 @@ class SimBackend(Backend):
         self.last_run: RunResult | None = None
 
     def _open_session(
-        self, *, max_inflight: int | None = None, telemetry=None
+        self,
+        *,
+        max_inflight: "int | str | None" = None,
+        telemetry=None,
+        batching=None,
     ) -> Session:
+        # ``batching`` is accepted for signature parity but ignored: the
+        # simulator models per-item service, and _SimSession leaves
+        # ``supports_batching`` False so the base session never coalesces.
         return _SimSession(self, max_inflight=max_inflight, telemetry=telemetry)
 
     def _simulate(self, items: list[Any]) -> list[Any] | None:

@@ -43,6 +43,7 @@ from repro.runtime.threads import (
     _Dispatcher,
     _Worker,
 )
+from repro.util.batching import Batch
 from repro.util.validation import check_positive
 
 __all__ = ["ThreadBackend"]
@@ -51,14 +52,22 @@ __all__ = ["ThreadBackend"]
 class _ThreadSession(Session):
     """Session-owned thread fabric (see module docstring)."""
 
+    supports_batching = True
+
     def __init__(
         self,
         backend: "ThreadBackend",
         *,
-        max_inflight: int | None = None,
+        max_inflight: "int | str | None" = None,
         telemetry=None,
+        batching=None,
     ) -> None:
-        super().__init__(backend, max_inflight=max_inflight, telemetry=telemetry)
+        super().__init__(
+            backend,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
         pipeline = backend.pipeline
         n = pipeline.n_stages
         self.replicas = list(backend._target)
@@ -147,7 +156,9 @@ class _ThreadSession(Session):
             if got is _SENTINEL:
                 break
             _seq, value = got
-            self.instrumentation.record_completion(self.now())
+            self.instrumentation.record_completion(
+                self.now(), items=len(value) if isinstance(value, Batch) else 1
+            )
             self._deliver(value)
 
     def _watch_abort(self) -> None:
@@ -238,9 +249,18 @@ class ThreadBackend(Backend):
 
     # ------------------------------------------------------------- sessions
     def _open_session(
-        self, *, max_inflight: int | None = None, telemetry=None
+        self,
+        *,
+        max_inflight: "int | str | None" = None,
+        telemetry=None,
+        batching=None,
     ) -> Session:
-        return _ThreadSession(self, max_inflight=max_inflight, telemetry=telemetry)
+        return _ThreadSession(
+            self,
+            max_inflight=max_inflight,
+            telemetry=telemetry,
+            batching=batching,
+        )
 
     # ----------------------------------------------------------- observation
     def resource_view(self, n_procs: int) -> ResourceView:

@@ -54,6 +54,12 @@ class FixedWork(WorkModel):
         return f"FixedWork({self._work})"
 
 
+#: Shared default work prior (0.1 s) — a sentinel instance, so consumers
+#: can tell "the caller declared this stage's cost" from "the sim prior
+#: was silently assumed" (auto batch sizing must ignore the latter).
+_DEFAULT_WORK = FixedWork(0.1)
+
+
 @dataclass(frozen=True)
 class StageSpec:
     """One pipeline stage.
@@ -77,7 +83,7 @@ class StageSpec:
     """
 
     name: str
-    work: WorkModel = field(default_factory=lambda: FixedWork(0.1))
+    work: WorkModel = _DEFAULT_WORK
     out_bytes: float = 0.0
     state_bytes: float = 0.0
     replicable: bool = True
@@ -90,6 +96,11 @@ class StageSpec:
             raise TypeError(f"work must be a WorkModel or float, got {type(self.work)!r}")
         check_non_negative(self.out_bytes, "out_bytes")
         check_non_negative(self.state_bytes, "state_bytes")
+
+    @property
+    def work_declared(self) -> bool:
+        """True when ``work`` was given explicitly, not the 0.1 s sim prior."""
+        return self.work is not _DEFAULT_WORK
 
     def cost(self, measured_work: float | None = None) -> StageCost:
         """Model-facing cost record; ``measured_work`` overrides the prior."""

@@ -85,17 +85,27 @@ class StageMetrics:
         seq: int | None = None,
         worker: "int | str | None" = None,
         queue: float | None = None,
+        items: int = 1,
     ) -> None:
-        """One item serviced in ``seconds`` at the given effective speed.
+        """``items`` items serviced in ``seconds`` at the given speed.
 
-        ``seq``/``worker``/``queue`` only annotate the emitted
-        ``stage.service`` event (span attribution and the live ``top``
-        view); the policy-facing windows ignore them.
+        A micro-batched executor records one call per *batch*: the
+        policy-facing windows are fed the per-item mean (``seconds /
+        items``) so service-time estimates stay comparable with unbatched
+        runs, while the emitted ``stage.service`` event carries the batch
+        total plus an ``items`` count (and ``seq`` = the batch's first
+        item) so span attribution can fan it back out per item without
+        double-counting.
+
+        ``seq``/``worker``/``queue`` only annotate the emitted event (span
+        attribution and the live ``top`` view); the windows ignore them.
         """
-        self.items_processed += 1
-        self.total.push(seconds)
-        self._service_win.push(seconds)
-        self._work_win.push(seconds * effective_speed)
+        per_item = seconds / items if items > 1 else seconds
+        self.items_processed += items
+        for _ in range(items):
+            self.total.push(per_item)
+        self._service_win.push(per_item)
+        self._work_win.push(per_item * effective_speed)
         bus = self.events
         if bus is not None and bus.wants("stage.service"):
             fields: dict = {
@@ -103,6 +113,8 @@ class StageMetrics:
                 "seconds": seconds,
                 "speed": effective_speed,
             }
+            if items > 1:
+                fields["items"] = items
             if seq is not None:
                 fields["seq"] = seq
             if worker is not None:
@@ -181,9 +193,17 @@ class PipelineInstrumentation:
         self.stream_index += 1
         self._stream_start = len(self.completion_times)
 
-    def record_completion(self, t: float) -> None:
-        """An item left the last stage at simulated time ``t``."""
-        self.completion_times.append(t)
+    def record_completion(self, t: float, items: int = 1) -> None:
+        """``items`` items left the last stage at (simulated) time ``t``.
+
+        A micro-batched collector records one call per delivered batch;
+        every item in it counts toward throughput at the batch's delivery
+        time (they genuinely completed together).
+        """
+        if items == 1:
+            self.completion_times.append(t)
+        else:
+            self.completion_times.extend([t] * items)
 
     @property
     def items_completed(self) -> int:

@@ -41,8 +41,16 @@ SCHEMA: dict[str, str] = {
     "item.submit": "item admitted (span+trace minted): stream, seq, gseq, trace[, wait]",
     "item.dispatch": "item sent to a remote replica: stage, seq, worker",
     "item.complete": "item delivered in order: stream, seq",
-    # -- stage service (monitor/instrument.py hook) -----------------------
-    "stage.service": "one item serviced: stage, seconds, speed[, seq, worker, queue]",
+    # -- micro-batch lifecycle (backend/base.py assembler/splitter; seq =
+    #    the batch's own stream-scoped number, base = first item seq) ------
+    "batch.assemble": "admitted items coalesced into a batch: stream, seq, base, items[, reason]",
+    "batch.encode": "a whole batch encoded as one frame: stage, seq, base, items, nbytes[, seconds]",
+    "batch.split": "batch split back into per-item results: stream, seq, base, items",
+    # -- admission window retune (Little's-law auto max_inflight) ----------
+    "session.window": "auto admission window retuned: window, arrival_rate, service_rate, wq",
+    # -- stage service (monitor/instrument.py hook; a micro-batched record
+    #    carries the batch-total seconds plus items=N, seq = first item) ---
+    "stage.service": "items serviced: stage, seconds, speed[, items, seq, worker, queue]",
     # -- replica shape (executors + distributed placement) ----------------
     "replica.add": "replicas grew: stage, n[, worker, slot]",
     "replica.remove": "replicas shrank: stage, n[, worker, slot]",
@@ -68,10 +76,12 @@ SCHEMA: dict[str, str] = {
     # -- cross-host clock mapping (coordinator-side fit per worker) --------
     "clock.sync": "per-worker clock fit updated: worker, offset, drift, err, n",
     # -- per-hop latency decomposition (coordinator router, one per
-    #    accepted result; durations in seconds, at = receipt time) ---------
+    #    accepted result; durations in seconds, at = receipt time; a
+    #    batched hop carries items=N with seq = the first item's seq and
+    #    durations covering the whole batch) -------------------------------
     "span.phases": (
         "one stage hop decomposed: stage, seq, worker, wire_out, "
-        "worker_queue, service, encode, wire_back"
+        "worker_queue, service, encode, wire_back[, items]"
     ),
 }
 

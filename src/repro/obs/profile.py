@@ -45,6 +45,15 @@ asyncio) degrade gracefully: ``stage.service`` events still tile service
 time per stage, and everything between services is attributed to
 ``coord_queue`` — coarser, but the service-vs-overhead split and the
 verdict remain honest.
+
+Micro-batched sessions emit one batch-covering record per hop
+(``items=N``, durations = batch totals) which the span collector attaches
+to all N member spans.  Per item, only ``seconds / N`` of the service was
+*this* item's own work; the rest of the batch's service window — time the
+item spent waiting on its batchmates — tiles into ``worker_queue``, so
+per-item latency coverage stays complete without service time being
+counted N times across the batch.  Stage aggregates divide every batch
+duration by N (amortised per-item cost).
 """
 
 from __future__ import annotations
@@ -295,8 +304,13 @@ def _profile_span(span: Span) -> ItemProfile | None:
             phases["encode"] += enc + f.get("encode", 0.0)
             phases["coord_queue"] += gap - enc
             phases["wire_out"] += f.get("wire_out", 0.0)
-            phases["worker_queue"] += f.get("worker_queue", 0.0)
-            phases["service"] += f.get("service", 0.0)
+            # A batched hop's service covers N items: only 1/N of it is
+            # this item's own work; the rest is wall time the item spent
+            # waiting on its batchmates, which is queue-shaped.
+            n = max(int(f.get("items", 1)), 1)
+            svc = f.get("service", 0.0)
+            phases["service"] += svc / n
+            phases["worker_queue"] += f.get("worker_queue", 0.0) + (svc - svc / n)
             phases["wire_back"] += f.get("wire_back", 0.0)
             cursor = max(cursor, hop.time)
     else:
@@ -309,7 +323,14 @@ def _profile_span(span: Span) -> ItemProfile | None:
             sec = e.fields.get("seconds", 0.0)
             start = e.time - sec
             phases["coord_queue"] += max(0.0, start - cursor)
-            phases["service"] += sec
+            # Batch-covering records (items=N, seconds = batch total):
+            # the item's own service is seconds/N, the remainder is
+            # in-batch wait on batchmates (queue-shaped) — coverage stays
+            # complete without N-counting service across the batch.
+            n = max(int(e.fields.get("items", 1)), 1)
+            phases["service"] += sec / n
+            if n > 1:
+                phases["worker_queue"] += sec - sec / n
             cursor = max(cursor, e.time)
         for sec in enc_by_stage.values():
             enc = min(sec, phases["coord_queue"])
@@ -333,20 +354,24 @@ def _fold_stage_aggregates(report: ProfileReport, span: Span) -> None:
         if stage is None:
             continue
         agg = report.stages.setdefault(int(stage), StageAggregate(int(stage)))
+        # Batch-covering events are attached to all N member spans with
+        # batch-total durations: fold 1/N per span so the aggregate is the
+        # amortised per-item cost and sums stay equal to wall time.
+        n = max(int(f.get("items", 1)), 1)
         if e.kind == "span.phases":
             agg.items += 1
-            agg.service += f.get("service", 0.0)
-            agg.worker_queue += f.get("worker_queue", 0.0)
-            agg.wire += f.get("wire_out", 0.0) + f.get("wire_back", 0.0)
-            agg.encode += f.get("encode", 0.0)
+            agg.service += f.get("service", 0.0) / n
+            agg.worker_queue += f.get("worker_queue", 0.0) / n
+            agg.wire += (f.get("wire_out", 0.0) + f.get("wire_back", 0.0)) / n
+            agg.encode += f.get("encode", 0.0) / n
         elif e.kind == "stage.service":
             # Only when no hop decomposition exists for this stage — the
             # distributed router emits both, and span.phases is richer.
             if span.first("span.phases") is None:
                 agg.items += 1
-                agg.service += f.get("seconds", 0.0)
+                agg.service += f.get("seconds", 0.0) / n
         elif e.kind == "frame.encode" and "seconds" in f:
-            agg.encode += f["seconds"]
+            agg.encode += f["seconds"] / n
 
 
 # ------------------------------------------------------------------- frontends

@@ -101,9 +101,15 @@ class Span:
 
     @property
     def service_seconds(self) -> float:
-        """Total measured stage service time attributed to this item."""
+        """Total measured stage service time attributed to this item.
+
+        A batch-covering record (``items=N``, ``seconds`` = batch total)
+        is shared by N spans, so each span claims ``seconds / items`` —
+        summing ``service_seconds`` across spans stays equal to the wall
+        time the stages actually spent.
+        """
         return sum(
-            e.fields.get("seconds", 0.0)
+            e.fields.get("seconds", 0.0) / max(int(e.fields.get("items", 1)), 1)
             for e in self.events
             if e.kind == "stage.service"
         )
@@ -176,9 +182,14 @@ class SpanCollector:
             seq = f.get("seq")
             if seq is None:
                 return
-            span = self._resolve(int(seq))
-            if span is not None:
-                span.events.append(ev)
+            # A batch-covering event names its base seq and carries
+            # ``items=N``: attach it to all N spans so every item in the
+            # micro-batch keeps a full timeline (consumers divide any
+            # ``seconds`` field by ``items`` for per-item attribution).
+            for k in range(int(f.get("items", 1))):
+                span = self._resolve(int(seq) + k)
+                if span is not None:
+                    span.events.append(ev)
 
     # --------------------------------------------------------------- access
     def spans(self) -> list[Span]:

@@ -78,11 +78,15 @@ class TopState:
             self.streams += 1
         elif kind == "stage.service":
             s = self._stage(rec.get("stage", 0))
-            s["items"] += 1
+            # One record may cover a whole micro-batch (items=N, seconds =
+            # batch total): count N items so svc_sum / items stays the
+            # honest per-item mean rather than N-times-inflated.
+            n = rec.get("items", 1)
+            s["items"] += n
             s["svc_sum"] += rec.get("seconds", 0.0)
             if "queue" in rec:
                 s["queue"] = rec["queue"]
-            s["recent"].append(rec.get("wall", time.time()))
+            s["recent"].extend([rec.get("wall", time.time())] * n)
         elif kind in ("replica.add", "replica.remove"):
             if "n" in rec:
                 self._stage(rec.get("stage", 0))["replicas"] = rec["n"]
@@ -94,7 +98,9 @@ class TopState:
         elif kind == "worker.death":
             self.workers_alive = max(0, self.workers_alive - 1)
         elif kind == "span.phases":
-            self.phase_hops += 1
+            # A batched hop carries items=N: weight it as N item-hops so
+            # the mean-per-hop line stays per-item.
+            self.phase_hops += rec.get("items", 1)
             for phase in ("wire_out", "worker_queue", "service", "encode", "wire_back"):
                 if phase in rec:
                     self.phase_sums[phase] = self.phase_sums.get(phase, 0.0) + rec[phase]

@@ -38,6 +38,7 @@ from typing import Any, Callable, Iterable, Sequence
 
 from repro.core.pipeline import PipelineSpec
 from repro.monitor.instrument import PipelineInstrumentation, StageMetrics, StageSnapshot
+from repro.util.batching import Batch, map_batch
 from repro.util.ordering import SequenceReorderer
 from repro.util.stats import OnlineStats
 from repro.util.validation import check_positive
@@ -222,9 +223,13 @@ class _Worker(threading.Thread):
                 if self.abort.is_set():
                     continue  # drain without processing
                 seq, value = got
+                batched = isinstance(value, Batch)
                 t0 = time.perf_counter()
                 try:
-                    result = self.fn(value)
+                    # A micro-batch maps element-wise in one dequeue: the
+                    # whole run of items pays a single queue hop, one
+                    # metrics lock round and one event.
+                    result = map_batch(self.fn, value) if batched else self.fn(value)
                 except BaseException as err:  # noqa: BLE001 - reported upward
                     self.errors.append(StageError(self.stage_name, err))
                     self.abort.set()
@@ -236,10 +241,16 @@ class _Worker(threading.Thread):
                     # host the inflated dt is divided back out, so the
                     # planner does not double-count the load it also sees
                     # in the resource view.  Default speed is 1.0 (the
-                    # local host as the reference processor).
+                    # local host as the reference processor).  A batch
+                    # records once with the batch-total dt and items=N
+                    # (seq = the first item's gseq — this fabric's event
+                    # sequence space).
                     self.metrics.record_service(
-                        dt, self.speed_fn(), seq=seq, worker=self.name,
+                        dt, self.speed_fn(),
+                        seq=value.gbase if batched else seq,
+                        worker=self.name,
                         queue=self.work_q.q.qsize(),
+                        items=len(value) if batched else 1,
                     )
                 self.out_q.put((seq, result), abort=self.abort)
         finally:

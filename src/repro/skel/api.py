@@ -158,8 +158,9 @@ def open_pipeline(
     capacity: int | None = None,
     backend: str | Backend = "threads",
     adaptive: bool | AdaptationConfig = False,
-    max_inflight: int | None = None,
+    max_inflight: "int | str | None" = None,
     telemetry=None,
+    batching=None,
     **backend_kwargs,
 ) -> Session:
     """Open a resident streaming pipeline of ``stages`` and return its session.
@@ -186,6 +187,19 @@ def open_pipeline(
     plain path for the common case of a JSONL event journal.  The session
     closes the telemetry (flushing the journal and writing any snapshot)
     when it closes.
+
+    ``batching=`` turns on transparent micro-batching on the real
+    executors: the session coalesces admitted items into size- and
+    deadline-bounded batch frames on the hot path and splits them back
+    into per-item results on egress — ``submit``/``results``/``Ticket``
+    semantics and per-item ordering are unchanged.  Pass ``True`` or
+    ``"auto"`` (batch size calibrated from this host's per-item hop
+    cost), an int (explicit max items per batch), or a dict of
+    :class:`~repro.util.batching.BatchingConfig` fields (``max_items``,
+    ``max_bytes``, ``linger_s``).  The simulator ignores it.  With
+    batching on, ``max_inflight="auto"`` sizes the admission window from
+    the batch size and the measured bottleneck service rate (Little's
+    law) instead of a static constant.
 
     Closing the session also detaches the controller and closes the
     backend when it was built here from a name; a :class:`Backend`
@@ -222,7 +236,9 @@ def open_pipeline(
             "without adaptive=, or use pipeline_1for1 for in-sim adaptation"
         )
     try:
-        session = b.open(max_inflight=max_inflight, telemetry=telemetry)
+        session = b.open(
+            max_inflight=max_inflight, telemetry=telemetry, batching=batching
+        )
     except BaseException:
         if owns:
             b.close()

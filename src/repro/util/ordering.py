@@ -64,6 +64,26 @@ class SequenceReorderer:
         self._pending[seq] = value
         return self._release()
 
+    def push_range(self, start: int, values: list[Any]) -> Iterator[tuple[int, Any]]:
+        """Accept ``len(values)`` consecutive pairs in one transaction.
+
+        The micro-batched egress path admits a whole batch with a single
+        call — one stale/duplicate validation over the range and one
+        release sweep — instead of ``len(values)`` per-seq transactions.
+        The range is validated in full before anything is buffered, so a
+        bad batch leaves the reorderer untouched.
+        """
+        if start < self._next_seq:
+            raise ValueError(
+                f"sequence {start} was already released (next is {self._next_seq})"
+            )
+        for k in range(len(values)):
+            if start + k in self._pending:
+                raise ValueError(f"sequence {start + k} is already buffered")
+        for k, value in enumerate(values):
+            self._pending[start + k] = value
+        return self._release()
+
     def drain(self) -> Iterator[tuple[int, Any]]:
         """Yield any remaining consecutive pairs (used at shutdown)."""
         return self._release()

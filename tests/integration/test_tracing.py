@@ -101,3 +101,61 @@ class TestTracePropagation:
         assert report.stages[1].items == self.N
         # The deliberately slow stage dominates measured service time.
         assert report.stages[1].service > report.stages[0].service
+
+
+class TestBatchedTracePropagation:
+    """Micro-batching must not corrupt per-item trace attribution.
+
+    One ``stage.service``/``span.phases`` record covers a whole batch
+    (``items=N``, durations = batch totals); the collectors fan it out to
+    all member spans and attribute ``1/N`` of the service per item, so
+    coverage stays ≥95% while summed service time stays equal to the wall
+    time the stages actually spent (no N-times inflation).
+    """
+
+    N = 40
+    BATCH = 8
+
+    def _run(self, tmp_path):
+        path = tmp_path / "batched-trace.jsonl"
+        b = DistributedBackend(_pipe(), spawn_workers=2)
+        try:
+            session = b.open(telemetry=path, batching=self.BATCH)
+            for i in range(self.N):
+                session.submit(i)
+            out = session.drain()
+            session.close()
+        finally:
+            b.close()
+        assert out == [(x + 1) * 3 for x in range(self.N)]
+        return path
+
+    def test_batched_spans_complete_with_worker_events(self, tmp_path):
+        path = self._run(tmp_path)
+        recs = list(read_journal(path))
+        kinds = {r["kind"] for r in recs}
+        assert {"batch.assemble", "batch.split", "span.phases"} <= kinds
+        # Batch-covering trace records name real item seqs plus a count.
+        hops = [r for r in recs if r["kind"] == "span.phases"]
+        assert sum(r.get("items", 1) for r in hops) == 2 * self.N
+        spans = [s for s in spans_from_journal(path) if s.complete]
+        assert len(spans) == self.N
+        for s in spans:
+            assert s.trace_id is not None
+            assert s.first("span.phases") is not None
+
+    def test_batched_attribution_is_per_item(self, tmp_path):
+        path = self._run(tmp_path)
+        report = profile_journal(path)
+        assert len(report.items) == self.N
+        assert report.min_coverage >= 0.95
+        for item in report.items:
+            assert item.coverage >= 0.95, (item.seq, item.phases)
+        # Per-item service division: the slow stage sleeps 5ms per item,
+        # so total attributed service must stay near N x 6ms — an
+        # N-times-counted batch total would blow far past this bound.
+        service = report.phase_totals["service"]
+        assert service < self.N * 0.006 * 2.5, service
+        assert report.stages[1].service > report.stages[0].service
+        assert report.stages[0].items == self.N
+        assert report.stages[1].items == self.N

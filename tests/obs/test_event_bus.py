@@ -75,7 +75,7 @@ class TestEventBus:
         prefixes = {k.split(".")[0] for k in SCHEMA}
         assert prefixes == {
             "session", "stream", "item", "stage", "replica",
-            "adapt", "worker", "frame", "wk", "clock", "span",
+            "adapt", "worker", "frame", "wk", "clock", "span", "batch",
         }
 
     def test_unclocked_fallback_warns_once(self):
